@@ -1,0 +1,97 @@
+// Command fgpc is the compiler inspection tool: it compiles one of the 18
+// evaluation kernels and dumps any stage of the pipeline — the IR, the
+// lowered TAC with fiber assignments, the partition map, the compiler
+// report, or the generated per-core machine code.
+//
+// Usage:
+//
+//	fgpc -kernel lammps-1 -cores 4 -dump ir,tac,parts,report,asm
+//	fgpc -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fgp/internal/core"
+	"fgp/internal/ir"
+	"fgp/internal/kernels"
+)
+
+func main() {
+	kernel := flag.String("kernel", "", "kernel name (see -list)")
+	cores := flag.Int("cores", 4, "number of cores to partition for")
+	dump := flag.String("dump", "report", "comma-separated dumps: ir, tac, fibers, parts, report, asm")
+	spec := flag.Bool("speculate", false, "enable control-flow speculation")
+	throughput := flag.Bool("throughput", false, "enable the DAG merge heuristic")
+	schedule := flag.Bool("schedule", false, "enable within-region scheduling")
+	list := flag.Bool("list", false, "list available kernels")
+	flag.Parse()
+
+	if *list {
+		for _, k := range kernels.All() {
+			fmt.Printf("%-10s %-8s %5.1f%% of app time; paper 4-core speedup %.2f\n",
+				k.Name, k.App, k.PctTime, k.PaperSpeedup)
+		}
+		return
+	}
+	if *kernel == "" {
+		fatal(fmt.Errorf("missing -kernel (use -list to see options)"))
+	}
+	k, err := kernels.ByName(*kernel)
+	if err != nil {
+		fatal(err)
+	}
+	opt := core.DefaultOptions(*cores)
+	opt.Speculate = *spec
+	opt.Throughput = *throughput
+	opt.Schedule = *schedule
+	a, err := core.Compile(k.Build(), opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	wants := map[string]bool{}
+	for _, d := range strings.Split(*dump, ",") {
+		wants[strings.TrimSpace(d)] = true
+	}
+	if wants["ir"] {
+		fmt.Println(ir.Print(a.Loop))
+	}
+	if wants["tac"] || wants["fibers"] {
+		fmt.Println(a.Fn.Dump())
+	}
+	if wants["parts"] {
+		for pi, fibers := range a.Parts.Parts {
+			fmt.Printf("partition %d (cost %d): fibers %v\n", pi, a.Parts.Cost[pi], fibers)
+		}
+		fmt.Println()
+	}
+	if wants["report"] {
+		r := a.Report
+		fmt.Printf("kernel         %s\n", r.Kernel)
+		fmt.Printf("cores          %d\n", r.Cores)
+		fmt.Printf("initial fibers %d\n", r.InitialFibers)
+		fmt.Printf("data deps      %d\n", r.DataDeps)
+		fmt.Printf("load balance   %.2f (compute ops per partition: %v)\n", r.LoadBalance, r.ComputeOps)
+		fmt.Printf("comm ops       %d (%d transfers/iteration)\n", r.CommOps, r.Transfers)
+		fmt.Printf("static queues  %d core pairs\n", r.StaticQueues)
+		fmt.Printf("merge steps    %d\n", r.MergeSteps)
+		if r.SpeculatedIfs > 0 {
+			fmt.Printf("speculated ifs %d\n", r.SpeculatedIfs)
+		}
+		fmt.Println()
+	}
+	if wants["asm"] {
+		for _, p := range a.Compiled.Programs {
+			fmt.Println(p.Disasm())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fgpc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,193 @@
+// Command fgpexp regenerates the paper's evaluation: every table and
+// figure of Section V, plus the ablations discussed in Section III-B and
+// two extension sweeps.
+//
+// Usage:
+//
+//	fgpexp                     # run everything
+//	fgpexp -exp fig12          # one experiment
+//	fgpexp -exp fig13 -lat 5,20,50,100
+//
+// Experiments: table1, fig12, table2, table3, fig13, fig14, throughput,
+// multipair, schedule, queuelen, all.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"fgp/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (table1, fig12, table2, table3, fig13, fig14, throughput, multipair, schedule, normalize, simd, queuelen, all)")
+	lats := flag.String("lat", "5,20,50,100", "comma-separated transfer latencies for fig13")
+	qlens := flag.String("qlen", "2,4,8,20,64", "comma-separated queue lengths for queuelen")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
+	flag.Parse()
+
+	latencies, err := parseInt64s(*lats)
+	if err != nil {
+		fatal(err)
+	}
+	lengths, err := parseInts(*qlens)
+	if err != nil {
+		fatal(err)
+	}
+
+	r := experiments.NewRunner()
+	jsonOut := map[string]any{}
+	run := func(name string, f func() (string, error)) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		out, err := f()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		if !*asJSON {
+			fmt.Println(out)
+		}
+	}
+	collect := func(name string, rows any) {
+		if *asJSON {
+			jsonOut[name] = rows
+		}
+	}
+	_ = collect
+
+	run("table1", func() (string, error) {
+		rows := experiments.Table1()
+		collect("table1", rows)
+		return experiments.FormatTable1(rows), nil
+	})
+	run("fig12", func() (string, error) {
+		rows, err := experiments.Fig12(r)
+		if err != nil {
+			return "", err
+		}
+		collect("fig12", rows)
+		return experiments.FormatFig12(rows), nil
+	})
+	run("table2", func() (string, error) {
+		rows, err := experiments.Table2(r)
+		if err != nil {
+			return "", err
+		}
+		collect("table2", rows)
+		return experiments.FormatTable2(rows), nil
+	})
+	run("table3", func() (string, error) {
+		rows, err := experiments.Table3(r)
+		if err != nil {
+			return "", err
+		}
+		collect("table3", rows)
+		return experiments.FormatTable3(rows), nil
+	})
+	run("fig13", func() (string, error) {
+		rows, err := experiments.Fig13(r, latencies)
+		if err != nil {
+			return "", err
+		}
+		collect("fig13", rows)
+		return experiments.FormatFig13(rows, latencies), nil
+	})
+	run("fig14", func() (string, error) {
+		rows, err := experiments.Fig14(r)
+		if err != nil {
+			return "", err
+		}
+		collect("fig14", rows)
+		return experiments.FormatFig14(rows), nil
+	})
+	run("throughput", func() (string, error) {
+		rows, err := experiments.Throughput(r)
+		if err != nil {
+			return "", err
+		}
+		collect("throughput", rows)
+		return experiments.FormatThroughput(rows), nil
+	})
+	run("multipair", func() (string, error) {
+		rows, err := experiments.MultiPair(r)
+		if err != nil {
+			return "", err
+		}
+		collect("multipair", rows)
+		return experiments.FormatMultiPair(rows), nil
+	})
+	run("schedule", func() (string, error) {
+		rows, err := experiments.Schedule(r)
+		if err != nil {
+			return "", err
+		}
+		collect("schedule", rows)
+		return experiments.FormatSchedule(rows), nil
+	})
+	run("normalize", func() (string, error) {
+		rows, err := experiments.Normalize(r)
+		if err != nil {
+			return "", err
+		}
+		collect("normalize", rows)
+		return experiments.FormatNormalize(rows), nil
+	})
+	run("simd", func() (string, error) {
+		rows, err := experiments.SIMD()
+		if err != nil {
+			return "", err
+		}
+		collect("simd", rows)
+		return experiments.FormatSIMD(rows), nil
+	})
+	run("queuelen", func() (string, error) {
+		rows, err := experiments.QueueLen(r, lengths)
+		if err != nil {
+			return "", err
+		}
+		collect("queuelen", rows)
+		return experiments.FormatQueueLen(rows, lengths), nil
+	})
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonOut); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func parseInt64s(s string) ([]int64, error) {
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer list %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	v64, err := parseInt64s(s)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(v64))
+	for i, v := range v64 {
+		out[i] = int(v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fgpexp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,143 @@
+// Command fgprun compiles and simulates one evaluation kernel, printing
+// cycle counts, speedup over the sequential baseline, queue statistics and
+// verification status.
+//
+// Usage:
+//
+//	fgprun -kernel irs-1 -cores 4
+//	fgprun -kernel umt2k-6 -cores 4 -latency 50 -queue 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fgp/internal/core"
+	"fgp/internal/kernels"
+)
+
+func main() {
+	kernel := flag.String("kernel", "", "kernel name (fgpc -list shows options)")
+	cores := flag.Int("cores", 4, "number of cores")
+	latency := flag.Int64("latency", 5, "queue transfer latency in cycles")
+	queueLen := flag.Int("queue", 20, "queue length in slots")
+	spec := flag.Bool("speculate", false, "enable control-flow speculation")
+	verify := flag.Bool("verify", true, "check results against the reference interpreter")
+	trace := flag.Int("trace", 0, "print the first N simulated instructions as a timeline")
+	flag.Parse()
+
+	if *kernel == "" {
+		fatal(fmt.Errorf("missing -kernel"))
+	}
+	k, err := kernels.ByName(*kernel)
+	if err != nil {
+		fatal(err)
+	}
+
+	seq, err := core.CompileSequential(k.Build())
+	if err != nil {
+		fatal(err)
+	}
+	sres, err := seq.RunDefault()
+	if err != nil {
+		fatal(err)
+	}
+
+	opt := core.DefaultOptions(*cores)
+	opt.Speculate = *spec
+	mc := seq.MachineConfig()
+	mc.Cores = *cores
+	mc.TransferLatency = *latency
+	mc.QueueLen = *queueLen
+	opt.Machine = &mc
+	par, err := core.Compile(k.Build(), opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := par.MachineConfig()
+	if *trace > 0 {
+		tw := &truncWriter{w: os.Stdout, limit: *trace}
+		tcfg := cfg
+		tcfg.Trace = tw
+		if _, err := par.Run(tcfg); err != nil && !tw.done() {
+			fatal(err)
+		}
+		fmt.Println("--- end of trace ---")
+	}
+	var pres = new(struct {
+		cycles    int64
+		queues    int
+		transfers int64
+		perCore   []int64
+		enqStalls []int64
+		deqStalls []int64
+	})
+	if *verify {
+		res, err := par.Verify(cfg)
+		if err != nil {
+			fatal(fmt.Errorf("verification failed: %w", err))
+		}
+		pres.cycles, pres.queues, pres.transfers = res.Cycles, res.PairsUsed, res.Transfers
+		pres.perCore, pres.enqStalls, pres.deqStalls = res.PerCoreCycles, res.EnqStalls, res.DeqStalls
+		fmt.Println("verification: parallel result bit-identical to the reference interpreter")
+	} else {
+		res, err := par.Run(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		pres.cycles, pres.queues, pres.transfers = res.Cycles, res.PairsUsed, res.Transfers
+		pres.perCore, pres.enqStalls, pres.deqStalls = res.PerCoreCycles, res.EnqStalls, res.DeqStalls
+	}
+
+	fmt.Printf("kernel            %s (%s, %.1f%% of app time)\n", k.Name, k.App, k.PctTime)
+	fmt.Printf("machine           %d cores, queue length %d, transfer latency %d\n", *cores, *queueLen, *latency)
+	fmt.Printf("sequential        %d cycles\n", sres.Cycles)
+	fmt.Printf("parallel          %d cycles\n", pres.cycles)
+	fmt.Printf("speedup           %.2f (paper, 4 cores @ L=5: %.2f)\n",
+		float64(sres.Cycles)/float64(pres.cycles), k.PaperSpeedup)
+	fmt.Printf("queue pairs used  %d\n", pres.queues)
+	fmt.Printf("queue transfers   %d\n", pres.transfers)
+	fmt.Printf("comm ops in loop  %d (%d transfers/iteration)\n", par.Report.CommOps, par.Report.Transfers)
+	fmt.Printf("load balance      %.2f\n", par.Report.LoadBalance)
+	fmt.Println("per-core timeline:")
+	for c := range pres.perCore {
+		stalls := pres.enqStalls[c] + pres.deqStalls[c]
+		busy := pres.perCore[c] - stalls
+		fmt.Printf("  core %d: %8d cycles = %8d busy + %7d queue stall (%.0f%% utilized)\n",
+			c, pres.perCore[c], busy, stalls, 100*float64(busy)/float64(max64(pres.perCore[c], 1)))
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fgprun:", err)
+	os.Exit(1)
+}
+
+// truncWriter forwards whole lines until the limit is reached, then drops
+// the rest (the simulation still runs to completion).
+type truncWriter struct {
+	w     *os.File
+	limit int
+	lines int
+}
+
+func (t *truncWriter) Write(p []byte) (int, error) {
+	if t.lines < t.limit {
+		t.lines++
+		if _, err := t.w.Write(p); err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+func (t *truncWriter) done() bool { return t.lines >= t.limit }

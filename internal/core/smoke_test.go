@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"fgp/internal/ir"
+)
+
+// fig1Loop reproduces the computation of Fig 1 of the paper inside a loop:
+//
+//	x = a*b + c*d
+//	y = c*d + e
+//	z = x * y
+//
+// over arrays, with enough iterations to amortize startup.
+func fig1Loop(t testing.TB, n int64) *ir.Loop {
+	t.Helper()
+	mk := func(f func(i int) float64) []float64 {
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = f(i)
+		}
+		return s
+	}
+	b := ir.NewBuilder("fig1", "i", 0, n, 1)
+	b.ArrayF("a", mk(func(i int) float64 { return 1.0 + float64(i%7)*0.25 }))
+	b.ArrayF("b", mk(func(i int) float64 { return 2.0 - float64(i%5)*0.125 }))
+	b.ArrayF("c", mk(func(i int) float64 { return 0.5 + float64(i%3) }))
+	b.ArrayF("d", mk(func(i int) float64 { return 1.5 + float64(i%11)*0.0625 }))
+	b.ArrayF("e", mk(func(i int) float64 { return float64(i%13) * 0.5 }))
+	b.ArrayF("x", make([]float64, n))
+	b.ArrayF("y", make([]float64, n))
+	b.ArrayF("z", make([]float64, n))
+	i := b.Idx()
+	x := b.Def("tx", ir.AddE(ir.MulE(ir.LDF("a", i), ir.LDF("b", i)), ir.MulE(ir.LDF("c", i), ir.LDF("d", i))))
+	y := b.Def("ty", ir.AddE(ir.MulE(ir.LDF("c", i), ir.LDF("d", i)), ir.LDF("e", i)))
+	b.StoreF("x", i, x)
+	b.StoreF("y", i, y)
+	b.StoreF("z", i, ir.MulE(x, y))
+	return b.MustBuild()
+}
+
+func TestSmokeSequential(t *testing.T) {
+	l := fig1Loop(t, 256)
+	a, err := CompileSequential(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Verify(a.MachineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 {
+		t.Fatalf("sequential run took %d cycles", res.Cycles)
+	}
+	t.Logf("sequential: %d cycles, %d instrs", res.Cycles, res.PerCoreInstrs[0])
+}
+
+func TestSmokeParallel(t *testing.T) {
+	l := fig1Loop(t, 256)
+	for _, cores := range []int{2, 3, 4} {
+		a, err := Compile(l, DefaultOptions(cores))
+		if err != nil {
+			t.Fatalf("cores=%d: %v", cores, err)
+		}
+		res, err := a.Verify(a.MachineConfig())
+		if err != nil {
+			t.Fatalf("cores=%d: %v", cores, err)
+		}
+		t.Logf("cores=%d: %d cycles, fibers=%d deps=%d comm=%d balance=%.2f",
+			cores, res.Cycles, a.Report.InitialFibers, a.Report.DataDeps,
+			a.Report.CommOps, a.Report.LoadBalance)
+	}
+}
+
+func TestSmokeSpeedup(t *testing.T) {
+	l := fig1Loop(t, 2048)
+	seq, err := CompileSequential(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := seq.RunDefault()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Compile(l, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := par.RunDefault()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := float64(sres.Cycles) / float64(pres.Cycles)
+	t.Logf("fig1 speedup on 2 cores: %.3f (seq %d, par %d)", sp, sres.Cycles, pres.Cycles)
+	if sp < 0.5 {
+		t.Fatalf("parallel version catastrophically slow: speedup %.3f", sp)
+	}
+}

@@ -1,0 +1,102 @@
+// Package cost defines the static latency model of the simulated in-order
+// core. The same table serves two roles, mirroring the paper's setup:
+//
+//   - the simulator charges these latencies when executing instructions
+//     (playing the part of the Mambo A2 pipeline model), and
+//   - the compiler's partitioning heuristics use the table (together with
+//     profile feedback for memory) as the static execution-time estimate.
+package cost
+
+import "fgp/internal/ir"
+
+// Table holds per-operation latencies in cycles.
+type Table struct {
+	IntALU int64 // add/sub/logic/shift/compare on I64
+	IntMul int64
+	IntDiv int64
+	FAdd   int64 // FP add/sub/min/max/abs/neg/compare
+	FMul   int64
+	FDiv   int64
+	FSqrt  int64
+	FMath  int64 // exp/log
+	Cvt    int64 // int<->float conversion
+	Mov    int64
+	Const  int64
+	Branch int64 // conditional or unconditional jump
+	Store  int64 // write-through store issue
+	L1Hit  int64
+	L1Miss int64
+	Enq    int64 // pipeline occupancy of an enqueue (paper: 1 cycle)
+	Deq    int64 // pipeline occupancy of a dequeue (paper: 1 cycle)
+}
+
+// Default returns the latency table used in all experiments. The values are
+// chosen to resemble a simple in-order core like the BG/Q A2: single-cycle
+// integer ALU, moderately pipelined (but blocking, single-issue) FP ops,
+// expensive divide/sqrt, an L1 with single-digit hit latency and a miss
+// penalty near fifty cycles.
+func Default() Table {
+	return Table{
+		IntALU: 1,
+		IntMul: 2,
+		IntDiv: 18,
+		FAdd:   6,
+		FMul:   6,
+		FDiv:   22,
+		FSqrt:  24,
+		FMath:  38,
+		Cvt:    2,
+		Mov:    1,
+		Const:  1,
+		Branch: 2,
+		Store:  1,
+		L1Hit:  4,
+		L1Miss: 46,
+		Enq:    1,
+		Deq:    1,
+	}
+}
+
+// Bin returns the latency of a binary operator on operands of kind k.
+func (t Table) Bin(op ir.BinOp, k ir.Kind) int64 {
+	if k == ir.I64 || op.IsCompare() && k == ir.I64 {
+		switch op {
+		case ir.Mul:
+			return t.IntMul
+		case ir.Div, ir.Rem:
+			return t.IntDiv
+		default:
+			return t.IntALU
+		}
+	}
+	switch op {
+	case ir.Mul:
+		return t.FMul
+	case ir.Div:
+		return t.FDiv
+	case ir.Add, ir.Sub, ir.Min, ir.Max:
+		return t.FAdd
+	default: // FP comparisons
+		return t.FAdd
+	}
+}
+
+// Un returns the latency of a unary operator on an operand of kind k.
+func (t Table) Un(op ir.UnOp, k ir.Kind) int64 {
+	switch op {
+	case ir.Sqrt:
+		return t.FSqrt
+	case ir.Exp, ir.Log:
+		return t.FMath
+	case ir.CvtIF, ir.CvtFI:
+		return t.Cvt
+	case ir.Neg, ir.Abs, ir.Floor:
+		if k == ir.F64 {
+			return t.FAdd
+		}
+		return t.IntALU
+	case ir.Not:
+		return t.IntALU
+	}
+	return t.IntALU
+}

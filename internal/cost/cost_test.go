@@ -1,0 +1,76 @@
+package cost
+
+import (
+	"testing"
+
+	"fgp/internal/ir"
+)
+
+func TestBinLatencies(t *testing.T) {
+	tab := Default()
+	cases := []struct {
+		op   ir.BinOp
+		k    ir.Kind
+		want int64
+	}{
+		{ir.Add, ir.I64, tab.IntALU},
+		{ir.Mul, ir.I64, tab.IntMul},
+		{ir.Div, ir.I64, tab.IntDiv},
+		{ir.Rem, ir.I64, tab.IntDiv},
+		{ir.And, ir.I64, tab.IntALU},
+		{ir.Lt, ir.I64, tab.IntALU},
+		{ir.Add, ir.F64, tab.FAdd},
+		{ir.Sub, ir.F64, tab.FAdd},
+		{ir.Mul, ir.F64, tab.FMul},
+		{ir.Div, ir.F64, tab.FDiv},
+		{ir.Min, ir.F64, tab.FAdd},
+		{ir.Lt, ir.F64, tab.FAdd},
+	}
+	for _, c := range cases {
+		if got := tab.Bin(c.op, c.k); got != c.want {
+			t.Errorf("Bin(%s, %s) = %d, want %d", c.op, c.k, got, c.want)
+		}
+	}
+}
+
+func TestUnLatencies(t *testing.T) {
+	tab := Default()
+	cases := []struct {
+		op   ir.UnOp
+		k    ir.Kind
+		want int64
+	}{
+		{ir.Sqrt, ir.F64, tab.FSqrt},
+		{ir.Exp, ir.F64, tab.FMath},
+		{ir.Log, ir.F64, tab.FMath},
+		{ir.CvtIF, ir.I64, tab.Cvt},
+		{ir.CvtFI, ir.F64, tab.Cvt},
+		{ir.Neg, ir.F64, tab.FAdd},
+		{ir.Neg, ir.I64, tab.IntALU},
+		{ir.Abs, ir.F64, tab.FAdd},
+		{ir.Not, ir.I64, tab.IntALU},
+	}
+	for _, c := range cases {
+		if got := tab.Un(c.op, c.k); got != c.want {
+			t.Errorf("Un(%s, %s) = %d, want %d", c.op, c.k, got, c.want)
+		}
+	}
+}
+
+func TestDefaultsSane(t *testing.T) {
+	tab := Default()
+	// The relationships the evaluation depends on: queue ops are single
+	// cycle (paper Section V), misses dwarf hits, divides dwarf adds.
+	if tab.Enq != 1 || tab.Deq != 1 {
+		t.Errorf("enqueue/dequeue must cost one pipeline cycle (paper): %d/%d", tab.Enq, tab.Deq)
+	}
+	if tab.L1Miss <= tab.L1Hit*4 {
+		t.Error("miss must dwarf hit latency")
+	}
+	if tab.FDiv <= tab.FMul || tab.FSqrt <= tab.FMul {
+		t.Error("divide/sqrt must dwarf multiply")
+	}
+	if tab.IntALU != 1 {
+		t.Error("integer ALU should be single cycle on an A2-like core")
+	}
+}

@@ -1,0 +1,168 @@
+// Package deps performs the dependence analyses the partitioner relies on
+// (Section III-B of the paper): use-def chains for virtual registers,
+// affine-index disambiguation for array accesses (including loop-carried
+// distances), and control dependences derived from the region tree.
+//
+// The output is a set of instruction-level dependence edges plus a list of
+// fiber co-location constraints. Constraints capture the cases the compiler
+// must not split across cores:
+//
+//   - all definitions of a multiply-defined named temporary (so the merged
+//     value lives in exactly one core's register),
+//   - both endpoints of any loop-carried register dependence (scalar
+//     recurrences/reductions stay on one core; the paper's umt2k-2/3
+//     kernels show the load-imbalance consequence of this),
+//   - both endpoints of any may-aliasing memory dependence (the hardware
+//     queues order values, not shared-memory traffic).
+package deps
+
+import (
+	"fgp/internal/ir"
+	"fgp/internal/tac"
+)
+
+// Affine describes an index value of the form A*i + B where i is the loop
+// induction variable. OK is false when the value is not provably affine.
+type Affine struct {
+	A, B int64
+	OK   bool
+}
+
+// affineAnalysis propagates affine forms through the instruction list.
+// A temp redefined with a different form (or conditionally) degrades to
+// not-affine, which makes the memory analysis conservative.
+func affineAnalysis(fn *tac.Fn) map[tac.TempID]Affine {
+	aff := map[tac.TempID]Affine{}
+	for id, t := range fn.Temps {
+		if t.IsIndex {
+			aff[tac.TempID(id)] = Affine{A: 1, B: 0, OK: true}
+		}
+		if t.IsParam && t.K == ir.I64 && len(t.Defs) == 0 {
+			// Parameter values are known at compile time in this framework
+			// (the kernel fixes them), so fold them into the affine form.
+			if v, ok := fn.Loop.Scalar(t.Name); ok {
+				aff[tac.TempID(id)] = Affine{A: 0, B: v.I, OK: true}
+			}
+		}
+	}
+	set := func(dst tac.TempID, v Affine, in *tac.Instr) {
+		// A def under a condition, or a second conflicting def, is not a
+		// single affine value for later reads.
+		if in.Region != 0 {
+			v = Affine{}
+		}
+		if old, seen := aff[dst]; seen && (old != v) {
+			v = Affine{}
+		}
+		aff[dst] = v
+	}
+	for _, in := range fn.Instrs {
+		if in.Dst == tac.None || in.K != ir.I64 && in.Op != tac.OpBin {
+			if in.Dst == tac.None {
+				continue
+			}
+		}
+		if fn.Temps[in.Dst].K != ir.I64 {
+			continue
+		}
+		switch in.Op {
+		case tac.OpConstI:
+			set(in.Dst, Affine{A: 0, B: in.CI, OK: true}, in)
+		case tac.OpMov:
+			set(in.Dst, aff[in.A], in)
+		case tac.OpBin:
+			a, b := aff[in.A], aff[in.B]
+			var v Affine
+			if a.OK && b.OK {
+				switch in.BinOp {
+				case ir.Add:
+					v = Affine{A: a.A + b.A, B: a.B + b.B, OK: true}
+				case ir.Sub:
+					v = Affine{A: a.A - b.A, B: a.B - b.B, OK: true}
+				case ir.Mul:
+					if a.A == 0 {
+						v = Affine{A: a.B * b.A, B: a.B * b.B, OK: true}
+					} else if b.A == 0 {
+						v = Affine{A: a.A * b.B, B: a.B * b.B, OK: true}
+					}
+				case ir.Shl:
+					if b.A == 0 && b.B >= 0 && b.B < 62 {
+						v = Affine{A: a.A << uint(b.B), B: a.B << uint(b.B), OK: true}
+					}
+				}
+			}
+			set(in.Dst, v, in)
+		default:
+			set(in.Dst, Affine{}, in)
+		}
+	}
+	return aff
+}
+
+// aliasResult classifies the relationship of two array accesses.
+type aliasResult struct {
+	sameIter bool // the accesses can touch the same element in one iteration
+	carried  bool // the accesses can touch the same element across iterations
+	// distKnown/dist describe the carried relationship when it is exact:
+	// the first access at iteration i touches the same element as the
+	// second access at iteration i+dist (dist > 0), or the second access at
+	// iteration j touches the same element as the first at j+|dist|
+	// (dist < 0).
+	distKnown bool
+	dist      int64
+}
+
+// alias decides whether two accesses to the same array with the given index
+// forms may overlap, within an iteration or across iterations of the loop
+// i = start..end step s.
+func alias(x, y Affine, start, end, step int64) aliasResult {
+	if !x.OK || !y.OK {
+		return aliasResult{sameIter: true, carried: true}
+	}
+	res := aliasResult{}
+	// Same iteration: x.A*i + x.B == y.A*i + y.B for some valid i.
+	if x.A == y.A {
+		res.sameIter = x.B == y.B
+	} else {
+		num := y.B - x.B
+		den := x.A - y.A
+		if num%den == 0 {
+			i := num / den
+			if i >= start && i < end && (i-start)%step == 0 {
+				res.sameIter = true
+			}
+		}
+	}
+	// Loop carried: x.A*i + x.B == y.A*j + y.B for some valid i != j.
+	switch {
+	case x.A == 0 && y.A == 0:
+		// Same fixed element every iteration: carried in both directions at
+		// every distance — unknown-direction for the synchronizer.
+		res.carried = x.B == y.B
+	case x.A == y.A:
+		// Same stride: x at iteration i aliases y at j where
+		// x.A*i + x.B == y.A*j + y.B, i.e. j = i + (x.B-y.B)/A.
+		d := x.B - y.B
+		if d != 0 && d%x.A == 0 {
+			dist := d / x.A
+			trips := (end - start + step - 1) / step
+			if dist != 0 && abs64(dist) < trips*step {
+				res.carried = true
+				res.distKnown = true
+				res.dist = dist
+			}
+		}
+	default:
+		// Different strides: a precise diophantine test is possible but the
+		// conservative answer is cheap and rarely hurts the kernels.
+		res.carried = true
+	}
+	return res
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,394 @@
+package deps
+
+import (
+	"testing"
+
+	"fgp/internal/fiber"
+	"fgp/internal/ir"
+	"fgp/internal/tac"
+)
+
+func analyze(t *testing.T, build func(b *ir.Builder)) (*tac.Fn, *Info) {
+	t.Helper()
+	b := ir.NewBuilder("t", "i", 1, 32, 1)
+	b.ArrayF("a", make([]float64, 64))
+	b.ArrayF("o", make([]float64, 64))
+	b.ArrayI("idx", make([]int64, 64))
+	build(b)
+	l := b.MustBuild()
+	fn, err := tac.Lower(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := fiber.Partition(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Analyze(fn, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fn, info
+}
+
+func TestAliasSameIteration(t *testing.T) {
+	cases := []struct {
+		name     string
+		x, y     Affine
+		sameIter bool
+		carried  bool
+	}{
+		{"same index", Affine{1, 0, true}, Affine{1, 0, true}, true, false},
+		{"disjoint offsets", Affine{1, 0, true}, Affine{1, 1, true}, false, true},
+		{"distance two", Affine{1, 0, true}, Affine{1, 2, true}, false, true},
+		{"same constant", Affine{0, 5, true}, Affine{0, 5, true}, true, true},
+		{"different constants", Affine{0, 5, true}, Affine{0, 6, true}, false, false},
+		{"unknown", Affine{}, Affine{1, 0, true}, true, true},
+		{"different strides", Affine{1, 0, true}, Affine{2, 0, true}, true, true},
+		{"huge distance not carried", Affine{1, 0, true}, Affine{1, 1000, true}, false, false},
+	}
+	for _, c := range cases {
+		r := alias(c.x, c.y, 0, 32, 1)
+		if r.sameIter != c.sameIter || r.carried != c.carried {
+			t.Errorf("%s: alias = {sameIter:%v carried:%v}, want {%v %v}",
+				c.name, r.sameIter, r.carried, c.sameIter, c.carried)
+		}
+	}
+}
+
+func TestAliasDistance(t *testing.T) {
+	// x at i touches i+0; y at j touches j-1: x@i aliases y@(i+1):
+	// dist = (Bx - By)/A = (0 - (-1))/1 = +1.
+	r := alias(Affine{1, 0, true}, Affine{1, -1, true}, 0, 32, 1)
+	if !r.carried || !r.distKnown || r.dist != 1 {
+		t.Errorf("store[i] vs load[i-1]: %+v, want carried dist +1", r)
+	}
+	// Reverse: load[i-1] first in program order against store[i].
+	r = alias(Affine{1, -1, true}, Affine{1, 0, true}, 0, 32, 1)
+	if !r.carried || !r.distKnown || r.dist != -1 {
+		t.Errorf("load[i-1] vs store[i]: %+v, want carried dist -1", r)
+	}
+	// Stride 2, offset 4: distance 2 iterations.
+	r = alias(Affine{2, 0, true}, Affine{2, -4, true}, 0, 32, 1)
+	if !r.carried || !r.distKnown || r.dist != 2 {
+		t.Errorf("stride-2 distance: %+v, want dist 2", r)
+	}
+	// Offset not a stride multiple: never equal.
+	r = alias(Affine{2, 0, true}, Affine{2, 1, true}, 0, 32, 1)
+	if r.carried || r.sameIter {
+		t.Errorf("odd offset on even stride should never alias: %+v", r)
+	}
+}
+
+func TestAffinePropagation(t *testing.T) {
+	fn, info := analyze(t, func(b *ir.Builder) {
+		i := b.Idx()
+		j := b.Def("j", ir.AddE(ir.MulE(i, ir.I(3)), ir.I(7)))
+		k := b.Def("k", ir.SubE(j, ir.I(2)))
+		m := b.Def("m", ir.ShlE(i, ir.I(2)))
+		u := b.Def("u", ir.LDI("idx", i)) // not affine
+		_ = k
+		_ = m
+		_ = u
+		b.StoreF("o", i, ir.F(1))
+	})
+	get := func(name string) Affine {
+		id, ok := fn.TempByName(name)
+		if !ok {
+			t.Fatalf("temp %s missing", name)
+		}
+		return info.Affine[id]
+	}
+	if a := get("j"); !a.OK || a.A != 3 || a.B != 7 {
+		t.Errorf("j affine = %+v, want 3i+7", a)
+	}
+	if a := get("k"); !a.OK || a.A != 3 || a.B != 5 {
+		t.Errorf("k affine = %+v, want 3i+5", a)
+	}
+	if a := get("m"); !a.OK || a.A != 4 || a.B != 0 {
+		t.Errorf("m affine = %+v, want 4i", a)
+	}
+	if a := get("u"); a.OK {
+		t.Errorf("u should not be affine: %+v", a)
+	}
+}
+
+func TestAffineConditionalDefDegrades(t *testing.T) {
+	fn, info := analyze(t, func(b *ir.Builder) {
+		i := b.Idx()
+		c := b.Def("c", ir.GtE(i, ir.I(4)))
+		b.Def("j", ir.AddE(i, ir.I(0)))
+		b.If(c, func() {
+			b.Def("j", ir.AddE(i, ir.I(1)))
+		}, nil)
+		b.StoreF("o", b.T("j"), ir.F(1))
+	})
+	id, _ := fn.TempByName("j")
+	if info.Affine[id].OK {
+		t.Error("conditionally redefined temp must not stay affine")
+	}
+}
+
+func TestRegDepsSingleDef(t *testing.T) {
+	fn, info := analyze(t, func(b *ir.Builder) {
+		i := b.Idx()
+		v := b.Def("v", ir.MulE(ir.LDF("a", i), ir.F(2)))
+		b.StoreF("o", i, ir.AddE(v, ir.F(1)))
+	})
+	vid, _ := fn.TempByName("v")
+	found := false
+	for _, e := range info.Edges {
+		if e.Kind == Reg && e.Temp == vid {
+			if e.Carried {
+				t.Error("straight-line def-use must not be carried")
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing reg dep for v")
+	}
+}
+
+func TestRegDepsAccumulatorColocates(t *testing.T) {
+	b := ir.NewBuilder("t", "i", 0, 8, 1)
+	b.ArrayF("a", make([]float64, 8))
+	acc := b.ScalarF("acc", 0)
+	_ = acc
+	b.LiveOut("acc")
+	b.Def("w", ir.MulE(b.T("acc"), ir.F(0.5))) // carried read before redefinition
+	b.Def("acc", ir.AddE(b.T("acc"), ir.LDF("a", b.Idx())))
+	l := b.MustBuild()
+	fn, err := tac.Lower(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := fiber.Partition(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Analyze(fn, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The w fiber reads acc before its def: must be co-located with the
+	// accumulator's def fiber.
+	var wFiber, accFiber int32 = -1, -1
+	for _, in := range fn.Instrs {
+		if in.Dst != tac.None {
+			switch fn.Temps[in.Dst].Name {
+			case "w":
+				wFiber = in.Fiber
+			case "acc":
+				accFiber = in.Fiber
+			}
+		}
+	}
+	if !hasColocation(info, wFiber, accFiber) {
+		t.Errorf("carried read (fiber %d) not co-located with accumulator def (fiber %d): %v",
+			wFiber, accFiber, info.Colocate)
+	}
+}
+
+func hasColocation(info *Info, a, b int32) bool {
+	// Union-find over the colocation pairs.
+	parent := map[int32]int32{}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		if p, ok := parent[x]; ok && p != x {
+			r := find(p)
+			parent[x] = r
+			return r
+		}
+		if _, ok := parent[x]; !ok {
+			parent[x] = x
+		}
+		return parent[x]
+	}
+	for _, pr := range info.Colocate {
+		ra, rb := find(pr[0]), find(pr[1])
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	return find(a) == find(b)
+}
+
+func TestMultiDefColocates(t *testing.T) {
+	fn, info := analyze(t, func(b *ir.Builder) {
+		i := b.Idx()
+		c := b.Def("c", ir.GtE(ir.LDF("a", i), ir.F(0)))
+		b.If(c, func() {
+			b.Def("v", ir.MulE(ir.LDF("a", i), ir.F(2)))
+		}, func() {
+			b.Def("v", ir.F(0))
+		})
+		b.StoreF("o", i, b.T("v"))
+	})
+	var defFibers []int32
+	vid, _ := fn.TempByName("v")
+	for _, d := range fn.Temps[vid].Defs {
+		defFibers = append(defFibers, fn.Instrs[d].Fiber)
+	}
+	if len(defFibers) != 2 {
+		t.Fatalf("v has %d defs, want 2", len(defFibers))
+	}
+	if !hasColocation(info, defFibers[0], defFibers[1]) {
+		t.Error("multi-def temp's defs not co-located")
+	}
+}
+
+func TestMemDepsCarryDistance(t *testing.T) {
+	fn, info := analyze(t, func(b *ir.Builder) {
+		i := b.Idx()
+		prev := b.Def("prev", ir.LDF("o", ir.SubE(i, ir.I(1))))
+		b.StoreF("o", i, ir.AddE(prev, ir.LDF("a", i)))
+	})
+	_ = fn
+	found := false
+	for _, e := range info.Edges {
+		if e.Kind == Mem && e.Carried {
+			if !e.MemKnown {
+				t.Error("distance should be known for affine sweep")
+			}
+			if e.MemDist != -1 && e.MemDist != 1 {
+				t.Errorf("carried distance = %d, want ±1", e.MemDist)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing carried memory dependence for the sweep")
+	}
+}
+
+func TestMemDepsUnknownIndexBidirectional(t *testing.T) {
+	_, info := analyze(t, func(b *ir.Builder) {
+		i := b.Idx()
+		j := b.Def("j", ir.LDI("idx", i))
+		cur := b.Def("cur", ir.LDF("o", j))
+		b.StoreF("o", j, ir.AddE(cur, ir.F(1)))
+	})
+	sameIter, carriedUnknown := false, false
+	for _, e := range info.Edges {
+		if e.Kind != Mem {
+			continue
+		}
+		if !e.Carried {
+			sameIter = true
+		}
+		if e.Carried && !e.MemKnown {
+			carriedUnknown = true
+		}
+	}
+	if !sameIter || !carriedUnknown {
+		t.Errorf("indirect RMW needs same-iteration and unknown carried deps (got sameIter=%v carriedUnknown=%v)",
+			sameIter, carriedUnknown)
+	}
+}
+
+func TestNoMemDepBetweenLoads(t *testing.T) {
+	_, info := analyze(t, func(b *ir.Builder) {
+		i := b.Idx()
+		b.StoreF("o", i, ir.AddE(ir.LDF("a", i), ir.LDF("a", ir.AddE(i, ir.I(1)))))
+	})
+	for _, e := range info.Edges {
+		if e.Kind == Mem {
+			t.Errorf("loads from a read-only array must not create memory deps: %+v", e)
+		}
+	}
+}
+
+func TestCtlDeps(t *testing.T) {
+	fn, info := analyze(t, func(b *ir.Builder) {
+		i := b.Idx()
+		c := b.Def("c", ir.GtE(ir.LDF("a", i), ir.F(0)))
+		b.If(c, func() {
+			b.Def("v", ir.F(1))
+		}, func() {
+			b.Def("v", ir.F(2))
+		})
+		b.StoreF("o", i, b.T("v"))
+	})
+	cid, _ := fn.TempByName("c")
+	n := 0
+	for _, e := range info.Edges {
+		if e.Kind == Ctl && e.Temp == cid {
+			n++
+		}
+	}
+	if n == 0 {
+		t.Error("missing control dependences from the condition")
+	}
+}
+
+func TestSiblingBranchColocation(t *testing.T) {
+	// v defined in the then-branch, consumed in the else-branch (via the
+	// merged value): the def in THEN and the use in ELSE sit in sibling
+	// regions and must be co-located.
+	fn, info := analyze(t, func(b *ir.Builder) {
+		i := b.Idx()
+		b.Def("v", ir.F(0))
+		c := b.Def("c", ir.GtE(ir.LDF("a", i), ir.F(0)))
+		b.If(c, func() {
+			b.Def("v", ir.F(1))
+		}, func() {
+			b.Def("w", ir.AddE(b.T("v"), ir.F(2)))
+			b.StoreF("o", i, b.T("w"))
+		})
+		b.StoreF("o", ir.AddE(i, ir.I(1)), b.T("v"))
+	})
+	// Find the then-def of v and the else-use.
+	vid, _ := fn.TempByName("v")
+	var thenDef int32 = -1
+	for _, d := range fn.Temps[vid].Defs {
+		if fn.Instrs[d].Region != 0 {
+			thenDef = fn.Instrs[d].Fiber
+		}
+	}
+	var elseUse int32 = -1
+	for _, in := range fn.Instrs {
+		if in.Dst != tac.None && fn.Temps[in.Dst].Name == "w" {
+			elseUse = in.Fiber
+		}
+	}
+	if thenDef < 0 || elseUse < 0 {
+		t.Fatal("test setup failed to find fibers")
+	}
+	if !hasColocation(info, thenDef, elseUse) {
+		t.Error("sibling-branch def/use must be co-located")
+	}
+}
+
+func TestDataDepCountExcludesCtl(t *testing.T) {
+	_, info := analyze(t, func(b *ir.Builder) {
+		i := b.Idx()
+		c := b.Def("c", ir.GtE(ir.LDF("a", i), ir.F(0)))
+		b.If(c, func() {
+			b.Def("v", ir.F(1))
+		}, func() {
+			b.Def("v", ir.F(2))
+		})
+		b.StoreF("o", i, b.T("v"))
+	})
+	total := info.DataDepCount()
+	fe := info.FiberEdges()
+	ctl := 0
+	for _, e := range fe {
+		if e.Kind == Ctl {
+			ctl += e.Count
+		}
+	}
+	if ctl == 0 {
+		t.Error("expected some control edges")
+	}
+	sum := 0
+	for _, e := range fe {
+		if e.Kind != Ctl {
+			sum += e.Count
+		}
+	}
+	if total != sum {
+		t.Errorf("DataDepCount = %d, want %d (non-ctl edges)", total, sum)
+	}
+}

@@ -1,0 +1,142 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section V): Fig 12 (per-kernel speedups on 2 and 4 cores),
+// Table I (kernel inventory), Table II (whole-application expected
+// speedups), Table III (per-kernel compiler statistics), Fig 13 (queue
+// transfer-latency sensitivity), Fig 14 (control-flow speculation), the
+// Section III-B throughput-heuristic ablation, and two extension sweeps
+// (queue length, multi-pair merging).
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"fgp/internal/core"
+	"fgp/internal/kernels"
+	"fgp/internal/sim"
+)
+
+// Runner caches compiled artifacts and sequential baselines across
+// experiments so regenerating the full evaluation stays fast.
+type Runner struct {
+	mu    sync.Mutex
+	arts  map[artKey]*core.Artifact
+	seqCy map[string]int64
+	errs  map[artKey]error
+}
+
+type artKey struct {
+	kernel     string
+	cores      int
+	speculate  bool
+	throughput bool
+	multiPair  bool
+	schedule   bool
+	queueLen   int
+	normalize  int
+}
+
+// NewRunner returns an empty cache.
+func NewRunner() *Runner {
+	return &Runner{
+		arts:  map[artKey]*core.Artifact{},
+		seqCy: map[string]int64{},
+		errs:  map[artKey]error{},
+	}
+}
+
+// Variant selects compiler options for an experiment.
+type Variant struct {
+	Cores      int
+	Speculate  bool
+	Throughput bool
+	MultiPair  bool
+	Schedule   bool
+	// QueueLen overrides the hardware queue length (0 = paper default 20).
+	// It is a compile-time property too: carried-token priming must fit.
+	QueueLen int
+	// NormalizeOps enables the Section III-A tree-splitting pre-pass with
+	// the given statement size bound (0 = off).
+	NormalizeOps int
+}
+
+func (v Variant) options() core.Options {
+	opt := core.DefaultOptions(v.Cores)
+	opt.Speculate = v.Speculate
+	opt.Throughput = v.Throughput
+	opt.MultiPair = v.MultiPair
+	opt.Schedule = v.Schedule
+	opt.NormalizeOps = v.NormalizeOps
+	if v.QueueLen > 0 {
+		cfg := sim.DefaultConfig(v.Cores)
+		cfg.QueueLen = v.QueueLen
+		opt.Machine = &cfg
+	}
+	return opt
+}
+
+// Artifact compiles (or returns the cached artifact for) one kernel
+// variant.
+func (r *Runner) Artifact(k *kernels.Kernel, v Variant) (*core.Artifact, error) {
+	key := artKey{k.Name, v.Cores, v.Speculate, v.Throughput, v.MultiPair, v.Schedule, v.QueueLen, v.NormalizeOps}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if a, ok := r.arts[key]; ok {
+		return a, nil
+	}
+	if err, ok := r.errs[key]; ok {
+		return nil, err
+	}
+	a, err := core.Compile(k.Build(), v.options())
+	if err != nil {
+		err = fmt.Errorf("experiments: %s (%d cores): %w", k.Name, v.Cores, err)
+		r.errs[key] = err
+		return nil, err
+	}
+	r.arts[key] = a
+	return a, nil
+}
+
+// SeqCycles returns the sequential baseline cycle count for a kernel.
+func (r *Runner) SeqCycles(k *kernels.Kernel) (int64, error) {
+	r.mu.Lock()
+	if cy, ok := r.seqCy[k.Name]; ok {
+		r.mu.Unlock()
+		return cy, nil
+	}
+	r.mu.Unlock()
+	a, err := core.CompileSequential(k.Build())
+	if err != nil {
+		return 0, err
+	}
+	res, err := a.RunDefault()
+	if err != nil {
+		return 0, err
+	}
+	r.mu.Lock()
+	r.seqCy[k.Name] = res.Cycles
+	r.mu.Unlock()
+	return res.Cycles, nil
+}
+
+// Speedup runs a kernel variant (optionally overriding the machine config)
+// and returns sequential-cycles / parallel-cycles plus the raw result.
+func (r *Runner) Speedup(k *kernels.Kernel, v Variant, mod func(*sim.Config)) (float64, *sim.Result, *core.Artifact, error) {
+	seq, err := r.SeqCycles(k)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	a, err := r.Artifact(k, v)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	cfg := a.MachineConfig()
+	if mod != nil {
+		mod(&cfg)
+	}
+	res, err := a.Run(cfg)
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("experiments: run %s: %w", k.Name, err)
+	}
+	return float64(seq) / float64(res.Cycles), res, a, nil
+}

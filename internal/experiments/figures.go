@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"fgp/internal/kernels"
+	"fgp/internal/sim"
+)
+
+// Fig12Row is one bar pair of Figure 12: speedup of fine-grained parallel
+// code over sequential code, on 2 and 4 cores.
+type Fig12Row struct {
+	Name         string
+	SeqCycles    int64
+	Speedup2     float64
+	Speedup4     float64
+	PaperSpeedup float64 // Table III's 4-core value
+}
+
+// Fig12 regenerates Figure 12.
+func Fig12(r *Runner) ([]Fig12Row, error) {
+	var rows []Fig12Row
+	for _, k := range kernels.All() {
+		seq, err := r.SeqCycles(k)
+		if err != nil {
+			return nil, err
+		}
+		s2, _, _, err := r.Speedup(k, Variant{Cores: 2}, nil)
+		if err != nil {
+			return nil, err
+		}
+		s4, _, _, err := r.Speedup(k, Variant{Cores: 4}, nil)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig12Row{
+			Name: k.Name, SeqCycles: seq,
+			Speedup2: s2, Speedup4: s4, PaperSpeedup: k.PaperSpeedup,
+		})
+	}
+	return rows, nil
+}
+
+// FormatFig12 renders the figure as a text table.
+func FormatFig12(rows []Fig12Row) string {
+	var sb strings.Builder
+	sb.WriteString("Fig 12: speedup of fine-grained parallel code over sequential code\n")
+	sb.WriteString(fmt.Sprintf("%-10s %12s %8s %8s %10s\n", "kernel", "seq cycles", "2-core", "4-core", "paper(4c)"))
+	var a2, a4, ap float64
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-10s %12d %8.2f %8.2f %10.2f\n", r.Name, r.SeqCycles, r.Speedup2, r.Speedup4, r.PaperSpeedup))
+		a2 += r.Speedup2
+		a4 += r.Speedup4
+		ap += r.PaperSpeedup
+	}
+	n := float64(len(rows))
+	sb.WriteString(fmt.Sprintf("%-10s %12s %8.2f %8.2f %10.2f\n", "average", "", a2/n, a4/n, ap/n))
+	sb.WriteString("paper averages: 2-core 1.32, 4-core 2.05\n")
+	return sb.String()
+}
+
+// Fig13Row is one line of Figure 13: 4-core speedup as the queue transfer
+// latency grows (the paper plots the degradation at 20 and 50 cycles and
+// discusses 100 in the text).
+type Fig13Row struct {
+	Name     string
+	Speedups []float64 // one per latency
+}
+
+// Fig13 regenerates Figure 13 for the given latencies (paper: 5, 20, 50,
+// 100).
+func Fig13(r *Runner, latencies []int64) ([]Fig13Row, error) {
+	var rows []Fig13Row
+	for _, k := range kernels.All() {
+		row := Fig13Row{Name: k.Name}
+		for _, lat := range latencies {
+			lat := lat
+			sp, _, _, err := r.Speedup(k, Variant{Cores: 4}, func(c *sim.Config) { c.TransferLatency = lat })
+			if err != nil {
+				return nil, err
+			}
+			row.Speedups = append(row.Speedups, sp)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatFig13 renders the latency sweep.
+func FormatFig13(rows []Fig13Row, latencies []int64) string {
+	var sb strings.Builder
+	sb.WriteString("Fig 13: 4-core speedup vs queue transfer latency\n")
+	sb.WriteString(fmt.Sprintf("%-10s", "kernel"))
+	for _, l := range latencies {
+		sb.WriteString(fmt.Sprintf(" %7s", fmt.Sprintf("L=%d", l)))
+	}
+	sb.WriteString("\n")
+	avgs := make([]float64, len(latencies))
+	noSpeedup := make([]int, len(latencies))
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-10s", r.Name))
+		for i, s := range r.Speedups {
+			sb.WriteString(fmt.Sprintf(" %7.2f", s))
+			avgs[i] += s / float64(len(rows))
+			if s <= 1.0 {
+				noSpeedup[i]++
+			}
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString(fmt.Sprintf("%-10s", "average"))
+	for _, a := range avgs {
+		sb.WriteString(fmt.Sprintf(" %7.2f", a))
+	}
+	sb.WriteString("\n")
+	sb.WriteString(fmt.Sprintf("%-10s", "no-speedup"))
+	for _, n := range noSpeedup {
+		sb.WriteString(fmt.Sprintf(" %7d", n))
+	}
+	sb.WriteString("\npaper: avg 2.05 / 1.85 / 1.36 / ~1.0; no-speedup counts 1 / 4 / 6 / 16\n")
+	return sb.String()
+}
+
+// Fig14Row is one bar pair of Figure 14: the effect of control-flow
+// speculation on the 4-core speedup.
+type Fig14Row struct {
+	Name          string
+	Base          float64
+	Speculated    float64
+	SpeculatedIfs int
+}
+
+// Fig14 regenerates Figure 14.
+func Fig14(r *Runner) ([]Fig14Row, error) {
+	var rows []Fig14Row
+	for _, k := range kernels.All() {
+		base, _, _, err := r.Speedup(k, Variant{Cores: 4}, nil)
+		if err != nil {
+			return nil, err
+		}
+		spec, _, art, err := r.Speedup(k, Variant{Cores: 4, Speculate: true}, nil)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig14Row{Name: k.Name, Base: base, Speculated: spec, SpeculatedIfs: art.Report.SpeculatedIfs})
+	}
+	return rows, nil
+}
+
+// FormatFig14 renders the speculation comparison.
+func FormatFig14(rows []Fig14Row) string {
+	var sb strings.Builder
+	sb.WriteString("Fig 14: effect of control-flow speculation (4 cores)\n")
+	sb.WriteString(fmt.Sprintf("%-10s %8s %8s %8s %6s\n", "kernel", "base", "spec", "ratio", "#ifs"))
+	var ab, as float64
+	improved := 0
+	for _, r := range rows {
+		ratio := r.Speculated / r.Base
+		sb.WriteString(fmt.Sprintf("%-10s %8.2f %8.2f %8.2f %6d\n", r.Name, r.Base, r.Speculated, ratio, r.SpeculatedIfs))
+		ab += r.Base / float64(len(rows))
+		as += r.Speculated / float64(len(rows))
+		if ratio > 1.02 {
+			improved++
+		}
+	}
+	sb.WriteString(fmt.Sprintf("average %.2f -> %.2f (%d kernels improved)\n", ab, as, improved))
+	sb.WriteString("paper: 8 kernels improved, average 2.05 -> 2.33 (+28% on the improved set)\n")
+	return sb.String()
+}

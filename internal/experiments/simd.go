@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"fgp/internal/cost"
+	"fgp/internal/deps"
+	"fgp/internal/fiber"
+	"fgp/internal/kernels"
+	"fgp/internal/profile"
+	"fgp/internal/tac"
+)
+
+// SIMDRow estimates 4-way SIMD potential per kernel — the complementary
+// fine-grained-parallelism note of Section IV. The paper reports that
+// lammps and sphot are not suitable for SIMD (indirect accesses), while
+// irs-1 gains 1.17x and umt2k-4 gains 1.90x.
+type SIMDRow struct {
+	Name         string
+	Vectorizable bool
+	Reason       string
+	Estimate     float64 // estimated 4-way SIMD speedup (1.0 if not vectorizable)
+}
+
+// SIMD runs the static vectorizability analysis and cost-model estimate.
+func SIMD() ([]SIMDRow, error) {
+	tab := cost.Default()
+	ic := profile.InstrCost(tab, nil)
+	var rows []SIMDRow
+	for _, k := range kernels.All() {
+		l := k.Build()
+		fn, err := tac.Lower(l)
+		if err != nil {
+			return nil, err
+		}
+		set, err := fiber.Partition(fn)
+		if err != nil {
+			return nil, err
+		}
+		info, err := deps.Analyze(fn, set)
+		if err != nil {
+			return nil, err
+		}
+		row := SIMDRow{Name: k.Name, Vectorizable: true}
+
+		// Unit-stride (or invariant) affine accesses only: gathers and
+		// scatters disqualify the loop on in-order SIMD hardware.
+		for _, in := range fn.Instrs {
+			if in.Op != tac.OpLoad && in.Op != tac.OpStore {
+				continue
+			}
+			a := info.Affine[in.A]
+			if !a.OK || (a.A != 0 && a.A != 1) {
+				row.Vectorizable = false
+				row.Reason = fmt.Sprintf("non-unit-stride access to %s", in.Array)
+				break
+			}
+		}
+		// Loop-carried memory dependences serialize the lanes.
+		if row.Vectorizable {
+			for _, e := range info.Edges {
+				if e.Kind == deps.Mem && e.Carried {
+					row.Vectorizable = false
+					row.Reason = "loop-carried memory dependence"
+					break
+				}
+			}
+		}
+		if !row.Vectorizable {
+			row.Estimate = 1.0
+			rows = append(rows, row)
+			continue
+		}
+
+		// Cost-model estimate: vector lanes amortize FP arithmetic by the
+		// vector width. Memory traffic does not shrink — unit-stride vector
+		// loads move the same bytes through the same port, which is what
+		// keeps bandwidth-bound loops like irs-1 near the paper's modest
+		// 1.17x — and neither does scalar bookkeeping (loop control,
+		// integer index math, reduction combines).
+		const width = 4
+		var vec, scalar int64
+		for _, in := range fn.Instrs {
+			c := ic(in)
+			switch in.Op {
+			case tac.OpBin, tac.OpUn:
+				if in.K == 0 { // ir.F64
+					vec += c
+				} else {
+					scalar += c
+				}
+			default:
+				scalar += c
+			}
+		}
+		overhead := int64(4) // per-iteration vector setup/select cost
+		total := vec + scalar
+		simd := vec/width + scalar + overhead
+		if simd < 1 {
+			simd = 1
+		}
+		row.Estimate = float64(total) / float64(simd)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatSIMD renders the estimate table.
+func FormatSIMD(rows []SIMDRow) string {
+	var sb strings.Builder
+	sb.WriteString("Sec IV note: 4-way SIMD suitability and cost-model estimate\n")
+	sb.WriteString(fmt.Sprintf("%-10s %-12s %9s  %s\n", "kernel", "suitable", "est(4w)", "why not"))
+	for _, r := range rows {
+		suit := "yes"
+		if !r.Vectorizable {
+			suit = "no"
+		}
+		sb.WriteString(fmt.Sprintf("%-10s %-12s %9.2f  %s\n", r.Name, suit, r.Estimate, r.Reason))
+	}
+	sb.WriteString("paper: lammps and sphot unsuitable; irs-1 1.17x, umt2k-4 1.90x with 4-way SIMD\n")
+	return sb.String()
+}

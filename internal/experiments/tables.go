@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"fgp/internal/kernels"
+)
+
+// Table1Row is one row of Table I: the kernel inventory with the fraction
+// of whole-application time each loop accounts for.
+type Table1Row struct {
+	Name    string
+	App     string
+	PctTime float64
+}
+
+// Table1 reproduces Table I from the kernel metadata.
+func Table1() []Table1Row {
+	var rows []Table1Row
+	for _, k := range kernels.All() {
+		rows = append(rows, Table1Row{k.Name, k.App, k.PctTime})
+	}
+	return rows
+}
+
+// FormatTable1 renders the inventory.
+func FormatTable1(rows []Table1Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table I: kernel loops and % of application time\n")
+	sb.WriteString(fmt.Sprintf("%-10s %-8s %7s\n", "kernel", "app", "%time"))
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-10s %-8s %7.1f\n", r.Name, r.App, r.PctTime))
+	}
+	return sb.String()
+}
+
+// Table2Row is one row of Table II: expected whole-application speedup,
+// combining per-kernel speedups with Table I coverage via Amdahl's law.
+type Table2Row struct {
+	App             string
+	Coverage        float64 // fraction of app time in the kernels
+	Speedup2        float64
+	Speedup4        float64
+	Paper2, Paper4  float64
+	KernelSpeedups2 map[string]float64
+	KernelSpeedups4 map[string]float64
+}
+
+var paperTable2 = map[string][2]float64{
+	"lammps": {1.05, 1.70},
+	"irs":    {1.24, 1.79},
+	"umt2k":  {1.16, 1.51},
+	"sphot":  {1.25, 1.92},
+}
+
+// Table2 regenerates Table II from the Fig 12 per-kernel data.
+func Table2(r *Runner) ([]Table2Row, error) {
+	fig12, err := Fig12(r)
+	if err != nil {
+		return nil, err
+	}
+	byName := map[string]Fig12Row{}
+	for _, row := range fig12 {
+		byName[row.Name] = row
+	}
+	var rows []Table2Row
+	for _, app := range kernels.Apps() {
+		row := Table2Row{
+			App:             app,
+			KernelSpeedups2: map[string]float64{},
+			KernelSpeedups4: map[string]float64{},
+			Paper2:          paperTable2[app][0],
+			Paper4:          paperTable2[app][1],
+		}
+		rem2, rem4 := 0.0, 0.0 // accelerated time remaining, as app-time fraction
+		for _, k := range kernels.ByApp(app) {
+			p := k.PctTime / 100
+			f := byName[k.Name]
+			row.Coverage += p
+			rem2 += p / f.Speedup2
+			rem4 += p / f.Speedup4
+			row.KernelSpeedups2[k.Name] = f.Speedup2
+			row.KernelSpeedups4[k.Name] = f.Speedup4
+		}
+		serial := 1 - row.Coverage
+		row.Speedup2 = 1 / (serial + rem2)
+		row.Speedup4 = 1 / (serial + rem4)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable2 renders the application-level speedups.
+func FormatTable2(rows []Table2Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table II: expected whole-application speedups\n")
+	sb.WriteString(fmt.Sprintf("%-8s %9s %8s %8s %9s %9s\n", "app", "coverage", "2-core", "4-core", "paper 2c", "paper 4c"))
+	var a2, a4, p2, p4 float64
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-8s %8.0f%% %8.2f %8.2f %9.2f %9.2f\n",
+			r.App, r.Coverage*100, r.Speedup2, r.Speedup4, r.Paper2, r.Paper4))
+		a2 += r.Speedup2 / float64(len(rows))
+		a4 += r.Speedup4 / float64(len(rows))
+		p2 += r.Paper2 / float64(len(rows))
+		p4 += r.Paper4 / float64(len(rows))
+	}
+	sb.WriteString(fmt.Sprintf("%-8s %9s %8.2f %8.2f %9.2f %9.2f\n", "average", "", a2, a4, p2, p4))
+	return sb.String()
+}
+
+// Table3Row is one row of Table III: per-kernel compiler statistics for the
+// 4-core configuration, alongside the paper's published values.
+type Table3Row struct {
+	Name    string
+	Fibers  int
+	Deps    int
+	Balance float64
+	CommOps int
+	Queues  int // (sender,receiver) pairs actually used at runtime
+	Speedup float64
+
+	PaperFibers  int
+	PaperDeps    int
+	PaperBalance float64
+	PaperCommOps int
+	PaperQueues  int
+	PaperSpeedup float64
+}
+
+// Table3 regenerates Table III.
+func Table3(r *Runner) ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, k := range kernels.All() {
+		sp, res, a, err := r.Speedup(k, Variant{Cores: 4}, nil)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table3Row{
+			Name:    k.Name,
+			Fibers:  a.Report.InitialFibers,
+			Deps:    a.Report.DataDeps,
+			Balance: a.Report.LoadBalance,
+			CommOps: a.Report.CommOps,
+			Queues:  res.PairsUsed,
+			Speedup: sp,
+
+			PaperFibers:  k.PaperFibers,
+			PaperDeps:    k.PaperDeps,
+			PaperBalance: k.PaperBalance,
+			PaperCommOps: k.PaperCommOps,
+			PaperQueues:  k.PaperQueues,
+			PaperSpeedup: k.PaperSpeedup,
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable3 renders the per-kernel statistics, ours against the paper's.
+func FormatTable3(rows []Table3Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table III: per-kernel statistics at 4 cores (ours / paper)\n")
+	sb.WriteString(fmt.Sprintf("%-10s %11s %11s %13s %9s %7s %13s\n",
+		"kernel", "fibers", "deps", "balance", "comm", "queues", "speedup"))
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-10s %4d /%4d  %4d /%4d  %5.2f /%5.1f  %3d /%3d %3d /%2d  %5.2f /%5.2f\n",
+			r.Name, r.Fibers, r.PaperFibers, r.Deps, r.PaperDeps,
+			r.Balance, r.PaperBalance, r.CommOps, r.PaperCommOps,
+			r.Queues, r.PaperQueues, r.Speedup, r.PaperSpeedup))
+	}
+	return sb.String()
+}

@@ -1,0 +1,191 @@
+// Package fiber implements the paper's fiber-partitioning algorithm
+// (Section III-A). A fiber is a sequence of instructions without control
+// flow or memory-carried dependences among them; fibers are found by a
+// post-order traversal of each statement's expression tree:
+//
+//   - all children of the current node are unassigned: start a new fiber
+//     for the current node;
+//   - all assigned children belong to the same fiber: continue that fiber;
+//   - children belong to more than one fiber: start a new fiber.
+//
+// Leaf nodes (memory loads, literals, references to temporaries defined by
+// other statements) remain unassigned during the traversal; afterwards each
+// load/literal instruction joins the fiber of its consumer, since loads are
+// issued locally by whichever core needs the value.
+package fiber
+
+import (
+	"fmt"
+
+	"fgp/internal/tac"
+)
+
+// Fiber is a group of TAC instructions that will never be split across
+// cores.
+type Fiber struct {
+	ID     int
+	Stmt   int // statement ordinal of the owning statement
+	Region int
+	Line   int // pseudo source line (proximity heuristic)
+	Instrs []int
+}
+
+// Set is the result of partitioning: every instruction belongs to exactly
+// one fiber (instr.Fiber is filled in).
+type Set struct {
+	Fn     *tac.Fn
+	Fibers []*Fiber
+}
+
+// Partition splits all instructions of fn into fibers and annotates
+// instr.Fiber.
+func Partition(fn *tac.Fn) (*Set, error) {
+	s := &Set{Fn: fn}
+
+	// Group instructions by statement ordinal. Lowering emits each
+	// statement's tree contiguously in post-order, which is exactly the
+	// traversal order the algorithm needs.
+	groups := map[int][]*tac.Instr{}
+	order := []int{}
+	for _, in := range fn.Instrs {
+		if _, ok := groups[in.Stmt]; !ok {
+			order = append(order, in.Stmt)
+		}
+		groups[in.Stmt] = append(groups[in.Stmt], in)
+	}
+
+	for _, stmt := range order {
+		if err := s.partitionStmt(groups[stmt]); err != nil {
+			return nil, fmt.Errorf("fiber: stmt %d: %w", stmt, err)
+		}
+	}
+
+	// Verify the postcondition: every instruction assigned.
+	for _, in := range fn.Instrs {
+		if in.Fiber < 0 {
+			return nil, fmt.Errorf("fiber: instr %d (%s) left unassigned", in.ID, fn.InstrString(in))
+		}
+	}
+	return s, nil
+}
+
+func (s *Set) newFiber(in *tac.Instr) *Fiber {
+	f := &Fiber{ID: len(s.Fibers), Stmt: in.Stmt, Region: in.Region, Line: in.Line}
+	s.Fibers = append(s.Fibers, f)
+	return f
+}
+
+func (s *Set) assign(in *tac.Instr, f *Fiber) {
+	in.Fiber = int32(f.ID)
+	f.Instrs = append(f.Instrs, in.ID)
+}
+
+func (s *Set) partitionStmt(group []*tac.Instr) error {
+	fn := s.Fn
+	// Map from temp -> defining instruction within this statement.
+	defs := map[tac.TempID]*tac.Instr{}
+	// Only generated temps participate in tree edges: a use of a named temp
+	// is a leaf reference to another statement's value (or, for "sum =
+	// sum + x", to the previous iteration's value), never an edge to the
+	// root of the current tree.
+	for _, in := range group {
+		if in.Dst != tac.None && !fn.Temps[in.Dst].Named {
+			defs[in.Dst] = in
+		}
+	}
+
+	isInternal := func(in *tac.Instr) bool {
+		switch in.Op {
+		case tac.OpBin, tac.OpUn, tac.OpMov, tac.OpStore:
+			return true
+		}
+		return false
+	}
+
+	// internalChildren returns the internal-node children of in, looking
+	// through leaf loads: the compute chain of a load's index feeds the
+	// load's consumer for partitioning purposes.
+	var internalChildren func(in *tac.Instr) []*tac.Instr
+	internalChildren = func(in *tac.Instr) []*tac.Instr {
+		var kids []*tac.Instr
+		var uses []tac.TempID
+		uses = in.Uses(uses)
+		for _, u := range uses {
+			d, ok := defs[u]
+			if !ok || d == in {
+				continue // leaf reference: named temp from another statement
+			}
+			if isInternal(d) {
+				kids = append(kids, d)
+			} else {
+				// Load or literal: look through it at its own children.
+				kids = append(kids, internalChildren(d)...)
+			}
+		}
+		return kids
+	}
+
+	// Post-order pass over internal nodes (program order is post-order).
+	for _, in := range group {
+		if !isInternal(in) {
+			continue
+		}
+		kids := internalChildren(in)
+		fibers := map[int32]bool{}
+		for _, k := range kids {
+			if k.Fiber >= 0 {
+				fibers[k.Fiber] = true
+			}
+		}
+		switch len(fibers) {
+		case 0:
+			s.assign(in, s.newFiber(in))
+		case 1:
+			for fid := range fibers {
+				s.assign(in, s.Fibers[fid])
+			}
+		default:
+			s.assign(in, s.newFiber(in))
+		}
+	}
+
+	// Leaf post-pass: loads and literals join their consumer's fiber. Walk
+	// in reverse program order so that chained loads (a[b[i]]) see their
+	// consumer already assigned.
+	consumer := map[tac.TempID]*tac.Instr{}
+	for _, in := range group {
+		var uses []tac.TempID
+		uses = in.Uses(uses)
+		for _, u := range uses {
+			if d, ok := defs[u]; ok && d != in {
+				consumer[u] = in
+			}
+		}
+	}
+	for i := len(group) - 1; i >= 0; i-- {
+		in := group[i]
+		if in.Fiber >= 0 {
+			continue
+		}
+		if c, ok := consumer[in.Dst]; ok && c.Fiber >= 0 {
+			s.assign(in, s.Fibers[c.Fiber])
+			continue
+		}
+		// Root leaf (e.g. "t = a[i]" or "t = 5" as a whole statement):
+		// it needs its own fiber.
+		s.assign(in, s.newFiber(in))
+	}
+	return nil
+}
+
+// ComputeOps returns the number of compute operations in the fiber, the
+// quantity the paper's load-balance metric counts.
+func (s *Set) ComputeOps(f *Fiber) int {
+	n := 0
+	for _, id := range f.Instrs {
+		if s.Fn.Instrs[id].IsCompute() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,215 @@
+package fiber
+
+import (
+	"testing"
+
+	"fgp/internal/ir"
+	"fgp/internal/tac"
+)
+
+func partition(t *testing.T, build func(b *ir.Builder)) (*tac.Fn, *Set) {
+	t.Helper()
+	b := ir.NewBuilder("t", "i", 0, 8, 1)
+	b.ArrayF("a", make([]float64, 32))
+	b.ArrayF("o", make([]float64, 32))
+	b.ArrayI("p", make([]int64, 32))
+	build(b)
+	l := b.MustBuild()
+	fn, err := tac.Lower(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := Partition(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fn, set
+}
+
+// TestFig4Example reproduces the paper's Figure 4: the expression
+// (p2 % 7) + a[...] * (p1 % 13) must partition into exactly three fibers:
+// one for C = (p2 % 7), one continued through D = (p1 % 13) and B = mul
+// (the load is a leaf joining B), and a new one for the root add A.
+func TestFig4Example(t *testing.T) {
+	fn, _ := partition(t, func(b *ir.Builder) {
+		i := b.Idx()
+		p1 := b.Def("p1", ir.LDI("p", i))
+		p2 := b.Def("p2", ir.LDI("p", ir.AddE(i, ir.I(1))))
+		b.Def("r", ir.AddE(ir.IToF(ir.RemE(p2, ir.I(7))),
+			ir.MulE(ir.LDF("a", i), ir.IToF(ir.RemE(p1, ir.I(13))))))
+		b.StoreF("o", i, b.T("r"))
+	})
+
+	// Find the fibers of the statement defining r (the Fig 4 tree).
+	var stmt = -1
+	for _, in := range fn.Instrs {
+		if in.Dst != tac.None && fn.Temps[in.Dst].Name == "r" {
+			stmt = in.Stmt
+		}
+	}
+	if stmt < 0 {
+		t.Fatal("could not locate the r statement")
+	}
+	fibers := map[int32]bool{}
+	for _, in := range fn.Instrs {
+		if in.Stmt == stmt {
+			fibers[in.Fiber] = true
+		}
+	}
+	// Paper: three fibers — (p2%7 chain), (p1%13 chain continued by the
+	// multiply), and the root add.
+	if len(fibers) != 3 {
+		t.Errorf("Fig 4 example produced %d fibers, want 3\n%s", len(fibers), fn.Dump())
+	}
+}
+
+func TestEveryInstrAssigned(t *testing.T) {
+	fn, _ := partition(t, func(b *ir.Builder) {
+		i := b.Idx()
+		c := b.Def("c", ir.GtE(ir.LDF("a", i), ir.F(0)))
+		b.If(c, func() {
+			b.Def("v", ir.MulE(ir.LDF("a", i), ir.F(2)))
+		}, func() {
+			b.Def("v", ir.F(0))
+		})
+		b.StoreF("o", i, b.T("v"))
+	})
+	for _, in := range fn.Instrs {
+		if in.Fiber < 0 {
+			t.Fatalf("instr %d unassigned", in.ID)
+		}
+	}
+}
+
+func TestLeafLoadJoinsConsumer(t *testing.T) {
+	fn, _ := partition(t, func(b *ir.Builder) {
+		i := b.Idx()
+		b.StoreF("o", i, ir.MulE(ir.LDF("a", i), ir.F(2)))
+	})
+	// The load, the const, the mul and the store must all share one fiber.
+	fibers := map[int32]bool{}
+	for _, in := range fn.Instrs {
+		fibers[in.Fiber] = true
+	}
+	if len(fibers) != 1 {
+		t.Errorf("single-chain statement split into %d fibers\n%s", len(fibers), fn.Dump())
+	}
+}
+
+func TestIndependentSubtreesSplit(t *testing.T) {
+	// (a[i]*a[i]) + (a[i+1]*a[i+1]): the two products are independent
+	// subtrees and must land in different fibers; the root add starts a
+	// third. The i+1 index computations are internal nodes of their own
+	// (two more fibers), giving five in total.
+	fn, _ := partition(t, func(b *ir.Builder) {
+		i := b.Idx()
+		l := ir.MulE(ir.LDF("a", i), ir.LDF("a", i))
+		r := ir.MulE(ir.LDF("a", ir.AddE(i, ir.I(1))), ir.LDF("a", ir.AddE(i, ir.I(1))))
+		b.StoreF("o", i, ir.AddE(l, r))
+	})
+	fibers := map[int32]bool{}
+	var mulFibers []int32
+	var rootFiber int32 = -1
+	for _, in := range fn.Instrs {
+		fibers[in.Fiber] = true
+		if in.Op == tac.OpBin {
+			switch in.BinOp {
+			case ir.Mul:
+				mulFibers = append(mulFibers, in.Fiber)
+			case ir.Add:
+				if in.K == ir.F64 {
+					rootFiber = in.Fiber
+				}
+			}
+		}
+	}
+	if len(fibers) != 5 {
+		t.Errorf("got %d fibers, want 5\n%s", len(fibers), fn.Dump())
+	}
+	if len(mulFibers) != 2 || mulFibers[0] == mulFibers[1] {
+		t.Errorf("the two products must be in distinct fibers: %v", mulFibers)
+	}
+	for _, mf := range mulFibers {
+		if mf == rootFiber {
+			t.Error("root add must start its own fiber (children in two fibers)")
+		}
+	}
+}
+
+func TestChainContinuesSingleFiber(t *testing.T) {
+	// ((a+1)*2-3)/4: a pure chain stays one fiber.
+	fn, _ := partition(t, func(b *ir.Builder) {
+		i := b.Idx()
+		e := ir.DivE(ir.SubE(ir.MulE(ir.AddE(ir.LDF("a", i), ir.F(1)), ir.F(2)), ir.F(3)), ir.F(4))
+		b.StoreF("o", i, e)
+	})
+	fibers := map[int32]bool{}
+	for _, in := range fn.Instrs {
+		fibers[in.Fiber] = true
+	}
+	if len(fibers) != 1 {
+		t.Errorf("chain split into %d fibers\n%s", len(fibers), fn.Dump())
+	}
+}
+
+func TestNamedTempIsLeafBoundary(t *testing.T) {
+	// x = a[i]*2; y = x + 3: the use of x in the second statement is a
+	// leaf live-in, so y's statement starts its own fiber.
+	fn, _ := partition(t, func(b *ir.Builder) {
+		i := b.Idx()
+		b.Def("x", ir.MulE(ir.LDF("a", i), ir.F(2)))
+		b.Def("y", ir.AddE(b.T("x"), ir.F(3)))
+		b.StoreF("o", i, b.T("y"))
+	})
+	xf, yf := int32(-1), int32(-1)
+	for _, in := range fn.Instrs {
+		if in.Dst != tac.None {
+			switch fn.Temps[in.Dst].Name {
+			case "x":
+				xf = in.Fiber
+			case "y":
+				yf = in.Fiber
+			}
+		}
+	}
+	if xf < 0 || yf < 0 || xf == yf {
+		t.Errorf("x fiber %d, y fiber %d; want distinct fibers", xf, yf)
+	}
+}
+
+func TestFiberMetadata(t *testing.T) {
+	fn, set := partition(t, func(b *ir.Builder) {
+		i := b.Idx()
+		b.StoreF("o", i, ir.AddE(ir.MulE(ir.LDF("a", i), ir.F(2)), ir.SqrtE(ir.LDF("a", ir.AddE(i, ir.I(1))))))
+	})
+	total := 0
+	for _, f := range set.Fibers {
+		total += len(f.Instrs)
+		for _, id := range f.Instrs {
+			if fn.Instrs[id].Fiber != int32(f.ID) {
+				t.Fatalf("instr %d fiber mismatch", id)
+			}
+		}
+		if set.ComputeOps(f) < 0 {
+			t.Fatal("negative compute ops")
+		}
+	}
+	if total != len(fn.Instrs) {
+		t.Errorf("fibers cover %d instrs, function has %d", total, len(fn.Instrs))
+	}
+}
+
+func TestLoneLoadStatement(t *testing.T) {
+	// v = a[i] as a whole statement: the load is the root leaf and gets its
+	// own fiber.
+	fn, _ := partition(t, func(b *ir.Builder) {
+		i := b.Idx()
+		b.Def("v", ir.LDF("a", i))
+		b.StoreF("o", i, b.T("v"))
+	})
+	for _, in := range fn.Instrs {
+		if in.Fiber < 0 {
+			t.Fatalf("instr %d unassigned\n%s", in.ID, fn.Dump())
+		}
+	}
+}

@@ -1,0 +1,324 @@
+package interp
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"fgp/internal/ir"
+)
+
+func TestEvalBinF64(t *testing.T) {
+	cases := []struct {
+		op   ir.BinOp
+		l, r float64
+		want float64
+	}{
+		{ir.Add, 1.5, 2.25, 3.75},
+		{ir.Sub, 1.5, 2.25, -0.75},
+		{ir.Mul, 3, 4, 12},
+		{ir.Div, 7, 2, 3.5},
+		{ir.Min, 3, -2, -2},
+		{ir.Max, 3, -2, 3},
+	}
+	for _, c := range cases {
+		got, err := EvalBin(c.op, VF(c.l), VF(c.r))
+		if err != nil {
+			t.Fatalf("%s: %v", c.op, err)
+		}
+		if got.F != c.want || got.K != ir.F64 {
+			t.Errorf("%s(%g,%g) = %v, want %g", c.op, c.l, c.r, got, c.want)
+		}
+	}
+}
+
+func TestEvalBinF64Compare(t *testing.T) {
+	cases := []struct {
+		op   ir.BinOp
+		l, r float64
+		want int64
+	}{
+		{ir.Eq, 1, 1, 1}, {ir.Eq, 1, 2, 0},
+		{ir.Ne, 1, 2, 1}, {ir.Ne, 2, 2, 0},
+		{ir.Lt, 1, 2, 1}, {ir.Lt, 2, 1, 0},
+		{ir.Le, 2, 2, 1}, {ir.Le, 3, 2, 0},
+		{ir.Gt, 3, 2, 1}, {ir.Gt, 2, 3, 0},
+		{ir.Ge, 2, 2, 1}, {ir.Ge, 1, 2, 0},
+	}
+	for _, c := range cases {
+		got, err := EvalBin(c.op, VF(c.l), VF(c.r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.I != c.want || got.K != ir.I64 {
+			t.Errorf("%s(%g,%g) = %v, want %d", c.op, c.l, c.r, got, c.want)
+		}
+	}
+}
+
+func TestEvalBinI64(t *testing.T) {
+	cases := []struct {
+		op   ir.BinOp
+		l, r int64
+		want int64
+	}{
+		{ir.Add, 3, 4, 7},
+		{ir.Sub, 3, 4, -1},
+		{ir.Mul, 3, 4, 12},
+		{ir.Div, 7, 2, 3},
+		{ir.Div, -7, 2, -3},
+		{ir.Rem, 7, 3, 1},
+		{ir.Rem, -7, 3, -1},
+		{ir.Min, 3, -2, -2},
+		{ir.Max, 3, -2, 3},
+		{ir.And, 0b1100, 0b1010, 0b1000},
+		{ir.Or, 0b1100, 0b1010, 0b1110},
+		{ir.Xor, 0b1100, 0b1010, 0b0110},
+		{ir.Shl, 1, 4, 16},
+		{ir.Shr, 16, 3, 2},
+		{ir.Lt, -1, 0, 1},
+		{ir.Ge, 0, 0, 1},
+	}
+	for _, c := range cases {
+		got, err := EvalBin(c.op, VI(c.l), VI(c.r))
+		if err != nil {
+			t.Fatalf("%s: %v", c.op, err)
+		}
+		if got.I != c.want {
+			t.Errorf("%s(%d,%d) = %d, want %d", c.op, c.l, c.r, got.I, c.want)
+		}
+	}
+}
+
+func TestEvalBinIntDivZero(t *testing.T) {
+	if _, err := EvalBin(ir.Div, VI(1), VI(0)); err == nil {
+		t.Error("int division by zero should error")
+	}
+	if _, err := EvalBin(ir.Rem, VI(1), VI(0)); err == nil {
+		t.Error("int remainder by zero should error")
+	}
+	// FP division by zero is IEEE infinity, not an error.
+	v, err := EvalBin(ir.Div, VF(1), VF(0))
+	if err != nil || !math.IsInf(v.F, 1) {
+		t.Errorf("fp 1/0 = %v, %v; want +Inf", v, err)
+	}
+}
+
+func TestEvalBinShiftMasksCount(t *testing.T) {
+	// Shift counts are masked to 6 bits, like hardware.
+	v, err := EvalBin(ir.Shl, VI(1), VI(64))
+	if err != nil || v.I != 1 {
+		t.Errorf("1 << 64 (masked) = %v, want 1", v)
+	}
+}
+
+func TestEvalUn(t *testing.T) {
+	check := func(op ir.UnOp, in Value, want Value) {
+		t.Helper()
+		got, err := EvalUn(op, in)
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		if got != want {
+			t.Errorf("%s(%v) = %v, want %v", op, in, got, want)
+		}
+	}
+	check(ir.Neg, VF(1.5), VF(-1.5))
+	check(ir.Neg, VI(3), VI(-3))
+	check(ir.Not, VI(0), VI(1))
+	check(ir.Not, VI(7), VI(0))
+	check(ir.Sqrt, VF(9), VF(3))
+	check(ir.Abs, VF(-2), VF(2))
+	check(ir.Abs, VI(-2), VI(2))
+	check(ir.Floor, VF(2.7), VF(2))
+	check(ir.CvtIF, VI(3), VF(3))
+	check(ir.CvtFI, VF(3.9), VI(3))
+	check(ir.CvtFI, VF(-3.9), VI(-3))
+	v, _ := EvalUn(ir.Exp, VF(0))
+	if v.F != 1 {
+		t.Errorf("exp(0) = %v, want 1", v.F)
+	}
+	v, _ = EvalUn(ir.Log, VF(1))
+	if v.F != 0 {
+		t.Errorf("log(1) = %v, want 0", v.F)
+	}
+}
+
+func TestRunSimpleLoop(t *testing.T) {
+	b := ir.NewBuilder("axpy", "i", 0, 16, 1)
+	xs := make([]float64, 16)
+	ys := make([]float64, 16)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = float64(i) * 0.5
+	}
+	b.ArrayF("x", xs)
+	b.ArrayF("y", ys)
+	b.ArrayF("o", make([]float64, 16))
+	alpha := b.ScalarF("alpha", 2)
+	i := b.Idx()
+	b.StoreF("o", i, ir.AddE(ir.MulE(alpha, ir.LDF("x", i)), ir.LDF("y", i)))
+	l := b.MustBuild()
+
+	res, err := Run(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		want := 2*float64(i) + float64(i)*0.5
+		if res.ArraysF["o"][i] != want {
+			t.Fatalf("o[%d] = %g, want %g", i, res.ArraysF["o"][i], want)
+		}
+	}
+	if res.OpCount != 16*2 {
+		t.Errorf("OpCount = %d, want 32", res.OpCount)
+	}
+}
+
+func TestRunReduction(t *testing.T) {
+	b := ir.NewBuilder("sum", "i", 0, 10, 1)
+	xs := make([]float64, 10)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	b.ArrayF("x", xs)
+	acc := b.ScalarF("acc", 0)
+	_ = acc
+	b.LiveOut("acc")
+	b.Def("acc", ir.AddE(b.T("acc"), ir.LDF("x", b.Idx())))
+	l := b.MustBuild()
+	res, err := Run(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Temps["acc"].F != 55 {
+		t.Errorf("acc = %g, want 55", res.Temps["acc"].F)
+	}
+}
+
+func TestRunConditional(t *testing.T) {
+	b := ir.NewBuilder("clamp", "i", 0, 8, 1)
+	xs := []float64{-3, -1, 0, 1, 2, 3, 4, 5}
+	b.ArrayF("x", xs)
+	b.ArrayF("o", make([]float64, 8))
+	i := b.Idx()
+	c := b.Def("c", ir.LtE(ir.LDF("x", i), ir.F(0)))
+	b.If(c, func() {
+		b.Def("v", ir.F(0))
+	}, func() {
+		b.Def("v", ir.LDF("x", i))
+	})
+	b.StoreF("o", i, b.T("v"))
+	l := b.MustBuild()
+	res, err := Run(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range xs {
+		want := math.Max(x, 0)
+		if res.ArraysF["o"][i] != want {
+			t.Errorf("o[%d] = %g, want %g", i, res.ArraysF["o"][i], want)
+		}
+	}
+}
+
+func TestRunOutOfBounds(t *testing.T) {
+	b := ir.NewBuilder("oob", "i", 0, 8, 1)
+	b.ArrayF("x", make([]float64, 4)) // shorter than the trip count
+	b.ArrayF("o", make([]float64, 8))
+	b.StoreF("o", b.Idx(), ir.LDF("x", b.Idx()))
+	l := b.MustBuild()
+	_, err := Run(l)
+	if err == nil || !strings.Contains(err.Error(), "out of bounds") {
+		t.Errorf("expected out-of-bounds error, got %v", err)
+	}
+}
+
+func TestRunStoreOutOfBounds(t *testing.T) {
+	b := ir.NewBuilder("oob", "i", 0, 8, 1)
+	b.ArrayF("o", make([]float64, 4))
+	b.StoreF("o", b.Idx(), ir.F(1))
+	l := b.MustBuild()
+	if _, err := Run(l); err == nil {
+		t.Error("expected store out-of-bounds error")
+	}
+}
+
+func TestRunDoesNotMutateInit(t *testing.T) {
+	b := ir.NewBuilder("m", "i", 0, 4, 1)
+	b.ArrayF("a", []float64{1, 2, 3, 4})
+	b.StoreF("a", b.Idx(), ir.F(0))
+	l := b.MustBuild()
+	if _, err := Run(l); err != nil {
+		t.Fatal(err)
+	}
+	if l.Arrays[0].InitF[0] != 1 {
+		t.Error("Run mutated the loop's declared init data")
+	}
+}
+
+// Property: integer min/max agree with the obvious definitions for all
+// inputs.
+func TestQuickMinMax(t *testing.T) {
+	f := func(a, b int64) bool {
+		mn, err1 := EvalBin(ir.Min, VI(a), VI(b))
+		mx, err2 := EvalBin(ir.Max, VI(a), VI(b))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		wantMin, wantMax := a, b
+		if b < a {
+			wantMin = b
+		}
+		if b > a {
+			wantMax = b
+		}
+		if a > b {
+			wantMax = a
+		}
+		return mn.I == wantMin && mx.I == wantMax
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: comparisons are mutually consistent (exactly one of <, ==, >
+// holds; <= is < or ==).
+func TestQuickCompareConsistency(t *testing.T) {
+	f := func(a, b int64) bool {
+		lt, _ := EvalBin(ir.Lt, VI(a), VI(b))
+		eq, _ := EvalBin(ir.Eq, VI(a), VI(b))
+		gt, _ := EvalBin(ir.Gt, VI(a), VI(b))
+		le, _ := EvalBin(ir.Le, VI(a), VI(b))
+		ge, _ := EvalBin(ir.Ge, VI(a), VI(b))
+		ne, _ := EvalBin(ir.Ne, VI(a), VI(b))
+		if lt.I+eq.I+gt.I != 1 {
+			return false
+		}
+		if le.I != lt.I|eq.I || ge.I != gt.I|eq.I || ne.I != 1-eq.I {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: float negate and abs round-trip.
+func TestQuickNegAbs(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) {
+			return true
+		}
+		n, _ := EvalUn(ir.Neg, VF(x))
+		nn, _ := EvalUn(ir.Neg, n)
+		a, _ := EvalUn(ir.Abs, VF(x))
+		return nn.F == x && a.F == math.Abs(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

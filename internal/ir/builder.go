@@ -1,0 +1,166 @@
+package ir
+
+import "fmt"
+
+// Builder assembles a Loop with automatically assigned pseudo source line
+// numbers and tracked temporary kinds. Kernels and examples use it to keep
+// loop definitions short and mistake-resistant.
+type Builder struct {
+	loop  *Loop
+	line  int
+	kinds map[string]Kind
+	stack [][]Stmt // statement sinks; top of stack receives appends
+	errs  []string
+	fresh int
+}
+
+// NewBuilder starts a loop named name with induction variable index running
+// start..end (exclusive) with the given step.
+func NewBuilder(name, index string, start, end, step int64) *Builder {
+	b := &Builder{
+		loop: &Loop{
+			Name:  name,
+			Index: index,
+			Start: start,
+			End:   end,
+			Step:  step,
+		},
+		kinds: map[string]Kind{index: I64},
+		line:  1,
+	}
+	b.stack = [][]Stmt{nil}
+	return b
+}
+
+// Idx returns an expression referencing the induction variable.
+func (b *Builder) Idx() Expr { return Temp{b.loop.Index, I64} }
+
+// ArrayF declares an F64 array with the given initial contents.
+func (b *Builder) ArrayF(name string, init []float64) {
+	b.loop.Arrays = append(b.loop.Arrays, &ArrayDecl{Name: name, K: F64, InitF: init})
+}
+
+// ArrayI declares an I64 array with the given initial contents.
+func (b *Builder) ArrayI(name string, init []int64) {
+	b.loop.Arrays = append(b.loop.Arrays, &ArrayDecl{Name: name, K: I64, InitI: init})
+}
+
+// ScalarF declares an F64 region parameter.
+func (b *Builder) ScalarF(name string, v float64) Expr {
+	b.loop.Scalars = append(b.loop.Scalars, ScalarDecl{Name: name, K: F64, F: v})
+	b.kinds[name] = F64
+	return Temp{name, F64}
+}
+
+// ScalarI declares an I64 region parameter.
+func (b *Builder) ScalarI(name string, v int64) Expr {
+	b.loop.Scalars = append(b.loop.Scalars, ScalarDecl{Name: name, K: I64, I: v})
+	b.kinds[name] = I64
+	return Temp{name, I64}
+}
+
+// LiveOut marks temporaries as live after the region.
+func (b *Builder) LiveOut(names ...string) {
+	b.loop.LiveOut = append(b.loop.LiveOut, names...)
+}
+
+func (b *Builder) emit(s Stmt) {
+	b.stack[len(b.stack)-1] = append(b.stack[len(b.stack)-1], s)
+}
+
+func (b *Builder) nextLine() int {
+	l := b.line
+	b.line++
+	return l
+}
+
+// Def assigns expr to the named temporary, recording its kind, and returns a
+// reference to it.
+func (b *Builder) Def(name string, x Expr) Expr {
+	if k, ok := b.kinds[name]; ok && k != x.Kind() {
+		b.errs = append(b.errs, fmt.Sprintf("temp %s redefined with kind %s (was %s)", name, x.Kind(), k))
+	}
+	b.kinds[name] = x.Kind()
+	b.emit(&Assign{Src: b.nextLine(), Dest: TempDest{name, x.Kind()}, X: x})
+	return Temp{name, x.Kind()}
+}
+
+// Tmp assigns expr to a fresh compiler-generated temporary and returns a
+// reference to it.
+func (b *Builder) Tmp(x Expr) Expr {
+	b.fresh++
+	return b.Def(fmt.Sprintf(".b%d", b.fresh), x)
+}
+
+// T returns a reference to a previously defined temporary.
+func (b *Builder) T(name string) Expr {
+	k, ok := b.kinds[name]
+	if !ok {
+		b.errs = append(b.errs, fmt.Sprintf("temp %s referenced before definition", name))
+		return Temp{name, F64}
+	}
+	return Temp{name, k}
+}
+
+// StoreF emits array[index] = x for an F64 array.
+func (b *Builder) StoreF(array string, index, x Expr) {
+	if x.Kind() != F64 {
+		b.errs = append(b.errs, fmt.Sprintf("storef %s: value kind %s", array, x.Kind()))
+	}
+	b.emit(&Assign{Src: b.nextLine(), Dest: &ElemDest{Array: array, K: F64, Index: index}, X: x})
+}
+
+// StoreI emits array[index] = x for an I64 array.
+func (b *Builder) StoreI(array string, index, x Expr) {
+	if x.Kind() != I64 {
+		b.errs = append(b.errs, fmt.Sprintf("storei %s: value kind %s", array, x.Kind()))
+	}
+	b.emit(&Assign{Src: b.nextLine(), Dest: &ElemDest{Array: array, K: I64, Index: index}, X: x})
+}
+
+// If opens a conditional: then(b) populates the then-branch; the optional
+// otherwise func populates the else-branch.
+func (b *Builder) If(cond Expr, then func(), otherwise func()) {
+	if cond.Kind() != I64 {
+		b.errs = append(b.errs, fmt.Sprintf("if condition has kind %s, want i64", cond.Kind()))
+	}
+	line := b.nextLine()
+	b.stack = append(b.stack, nil)
+	then()
+	thenStmts := b.stack[len(b.stack)-1]
+	b.stack = b.stack[:len(b.stack)-1]
+
+	var elseStmts []Stmt
+	if otherwise != nil {
+		b.stack = append(b.stack, nil)
+		otherwise()
+		elseStmts = b.stack[len(b.stack)-1]
+		b.stack = b.stack[:len(b.stack)-1]
+	}
+	b.emit(&If{Src: line, Cond: cond, Then: thenStmts, Else: elseStmts})
+}
+
+// Build finalizes and validates the loop.
+func (b *Builder) Build() (*Loop, error) {
+	if len(b.stack) != 1 {
+		return nil, fmt.Errorf("ir: unbalanced builder blocks")
+	}
+	b.loop.Body = b.stack[0]
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("ir: builder errors in %s: %v", b.loop.Name, b.errs)
+	}
+	if err := Validate(b.loop); err != nil {
+		return nil, err
+	}
+	return b.loop, nil
+}
+
+// MustBuild is Build, panicking on error. Kernel definitions are static, so
+// a failure is a programming bug.
+func (b *Builder) MustBuild() *Loop {
+	l, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return l
+}

@@ -1,0 +1,233 @@
+package ir
+
+import "fmt"
+
+// Expr is a node in an expression tree. Expression trees are the unit the
+// fiber-partitioning algorithm (Section III-A of the paper) operates on:
+// leaf nodes are memory loads, scalar/temporary references, or literals, and
+// internal nodes are compute operations.
+type Expr interface {
+	Kind() Kind
+	String() string
+	exprNode()
+}
+
+// ConstF is a float literal.
+type ConstF struct{ V float64 }
+
+// ConstI is an integer literal.
+type ConstI struct{ V int64 }
+
+// Temp references a loop-local temporary (or the loop index variable, or a
+// scalar region parameter). Temporaries are virtual registers: they live in
+// core-local registers, and when a value defined on one core is used on
+// another the compiler inserts an enqueue/dequeue pair.
+type Temp struct {
+	Name string
+	K    Kind
+}
+
+// Load reads one element of a shared-memory array. Loads are leaves in the
+// fiber-partitioning sense: they stay unassigned and are issued by whichever
+// core consumes them (each core has its own path to shared memory).
+type Load struct {
+	Array string
+	K     Kind
+	Index Expr // must have kind I64
+}
+
+// Bin applies a binary operator.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// Un applies a unary operator or pure intrinsic.
+type Un struct {
+	Op UnOp
+	X  Expr
+}
+
+func (ConstF) exprNode() {}
+func (ConstI) exprNode() {}
+func (Temp) exprNode()   {}
+func (*Load) exprNode()  {}
+func (*Bin) exprNode()   {}
+func (*Un) exprNode()    {}
+
+// Kind implementations.
+
+func (ConstF) Kind() Kind  { return F64 }
+func (ConstI) Kind() Kind  { return I64 }
+func (t Temp) Kind() Kind  { return t.K }
+func (l *Load) Kind() Kind { return l.K }
+
+func (b *Bin) Kind() Kind {
+	if b.Op.IsCompare() {
+		return I64
+	}
+	return b.L.Kind()
+}
+
+func (u *Un) Kind() Kind {
+	switch u.Op {
+	case Not, CvtFI:
+		return I64
+	case CvtIF:
+		return F64
+	default:
+		return u.X.Kind()
+	}
+}
+
+// String implementations produce a compact prefix-ish rendering used by the
+// compiler dump tools.
+
+func (c ConstF) String() string { return fmt.Sprintf("%g", c.V) }
+func (c ConstI) String() string { return fmt.Sprintf("%d", c.V) }
+func (t Temp) String() string   { return t.Name }
+func (l *Load) String() string  { return fmt.Sprintf("%s[%s]", l.Array, l.Index) }
+func (b *Bin) String() string   { return fmt.Sprintf("(%s %s %s)", b.Op, b.L, b.R) }
+func (u *Un) String() string    { return fmt.Sprintf("(%s %s)", u.Op, u.X) }
+
+// Constructor helpers. These perform kind checking eagerly and panic on
+// mismatches: kernels and examples are authored in Go, so a kind error is a
+// programming bug in the caller, not runtime input.
+
+// F returns a float literal.
+func F(v float64) Expr { return ConstF{v} }
+
+// I returns an integer literal.
+func I(v int64) Expr { return ConstI{v} }
+
+// TF references an F64 temporary.
+func TF(name string) Expr { return Temp{name, F64} }
+
+// TI references an I64 temporary.
+func TI(name string) Expr { return Temp{name, I64} }
+
+// LDF loads an element of an F64 array.
+func LDF(array string, index Expr) Expr { return newLoad(array, F64, index) }
+
+// LDI loads an element of an I64 array.
+func LDI(array string, index Expr) Expr { return newLoad(array, I64, index) }
+
+func newLoad(array string, k Kind, index Expr) Expr {
+	if index.Kind() != I64 {
+		panic(fmt.Sprintf("ir: load %s index has kind %s, want i64", array, index.Kind()))
+	}
+	return &Load{Array: array, K: k, Index: index}
+}
+
+func bin(op BinOp, l, r Expr) Expr {
+	if l.Kind() != r.Kind() {
+		panic(fmt.Sprintf("ir: %s operand kinds differ: %s vs %s (%s, %s)", op, l.Kind(), r.Kind(), l, r))
+	}
+	if op.IntOnly() && l.Kind() != I64 {
+		panic(fmt.Sprintf("ir: %s requires i64 operands, got %s", op, l.Kind()))
+	}
+	return &Bin{Op: op, L: l, R: r}
+}
+
+// AddE returns l+r. The E suffix avoids clashing with the BinOp constants.
+func AddE(l, r Expr) Expr { return bin(Add, l, r) }
+
+// SubE returns l-r.
+func SubE(l, r Expr) Expr { return bin(Sub, l, r) }
+
+// MulE returns l*r.
+func MulE(l, r Expr) Expr { return bin(Mul, l, r) }
+
+// DivE returns l/r.
+func DivE(l, r Expr) Expr { return bin(Div, l, r) }
+
+// RemE returns l%r for integers.
+func RemE(l, r Expr) Expr { return bin(Rem, l, r) }
+
+// MinE returns min(l,r).
+func MinE(l, r Expr) Expr { return bin(Min, l, r) }
+
+// MaxE returns max(l,r).
+func MaxE(l, r Expr) Expr { return bin(Max, l, r) }
+
+// AndE returns l&r for integers.
+func AndE(l, r Expr) Expr { return bin(And, l, r) }
+
+// OrE returns l|r for integers.
+func OrE(l, r Expr) Expr { return bin(Or, l, r) }
+
+// XorE returns l^r for integers.
+func XorE(l, r Expr) Expr { return bin(Xor, l, r) }
+
+// ShlE returns l<<r for integers.
+func ShlE(l, r Expr) Expr { return bin(Shl, l, r) }
+
+// ShrE returns l>>r for integers.
+func ShrE(l, r Expr) Expr { return bin(Shr, l, r) }
+
+// EqE returns l==r as I64 0/1.
+func EqE(l, r Expr) Expr { return bin(Eq, l, r) }
+
+// NeE returns l!=r as I64 0/1.
+func NeE(l, r Expr) Expr { return bin(Ne, l, r) }
+
+// LtE returns l<r as I64 0/1.
+func LtE(l, r Expr) Expr { return bin(Lt, l, r) }
+
+// LeE returns l<=r as I64 0/1.
+func LeE(l, r Expr) Expr { return bin(Le, l, r) }
+
+// GtE returns l>r as I64 0/1.
+func GtE(l, r Expr) Expr { return bin(Gt, l, r) }
+
+// GeE returns l>=r as I64 0/1.
+func GeE(l, r Expr) Expr { return bin(Ge, l, r) }
+
+func un(op UnOp, x Expr) Expr {
+	switch op {
+	case Not:
+		if x.Kind() != I64 {
+			panic("ir: not requires i64 operand")
+		}
+	case Sqrt, Exp, Log, Floor:
+		if x.Kind() != F64 {
+			panic(fmt.Sprintf("ir: %s requires f64 operand", op))
+		}
+	case CvtIF:
+		if x.Kind() != I64 {
+			panic("ir: cvtif requires i64 operand")
+		}
+	case CvtFI:
+		if x.Kind() != F64 {
+			panic("ir: cvtfi requires f64 operand")
+		}
+	}
+	return &Un{Op: op, X: x}
+}
+
+// NegE returns -x.
+func NegE(x Expr) Expr { return un(Neg, x) }
+
+// NotE returns !x for I64 0/1.
+func NotE(x Expr) Expr { return un(Not, x) }
+
+// SqrtE returns sqrt(x).
+func SqrtE(x Expr) Expr { return un(Sqrt, x) }
+
+// ExpE returns e**x.
+func ExpE(x Expr) Expr { return un(Exp, x) }
+
+// LogE returns ln(x).
+func LogE(x Expr) Expr { return un(Log, x) }
+
+// AbsE returns |x|.
+func AbsE(x Expr) Expr { return un(Abs, x) }
+
+// FloorE returns floor(x).
+func FloorE(x Expr) Expr { return un(Floor, x) }
+
+// IToF converts an I64 value to F64.
+func IToF(x Expr) Expr { return un(CvtIF, x) }
+
+// FToI truncates an F64 value to I64.
+func FToI(x Expr) Expr { return un(CvtFI, x) }

@@ -1,0 +1,398 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExprKinds(t *testing.T) {
+	cases := []struct {
+		name string
+		e    Expr
+		want Kind
+	}{
+		{"float literal", F(1.5), F64},
+		{"int literal", I(3), I64},
+		{"f64 temp", TF("t"), F64},
+		{"i64 temp", TI("n"), I64},
+		{"f64 load", LDF("a", I(0)), F64},
+		{"i64 load", LDI("idx", I(0)), I64},
+		{"add f64", AddE(F(1), F(2)), F64},
+		{"add i64", AddE(I(1), I(2)), I64},
+		{"compare f64 yields i64", LtE(F(1), F(2)), I64},
+		{"compare i64 yields i64", GeE(I(1), I(2)), I64},
+		{"neg f64", NegE(F(1)), F64},
+		{"neg i64", NegE(I(1)), I64},
+		{"not", NotE(I(1)), I64},
+		{"sqrt", SqrtE(F(4)), F64},
+		{"exp", ExpE(F(0)), F64},
+		{"log", LogE(F(1)), F64},
+		{"abs f64", AbsE(F(-1)), F64},
+		{"abs i64", AbsE(I(-1)), I64},
+		{"floor", FloorE(F(1.5)), F64},
+		{"itof", IToF(I(3)), F64},
+		{"ftoi", FToI(F(3.7)), I64},
+		{"min", MinE(F(1), F(2)), F64},
+		{"shl", ShlE(I(1), I(3)), I64},
+	}
+	for _, c := range cases {
+		if got := c.e.Kind(); got != c.want {
+			t.Errorf("%s: kind = %s, want %s", c.name, got, c.want)
+		}
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"add f64+i64", func() { AddE(F(1), I(2)) }},
+		{"rem on f64", func() { RemE(F(1), F(2)) }},
+		{"and on f64", func() { AndE(F(1), F(2)) }},
+		{"not on f64", func() { NotE(F(1)) }},
+		{"sqrt on i64", func() { SqrtE(I(4)) }},
+		{"itof on f64", func() { IToF(F(1)) }},
+		{"ftoi on i64", func() { FToI(I(1)) }},
+		{"load float index", func() { LDF("a", F(0)) }},
+		{"store float index", func() { DestElemF("a", F(0)) }},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", c.name)
+				}
+			}()
+			c.f()
+		}()
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e := AddE(MulE(TF("a"), F(2)), LDF("x", TI("i")))
+	want := "((mul a 2) add x[i])"
+	// String uses infix-ish rendering: (l op r).
+	got := e.String()
+	if !strings.Contains(got, "mul") || !strings.Contains(got, "x[i]") {
+		t.Errorf("String() = %q, want something like %q", got, want)
+	}
+}
+
+func TestBinOpPredicates(t *testing.T) {
+	for _, op := range []BinOp{Eq, Ne, Lt, Le, Gt, Ge} {
+		if !op.IsCompare() {
+			t.Errorf("%s should be a comparison", op)
+		}
+	}
+	for _, op := range []BinOp{Add, Sub, Mul, Div, Min, Max} {
+		if op.IsCompare() {
+			t.Errorf("%s should not be a comparison", op)
+		}
+	}
+	for _, op := range []BinOp{Rem, And, Or, Xor, Shl, Shr} {
+		if !op.IntOnly() {
+			t.Errorf("%s should be int-only", op)
+		}
+	}
+	if Add.IntOnly() {
+		t.Error("add is not int-only")
+	}
+}
+
+func buildSimpleLoop(t *testing.T) *Loop {
+	t.Helper()
+	b := NewBuilder("t", "i", 0, 8, 1)
+	b.ArrayF("a", make([]float64, 8))
+	b.ArrayF("o", make([]float64, 8))
+	i := b.Idx()
+	v := b.Def("v", MulE(LDF("a", i), F(2)))
+	b.StoreF("o", i, v)
+	return b.MustBuild()
+}
+
+func TestBuilderBasics(t *testing.T) {
+	l := buildSimpleLoop(t)
+	if l.Trips() != 8 {
+		t.Errorf("trips = %d, want 8", l.Trips())
+	}
+	if len(l.Body) != 2 {
+		t.Errorf("body has %d stmts, want 2", len(l.Body))
+	}
+	if l.Array("a") == nil || l.Array("o") == nil || l.Array("zzz") != nil {
+		t.Error("Array lookup wrong")
+	}
+}
+
+func TestBuilderIf(t *testing.T) {
+	b := NewBuilder("t", "i", 0, 4, 1)
+	b.ArrayF("o", make([]float64, 4))
+	i := b.Idx()
+	c := b.Def("c", GtE(IToF(i), F(1)))
+	b.If(c, func() {
+		b.Def("v", F(1))
+	}, func() {
+		b.Def("v", F(2))
+	})
+	b.StoreF("o", i, b.T("v"))
+	l := b.MustBuild()
+	iff, ok := l.Body[1].(*If)
+	if !ok {
+		t.Fatalf("stmt 1 is %T, want *If", l.Body[1])
+	}
+	if len(iff.Then) != 1 || len(iff.Else) != 1 {
+		t.Errorf("branch sizes %d/%d, want 1/1", len(iff.Then), len(iff.Else))
+	}
+}
+
+func TestBuilderTmpGeneratesFreshNames(t *testing.T) {
+	b := NewBuilder("t", "i", 0, 4, 1)
+	b.ArrayF("o", make([]float64, 4))
+	x := b.Tmp(F(1))
+	y := b.Tmp(F(2))
+	if x.(Temp).Name == y.(Temp).Name {
+		t.Error("Tmp produced duplicate names")
+	}
+	b.StoreF("o", b.Idx(), AddE(x, y))
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	t.Run("undefined temp", func(t *testing.T) {
+		b := NewBuilder("t", "i", 0, 4, 1)
+		b.ArrayF("o", make([]float64, 4))
+		b.StoreF("o", b.Idx(), b.T("nope"))
+		if _, err := b.Build(); err == nil {
+			t.Error("expected error for undefined temp")
+		}
+	})
+	t.Run("kind change", func(t *testing.T) {
+		b := NewBuilder("t", "i", 0, 4, 1)
+		b.ArrayF("o", make([]float64, 4))
+		b.Def("v", F(1))
+		b.Def("v", I(1))
+		b.StoreF("o", b.Idx(), b.T("v"))
+		if _, err := b.Build(); err == nil {
+			t.Error("expected error for kind change")
+		}
+	})
+	t.Run("store kind mismatch", func(t *testing.T) {
+		b := NewBuilder("t", "i", 0, 4, 1)
+		b.ArrayF("o", make([]float64, 4))
+		b.StoreF("o", b.Idx(), I(1))
+		if _, err := b.Build(); err == nil {
+			t.Error("expected error for store kind mismatch")
+		}
+	})
+}
+
+func TestValidateRejects(t *testing.T) {
+	mkLoop := func(f func(b *Builder)) error {
+		b := NewBuilder("t", "i", 0, 4, 1)
+		b.ArrayF("a", make([]float64, 4))
+		f(b)
+		_, err := b.Build()
+		return err
+	}
+	t.Run("undeclared array load", func(t *testing.T) {
+		err := mkLoop(func(b *Builder) {
+			b.StoreF("a", b.Idx(), LDF("missing", b.Idx()))
+		})
+		if err == nil {
+			t.Error("expected error")
+		}
+	})
+	t.Run("undeclared array store", func(t *testing.T) {
+		b := NewBuilder("t", "i", 0, 4, 1)
+		b.ArrayF("a", make([]float64, 4))
+		b.StoreF("missing", b.Idx(), F(1))
+		if _, err := b.Build(); err == nil {
+			t.Error("expected error")
+		}
+	})
+	t.Run("duplicate array", func(t *testing.T) {
+		b := NewBuilder("t", "i", 0, 4, 1)
+		b.ArrayF("a", make([]float64, 4))
+		b.ArrayF("a", make([]float64, 4))
+		b.StoreF("a", b.Idx(), F(1))
+		if _, err := b.Build(); err == nil {
+			t.Error("expected error")
+		}
+	})
+	t.Run("empty array", func(t *testing.T) {
+		b := NewBuilder("t", "i", 0, 4, 1)
+		b.ArrayF("a", nil)
+		b.StoreF("a", b.Idx(), F(1))
+		if _, err := b.Build(); err == nil {
+			t.Error("expected error")
+		}
+	})
+	t.Run("liveout never defined", func(t *testing.T) {
+		b := NewBuilder("t", "i", 0, 4, 1)
+		b.ArrayF("a", make([]float64, 4))
+		b.LiveOut("ghost")
+		b.StoreF("a", b.Idx(), F(1))
+		if _, err := b.Build(); err == nil {
+			t.Error("expected error")
+		}
+	})
+}
+
+func TestValidateConditionalDefinition(t *testing.T) {
+	// A temp defined in only one branch must not be used after the If.
+	b := NewBuilder("t", "i", 0, 4, 1)
+	b.ArrayF("o", make([]float64, 4))
+	c := b.Def("c", GtE(IToF(b.Idx()), F(1)))
+	b.If(c, func() {
+		b.Def("v", F(1))
+	}, nil)
+	b.StoreF("o", b.Idx(), b.T("v"))
+	if _, err := b.Build(); err == nil {
+		t.Error("expected error: v defined only on the then path")
+	}
+
+	// Defined in BOTH branches: fine.
+	b2 := NewBuilder("t", "i", 0, 4, 1)
+	b2.ArrayF("o", make([]float64, 4))
+	c2 := b2.Def("c", GtE(IToF(b2.Idx()), F(1)))
+	b2.If(c2, func() {
+		b2.Def("v", F(1))
+	}, func() {
+		b2.Def("v", F(2))
+	})
+	b2.StoreF("o", b2.Idx(), b2.T("v"))
+	if _, err := b2.Build(); err != nil {
+		t.Errorf("both-branch definition should validate: %v", err)
+	}
+
+	// Defined before the If and conditionally overwritten: fine.
+	b3 := NewBuilder("t", "i", 0, 4, 1)
+	b3.ArrayF("o", make([]float64, 4))
+	b3.Def("v", F(0))
+	c3 := b3.Def("c", GtE(IToF(b3.Idx()), F(1)))
+	b3.If(c3, func() {
+		b3.Def("v", F(1))
+	}, nil)
+	b3.StoreF("o", b3.Idx(), b3.T("v"))
+	if _, err := b3.Build(); err != nil {
+		t.Errorf("pre-defined + conditional redefinition should validate: %v", err)
+	}
+}
+
+func TestValidateStep(t *testing.T) {
+	b := NewBuilder("t", "i", 0, 4, 0)
+	b.ArrayF("a", make([]float64, 4))
+	b.StoreF("a", b.Idx(), F(1))
+	if _, err := b.Build(); err == nil {
+		t.Error("expected error for zero step")
+	}
+}
+
+func TestWalkExprPostOrder(t *testing.T) {
+	e := AddE(MulE(TF("a"), TF("b")), TF("c"))
+	var order []string
+	WalkExpr(e, func(n Expr) {
+		switch x := n.(type) {
+		case Temp:
+			order = append(order, x.Name)
+		case *Bin:
+			order = append(order, x.Op.String())
+		}
+	})
+	want := []string{"a", "b", "mul", "c", "add"}
+	if len(order) != len(want) {
+		t.Fatalf("visited %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("visited %v, want %v", order, want)
+		}
+	}
+}
+
+func TestCountOpsAndDepth(t *testing.T) {
+	e := AddE(MulE(TF("a"), TF("b")), SqrtE(TF("c")))
+	if got := CountOps(e); got != 3 {
+		t.Errorf("CountOps = %d, want 3", got)
+	}
+	if got := Depth(e); got != 3 {
+		t.Errorf("Depth = %d, want 3", got)
+	}
+	if got := Depth(TF("x")); got != 1 {
+		t.Errorf("Depth(leaf) = %d, want 1", got)
+	}
+	if got := Depth(LDF("a", AddE(TI("i"), I(1)))); got != 3 {
+		t.Errorf("Depth(load with computed index) = %d, want 3", got)
+	}
+}
+
+func TestTempUses(t *testing.T) {
+	e := AddE(MulE(TF("a"), TF("b")), LDF("arr", TI("i")))
+	uses := map[string]Kind{}
+	TempUses(e, uses)
+	if len(uses) != 3 {
+		t.Fatalf("got %d uses, want 3 (a, b, i)", len(uses))
+	}
+	if uses["a"] != F64 || uses["i"] != I64 {
+		t.Error("wrong kinds recorded")
+	}
+}
+
+func TestLoopClone(t *testing.T) {
+	l := buildSimpleLoop(t)
+	c := l.Clone()
+	c.Arrays[0].InitF[0] = 99
+	if l.Arrays[0].InitF[0] == 99 {
+		t.Error("Clone shares array data with the original")
+	}
+	c.LiveOut = append(c.LiveOut, "x")
+	if len(l.LiveOut) != 0 {
+		t.Error("Clone shares LiveOut slice")
+	}
+}
+
+func TestPrintRendersStructure(t *testing.T) {
+	b := NewBuilder("show", "i", 0, 4, 1)
+	b.ArrayF("a", make([]float64, 4))
+	sc := b.ScalarF("s", 1.5)
+	c := b.Def("c", GtE(sc, F(1)))
+	b.If(c, func() { b.Def("v", F(1)) }, func() { b.Def("v", F(2)) })
+	b.StoreF("a", b.Idx(), b.T("v"))
+	b.LiveOut("v")
+	l := b.MustBuild()
+	out := Print(l)
+	for _, frag := range []string{"loop show", "array f64 a[4]", "param f64 s = 1.5", "if", "else", "liveout v"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Print missing %q in:\n%s", frag, out)
+		}
+	}
+}
+
+func TestStmtExprs(t *testing.T) {
+	b := NewBuilder("t", "i", 0, 4, 1)
+	b.ArrayF("a", make([]float64, 4))
+	b.StoreF("a", AddE(b.Idx(), I(0)), F(1))
+	l := b.MustBuild()
+	n := 0
+	StmtExprs(l.Body[0], func(Expr) { n++ })
+	if n != 2 { // RHS and store index
+		t.Errorf("StmtExprs visited %d exprs, want 2", n)
+	}
+}
+
+func TestTripsEdgeCases(t *testing.T) {
+	l := &Loop{Start: 0, End: 10, Step: 3}
+	if l.Trips() != 4 {
+		t.Errorf("trips(0,10,3) = %d, want 4", l.Trips())
+	}
+	l = &Loop{Start: 5, End: 5, Step: 1}
+	if l.Trips() != 0 {
+		t.Errorf("trips(5,5,1) = %d, want 0", l.Trips())
+	}
+	l = &Loop{Start: 10, End: 0, Step: 1}
+	if l.Trips() != 0 {
+		t.Errorf("trips(10,0,1) = %d, want 0", l.Trips())
+	}
+}

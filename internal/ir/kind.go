@@ -1,0 +1,113 @@
+// Package ir defines the source-level intermediate representation consumed by
+// the fine-grained parallelizing compiler.
+//
+// The IR mirrors the shape of code the paper operates on: a single innermost
+// loop whose body is a list of assignment statements (expression trees) and
+// structured if-then-else statements. Values are either 64-bit floats or
+// 64-bit integers; booleans are represented as I64 values 0/1, matching the
+// register classes of the simulated machine (FPR and GPR queues).
+package ir
+
+import "fmt"
+
+// Kind is the value class of an expression. The simulated hardware has
+// separate communication queues for floating-point and general-purpose
+// register values, so the compiler tracks the class of every value.
+type Kind uint8
+
+const (
+	// F64 is a double-precision floating point value (FPR class).
+	F64 Kind = iota
+	// I64 is a 64-bit integer value (GPR class). Booleans are I64 0/1.
+	I64
+)
+
+func (k Kind) String() string {
+	switch k {
+	case F64:
+		return "f64"
+	case I64:
+		return "i64"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// BinOp enumerates binary operators.
+type BinOp uint8
+
+const (
+	Add BinOp = iota
+	Sub
+	Mul
+	Div
+	Rem // integer remainder
+	Min
+	Max
+	And // bitwise/logical and (I64)
+	Or
+	Xor
+	Shl
+	Shr
+	Eq // comparisons produce I64 0/1
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+var binNames = [...]string{
+	Add: "add", Sub: "sub", Mul: "mul", Div: "div", Rem: "rem",
+	Min: "min", Max: "max", And: "and", Or: "or", Xor: "xor",
+	Shl: "shl", Shr: "shr",
+	Eq: "eq", Ne: "ne", Lt: "lt", Le: "le", Gt: "gt", Ge: "ge",
+}
+
+func (o BinOp) String() string {
+	if int(o) < len(binNames) {
+		return binNames[o]
+	}
+	return fmt.Sprintf("bin(%d)", uint8(o))
+}
+
+// IsCompare reports whether the operator is a comparison (result kind I64).
+func (o BinOp) IsCompare() bool { return o >= Eq && o <= Ge }
+
+// IntOnly reports whether the operator is defined only on I64 operands.
+func (o BinOp) IntOnly() bool {
+	switch o {
+	case Rem, And, Or, Xor, Shl, Shr:
+		return true
+	}
+	return false
+}
+
+// UnOp enumerates unary operators and pure intrinsics. The intrinsic set
+// (sqrt, exp, log, ...) covers the math that appears in the Sequoia-style
+// kernels; all are side-effect free, which matters for the control-flow
+// speculation transformation.
+type UnOp uint8
+
+const (
+	Neg UnOp = iota
+	Not      // logical not on I64 0/1
+	Sqrt
+	Exp
+	Log
+	Abs
+	Floor
+	CvtIF // I64 -> F64
+	CvtFI // F64 -> I64 (truncate)
+)
+
+var unNames = [...]string{
+	Neg: "neg", Not: "not", Sqrt: "sqrt", Exp: "exp", Log: "log",
+	Abs: "abs", Floor: "floor", CvtIF: "cvtif", CvtFI: "cvtfi",
+}
+
+func (o UnOp) String() string {
+	if int(o) < len(unNames) {
+		return unNames[o]
+	}
+	return fmt.Sprintf("un(%d)", uint8(o))
+}

@@ -1,0 +1,115 @@
+package ir
+
+import "fmt"
+
+// ArrayDecl declares a shared-memory array used by a loop. Init holds the
+// initial contents; its length fixes the array length. Exactly one of InitF
+// and InitI is non-nil, matching K.
+type ArrayDecl struct {
+	Name  string
+	K     Kind
+	InitF []float64
+	InitI []int64
+}
+
+// Len returns the number of elements in the array.
+func (a *ArrayDecl) Len() int {
+	if a.K == F64 {
+		return len(a.InitF)
+	}
+	return len(a.InitI)
+}
+
+// ScalarDecl declares a read-only scalar live-in to the loop region (a
+// "region parameter"). At runtime the primary thread transfers parameter
+// values to each secondary thread that uses them, mirroring the argument
+// transfer in Section III-G of the paper.
+type ScalarDecl struct {
+	Name string
+	K    Kind
+	F    float64
+	I    int64
+}
+
+// Loop is the unit of compilation: one innermost counted loop, plus the data
+// environment it runs against. This mirrors the paper's methodology, where
+// each hot loop is extracted into a standalone kernel with its
+// initialization code.
+type Loop struct {
+	Name string
+
+	// Index is the name of the induction variable (kind I64). The loop runs
+	// for Index = Start; Index < End; Index += Step. Loop control is
+	// replicated on every core, so the induction variable is available
+	// everywhere without communication.
+	Index string
+	Start int64
+	End   int64
+	Step  int64
+
+	Body []Stmt
+
+	Arrays  []*ArrayDecl
+	Scalars []ScalarDecl
+
+	// LiveOut names temporaries whose final values are needed after the
+	// region exits. The compiler copies them back to the primary core
+	// (Section III-F).
+	LiveOut []string
+}
+
+// Trips returns the number of iterations the loop executes.
+func (l *Loop) Trips() int64 {
+	if l.Step <= 0 {
+		return 0
+	}
+	n := (l.End - l.Start + l.Step - 1) / l.Step
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Array returns the declaration for the named array, or nil.
+func (l *Loop) Array(name string) *ArrayDecl {
+	for _, a := range l.Arrays {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Scalar returns the declaration for the named scalar and whether it exists.
+func (l *Loop) Scalar(name string) (ScalarDecl, bool) {
+	for _, s := range l.Scalars {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return ScalarDecl{}, false
+}
+
+// Clone returns a deep copy of the loop's structure. Statement and
+// expression nodes are immutable by convention once built, so they are
+// shared; array init data is copied because simulator runs mutate memory
+// images derived from it.
+func (l *Loop) Clone() *Loop {
+	c := *l
+	c.Body = append([]Stmt(nil), l.Body...)
+	c.Arrays = make([]*ArrayDecl, len(l.Arrays))
+	for i, a := range l.Arrays {
+		na := *a
+		na.InitF = append([]float64(nil), a.InitF...)
+		na.InitI = append([]int64(nil), a.InitI...)
+		c.Arrays[i] = &na
+	}
+	c.Scalars = append([]ScalarDecl(nil), l.Scalars...)
+	c.LiveOut = append([]string(nil), l.LiveOut...)
+	return &c
+}
+
+func (l *Loop) String() string {
+	return fmt.Sprintf("loop %s: for %s = %d..%d step %d, %d stmts, %d arrays",
+		l.Name, l.Index, l.Start, l.End, l.Step, len(l.Body), len(l.Arrays))
+}

@@ -1,0 +1,47 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the loop as pseudo-source, one statement per line, for the
+// compiler inspection tools.
+func Print(l *Loop) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "loop %s:\n", l.Name)
+	for _, a := range l.Arrays {
+		fmt.Fprintf(&sb, "  array %s %s[%d]\n", a.K, a.Name, a.Len())
+	}
+	for _, s := range l.Scalars {
+		if s.K == F64 {
+			fmt.Fprintf(&sb, "  param %s %s = %g\n", s.K, s.Name, s.F)
+		} else {
+			fmt.Fprintf(&sb, "  param %s %s = %d\n", s.K, s.Name, s.I)
+		}
+	}
+	fmt.Fprintf(&sb, "  for %s = %d; %s < %d; %s += %d {\n", l.Index, l.Start, l.Index, l.End, l.Index, l.Step)
+	printStmts(&sb, l.Body, "    ")
+	sb.WriteString("  }\n")
+	if len(l.LiveOut) > 0 {
+		fmt.Fprintf(&sb, "  liveout %s\n", strings.Join(l.LiveOut, ", "))
+	}
+	return sb.String()
+}
+
+func printStmts(sb *strings.Builder, stmts []Stmt, indent string) {
+	for _, s := range stmts {
+		switch x := s.(type) {
+		case *Assign:
+			fmt.Fprintf(sb, "%s[%3d] %s = %s\n", indent, x.Src, x.Dest, x.X)
+		case *If:
+			fmt.Fprintf(sb, "%s[%3d] if %s {\n", indent, x.Src, x.Cond)
+			printStmts(sb, x.Then, indent+"  ")
+			if len(x.Else) > 0 {
+				fmt.Fprintf(sb, "%s} else {\n", indent)
+				printStmts(sb, x.Else, indent+"  ")
+			}
+			fmt.Fprintf(sb, "%s}\n", indent)
+		}
+	}
+}

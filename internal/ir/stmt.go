@@ -1,0 +1,86 @@
+package ir
+
+import "fmt"
+
+// Stmt is a statement in a loop body.
+type Stmt interface {
+	// Line is the pseudo source line number of the statement, used by the
+	// source-proximity merge heuristic (Section III-B).
+	Line() int
+	stmtNode()
+}
+
+// Dest is an assignment target: either a temporary or an array element.
+type Dest interface {
+	Kind() Kind
+	String() string
+	destNode()
+}
+
+// TempDest assigns to a loop-local temporary.
+type TempDest struct {
+	Name string
+	K    Kind
+}
+
+// ElemDest stores to an element of a shared-memory array.
+type ElemDest struct {
+	Array string
+	K     Kind
+	Index Expr
+}
+
+func (TempDest) destNode()  {}
+func (*ElemDest) destNode() {}
+
+func (d TempDest) Kind() Kind  { return d.K }
+func (d *ElemDest) Kind() Kind { return d.K }
+
+func (d TempDest) String() string  { return d.Name }
+func (d *ElemDest) String() string { return fmt.Sprintf("%s[%s]", d.Array, d.Index) }
+
+// Assign evaluates X and writes the result to Dest.
+type Assign struct {
+	Src  int // pseudo source line
+	Dest Dest
+	X    Expr
+}
+
+// If is a structured conditional. Cond has kind I64 and is interpreted as
+// false iff zero. Either branch may be empty.
+type If struct {
+	Src  int
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+func (*Assign) stmtNode() {}
+func (*If) stmtNode()     {}
+
+func (s *Assign) Line() int { return s.Src }
+func (s *If) Line() int     { return s.Src }
+
+func (s *Assign) String() string { return fmt.Sprintf("%s = %s", s.Dest, s.X) }
+
+// DestTempF builds an F64 temporary destination.
+func DestTempF(name string) Dest { return TempDest{name, F64} }
+
+// DestTempI builds an I64 temporary destination.
+func DestTempI(name string) Dest { return TempDest{name, I64} }
+
+// DestElemF builds an F64 array-element destination.
+func DestElemF(array string, index Expr) Dest {
+	if index.Kind() != I64 {
+		panic(fmt.Sprintf("ir: store %s index has kind %s, want i64", array, index.Kind()))
+	}
+	return &ElemDest{Array: array, K: F64, Index: index}
+}
+
+// DestElemI builds an I64 array-element destination.
+func DestElemI(array string, index Expr) Dest {
+	if index.Kind() != I64 {
+		panic(fmt.Sprintf("ir: store %s index has kind %s, want i64", array, index.Kind()))
+	}
+	return &ElemDest{Array: array, K: I64, Index: index}
+}

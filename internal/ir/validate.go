@@ -1,0 +1,169 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Validate checks structural invariants of a loop:
+//   - every referenced array is declared, with consistent kinds;
+//   - every temporary is defined before use on all paths (scalars and the
+//     induction variable count as defined);
+//   - temporaries keep a single kind;
+//   - temporaries defined only inside a conditional are not used outside it
+//     unless also defined before the conditional (otherwise some execution
+//     path would read an undefined value);
+//   - live-out temporaries are defined somewhere in the body.
+func Validate(l *Loop) error {
+	v := &validator{loop: l, kinds: map[string]Kind{}, arrays: map[string]Kind{}}
+	for _, a := range l.Arrays {
+		if _, dup := v.arrays[a.Name]; dup {
+			return fmt.Errorf("ir: %s: array %q declared twice", l.Name, a.Name)
+		}
+		if a.Len() == 0 {
+			return fmt.Errorf("ir: %s: array %q has no elements", l.Name, a.Name)
+		}
+		v.arrays[a.Name] = a.K
+	}
+	defined := map[string]bool{l.Index: true}
+	v.kinds[l.Index] = I64
+	for _, s := range l.Scalars {
+		if defined[s.Name] {
+			return fmt.Errorf("ir: %s: scalar %q declared twice", l.Name, s.Name)
+		}
+		defined[s.Name] = true
+		v.kinds[s.Name] = s.K
+	}
+	if l.Step <= 0 {
+		return fmt.Errorf("ir: %s: step must be positive, got %d", l.Name, l.Step)
+	}
+	// Iteration 1: definitions from a previous iteration are visible, so
+	// validate twice: first pass collects all defs (loop-carried temps are
+	// defined by iteration end), second pass checks uses. A temp is valid if
+	// defined before use within one iteration OR defined unconditionally
+	// somewhere (loop-carried) — but loop-carried first-iteration reads need
+	// an initial value, which we require to come from a scalar param. To keep
+	// kernels honest we require strict define-before-use within an iteration;
+	// accumulators must be declared as scalars (their initial value).
+	if err := v.checkStmts(l.Body, defined); err != nil {
+		return fmt.Errorf("ir: %s: %w", l.Name, err)
+	}
+	for _, name := range l.LiveOut {
+		if !v.everDefined[name] {
+			return fmt.Errorf("ir: %s: live-out %q is never defined", l.Name, name)
+		}
+	}
+	return nil
+}
+
+type validator struct {
+	loop        *Loop
+	kinds       map[string]Kind
+	arrays      map[string]Kind
+	everDefined map[string]bool
+}
+
+func (v *validator) checkStmts(stmts []Stmt, defined map[string]bool) error {
+	if v.everDefined == nil {
+		v.everDefined = map[string]bool{}
+	}
+	for _, s := range stmts {
+		switch x := s.(type) {
+		case *Assign:
+			if err := v.checkExpr(x.X, defined); err != nil {
+				return fmt.Errorf("line %d: %w", x.Src, err)
+			}
+			switch d := x.Dest.(type) {
+			case TempDest:
+				if k, ok := v.kinds[d.Name]; ok && k != d.K {
+					return fmt.Errorf("line %d: temp %q kind changes %s -> %s", x.Src, d.Name, k, d.K)
+				}
+				if d.K != x.X.Kind() {
+					return fmt.Errorf("line %d: assign to %q: kind %s = %s", x.Src, d.Name, d.K, x.X.Kind())
+				}
+				v.kinds[d.Name] = d.K
+				defined[d.Name] = true
+				v.everDefined[d.Name] = true
+			case *ElemDest:
+				ak, ok := v.arrays[d.Array]
+				if !ok {
+					return fmt.Errorf("line %d: store to undeclared array %q", x.Src, d.Array)
+				}
+				if ak != d.K || ak != x.X.Kind() {
+					return fmt.Errorf("line %d: store to %q kind mismatch", x.Src, d.Array)
+				}
+				if err := v.checkExpr(d.Index, defined); err != nil {
+					return fmt.Errorf("line %d: %w", x.Src, err)
+				}
+			}
+		case *If:
+			if err := v.checkExpr(x.Cond, defined); err != nil {
+				return fmt.Errorf("line %d: %w", x.Src, err)
+			}
+			// Each branch sees the defs so far; defs made in a branch are
+			// visible after the If only if made in BOTH branches.
+			thenDef := copyDefs(defined)
+			if err := v.checkStmts(x.Then, thenDef); err != nil {
+				return err
+			}
+			elseDef := copyDefs(defined)
+			if err := v.checkStmts(x.Else, elseDef); err != nil {
+				return err
+			}
+			for _, name := range sortedKeys(thenDef) {
+				if thenDef[name] && elseDef[name] {
+					defined[name] = true
+				}
+			}
+		default:
+			return fmt.Errorf("unknown statement type %T", s)
+		}
+	}
+	return nil
+}
+
+func (v *validator) checkExpr(e Expr, defined map[string]bool) error {
+	var err error
+	WalkExpr(e, func(n Expr) {
+		if err != nil {
+			return
+		}
+		switch x := n.(type) {
+		case Temp:
+			if !defined[x.Name] {
+				err = fmt.Errorf("temp %q used before definition", x.Name)
+				return
+			}
+			if k, ok := v.kinds[x.Name]; ok && k != x.K {
+				err = fmt.Errorf("temp %q used with kind %s, defined as %s", x.Name, x.K, k)
+			}
+		case *Load:
+			ak, ok := v.arrays[x.Array]
+			if !ok {
+				err = fmt.Errorf("load from undeclared array %q", x.Array)
+				return
+			}
+			if ak != x.K {
+				err = fmt.Errorf("load from %q with kind %s, declared %s", x.Array, x.K, ak)
+			}
+		}
+	})
+	return err
+}
+
+func copyDefs(m map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+func sortedKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,143 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+
+	"fgp/internal/ir"
+)
+
+func halting(instrs ...Instr) *Program {
+	p := &Program{Core: 0}
+	for _, in := range instrs {
+		p.Append(in)
+	}
+	p.Append(Instr{Op: Halt, Dst: NoReg, A: NoReg, B: NoReg})
+	maxReg := Reg(-1)
+	for _, in := range p.Instrs {
+		for _, r := range []Reg{in.Dst, in.A, in.B} {
+			if r > maxReg {
+				maxReg = r
+			}
+		}
+	}
+	p.NRegs = int(maxReg) + 1
+	return p
+}
+
+func TestValidateAccepts(t *testing.T) {
+	p := halting(
+		Instr{Op: ConstI, Dst: 0, A: NoReg, B: NoReg, ImmI: 1},
+		Instr{Op: ConstF, Dst: 1, A: NoReg, B: NoReg, ImmF: 2},
+		Instr{Op: Bin, BinOp: ir.Add, K: ir.I64, Dst: 2, A: 0, B: 0},
+		Instr{Op: Un, UnOp: ir.Neg, K: ir.F64, Dst: 3, A: 1},
+		Instr{Op: Load, Dst: 4, A: 0, B: NoReg, K: ir.F64, Arr: 0},
+		Instr{Op: Store, A: 0, B: 4, Dst: NoReg, K: ir.F64, Arr: 0},
+		Instr{Op: Enq, A: 0, B: NoReg, Dst: NoReg, K: ir.I64, Q: 3}, // 0->1 I64 on 2 cores
+		Instr{Op: Deq, Dst: 5, A: NoReg, B: NoReg, K: ir.I64, Q: 5}, // 1->0 I64
+		Instr{Op: Fjp, A: 0, B: NoReg, Dst: NoReg, Tgt: 0},
+		Instr{Op: Jp, Tgt: 0, Dst: NoReg, A: NoReg, B: NoReg},
+	)
+	if err := p.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *Program
+		frag string
+	}{
+		{
+			"register out of range",
+			func() *Program {
+				p := halting(Instr{Op: ConstI, Dst: 9, A: NoReg, B: NoReg})
+				p.NRegs = 2
+				return p
+			}(),
+			"outside",
+		},
+		{
+			"missing destination",
+			halting(Instr{Op: ConstI, Dst: NoReg, A: NoReg, B: NoReg}),
+			"needs a destination",
+		},
+		{
+			"missing operand",
+			halting(Instr{Op: Bin, BinOp: ir.Add, Dst: 0, A: 0, B: NoReg}),
+			"needs operand B",
+		},
+		{
+			"branch out of program",
+			halting(Instr{Op: Jp, Tgt: 99, Dst: NoReg, A: NoReg, B: NoReg}),
+			"branch target",
+		},
+		{
+			"enqueue to foreign queue",
+			halting(Instr{Op: Enq, A: 0, B: NoReg, Dst: NoReg, Q: 5}), // 1->0 on 2 cores, but we are core 0
+			"owned by core",
+		},
+		{
+			"dequeue from foreign queue",
+			halting(Instr{Op: Deq, Dst: 0, A: NoReg, B: NoReg, Q: 3}), // 0->1: delivered to core 1
+			"delivered to core",
+		},
+		{
+			"queue id out of range",
+			halting(Instr{Op: Enq, A: 0, B: NoReg, Dst: NoReg, Q: 99}),
+			"queue id",
+		},
+	}
+	for _, c := range cases {
+		err := c.p.Validate(2)
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: got %v, want error containing %q", c.name, err, c.frag)
+		}
+	}
+}
+
+func TestValidateFallOffEnd(t *testing.T) {
+	p := &Program{Core: 0, NRegs: 1}
+	p.Append(Instr{Op: ConstI, Dst: 0, A: NoReg, B: NoReg})
+	if err := p.Validate(1); err == nil || !strings.Contains(err.Error(), "fall off") {
+		t.Errorf("got %v", err)
+	}
+	p2 := &Program{Core: 0}
+	if err := p2.Validate(1); err == nil {
+		t.Error("empty program must be rejected")
+	}
+}
+
+func TestLabelsAndDisasm(t *testing.T) {
+	p := halting(
+		Instr{Op: ConstF, Dst: 0, A: NoReg, B: NoReg, ImmF: 1.5},
+		Instr{Op: Enq, A: 0, B: NoReg, Dst: NoReg, K: ir.F64, Q: 0, Edge: 7},
+	)
+	p.Label("extra") // annotates the next (nonexistent) index harmlessly
+	p.RegName = map[Reg]string{0: "acc"}
+	out := p.Disasm()
+	for _, frag := range []string{"constf", "r0<acc>", "enq", "edge 7", "halt"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("disasm missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestLabelMergesNames(t *testing.T) {
+	p := &Program{}
+	p.Label("a")
+	p.Label("b")
+	p.Append(Instr{Op: Halt, Dst: NoReg, A: NoReg, B: NoReg})
+	if p.Labels[0] != "a,b" {
+		t.Errorf("labels = %q", p.Labels[0])
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for op := Nop; op <= Halt; op++ {
+		if s := op.String(); s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("opcode %d has no name", op)
+		}
+	}
+}

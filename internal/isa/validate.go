@@ -1,0 +1,96 @@
+package isa
+
+import "fmt"
+
+// Validate statically checks a program's well-formedness: register indices
+// within NRegs, branch and indirect-jump plausibility, queue ids
+// non-negative, and that execution cannot fall off the end (the last
+// instruction on every straight-line path is a Halt or an unconditional
+// jump). The compiler runs it on every generated program as a defense in
+// depth; the simulator would also catch these, but later and with less
+// context.
+func (p *Program) Validate(machineCores int) error {
+	if len(p.Instrs) == 0 {
+		return fmt.Errorf("isa: core %d: empty program", p.Core)
+	}
+	checkReg := func(i int, r Reg, slot string) error {
+		if r == NoReg {
+			return nil
+		}
+		if r < 0 || int(r) >= p.NRegs {
+			return fmt.Errorf("isa: core %d instr %d: %s register %d outside [0,%d)", p.Core, i, slot, r, p.NRegs)
+		}
+		return nil
+	}
+	maxQ := int32(machineCores*machineCores*2) - 1
+	for i, in := range p.Instrs {
+		var needDst, needA, needB bool
+		switch in.Op {
+		case ConstF, ConstI:
+			needDst = true
+		case Mov, Un, Load:
+			needDst, needA = true, true
+		case Bin:
+			needDst, needA, needB = true, true, true
+		case Store:
+			needA, needB = true, true
+		case Enq:
+			needA = true
+		case Deq:
+			needDst = true
+		case Fjp, Jr:
+			needA = true
+		case Jp, Halt, Nop:
+		default:
+			return fmt.Errorf("isa: core %d instr %d: unknown opcode %d", p.Core, i, in.Op)
+		}
+		if needDst {
+			if in.Dst == NoReg {
+				return fmt.Errorf("isa: core %d instr %d: %s needs a destination", p.Core, i, in.Op)
+			}
+			if err := checkReg(i, in.Dst, "dst"); err != nil {
+				return err
+			}
+		}
+		if needA {
+			if in.A == NoReg {
+				return fmt.Errorf("isa: core %d instr %d: %s needs operand A", p.Core, i, in.Op)
+			}
+			if err := checkReg(i, in.A, "A"); err != nil {
+				return err
+			}
+		}
+		if needB {
+			if in.B == NoReg {
+				return fmt.Errorf("isa: core %d instr %d: %s needs operand B", p.Core, i, in.Op)
+			}
+			if err := checkReg(i, in.B, "B"); err != nil {
+				return err
+			}
+		}
+		switch in.Op {
+		case Fjp, Jp:
+			if in.Tgt < 0 || int(in.Tgt) >= len(p.Instrs) {
+				return fmt.Errorf("isa: core %d instr %d: branch target %d outside program (%d instrs)", p.Core, i, in.Tgt, len(p.Instrs))
+			}
+		case Enq, Deq:
+			if in.Q < 0 || in.Q > maxQ {
+				return fmt.Errorf("isa: core %d instr %d: queue id %d outside [0,%d]", p.Core, i, in.Q, maxQ)
+			}
+			src := int(in.Q) / 2 / machineCores
+			dst := int(in.Q) / 2 % machineCores
+			if in.Op == Enq && src != p.Core {
+				return fmt.Errorf("isa: core %d instr %d: enqueue into queue %d owned by core %d", p.Core, i, in.Q, src)
+			}
+			if in.Op == Deq && dst != p.Core {
+				return fmt.Errorf("isa: core %d instr %d: dequeue from queue %d delivered to core %d", p.Core, i, in.Q, dst)
+			}
+		}
+	}
+	// Execution must not fall off the end.
+	last := p.Instrs[len(p.Instrs)-1]
+	if last.Op != Halt && last.Op != Jp && last.Op != Jr {
+		return fmt.Errorf("isa: core %d: program can fall off the end (last op %s)", p.Core, last.Op)
+	}
+	return nil
+}

@@ -1,0 +1,283 @@
+package kernels
+
+import (
+	"fmt"
+
+	"fgp/internal/ir"
+)
+
+// The five irs kernels mirror the Implicit Radiation Solver hot loops:
+// the 27-point block matrix-vector product of rmatmult3 (irs-1), two loops
+// of the preconditioned conjugate-gradient solve (irs-2, irs-3), and two
+// diffusion-coefficient loops with geometric-mean conditionals (irs-4,
+// irs-5).
+
+func init() {
+	register(&Kernel{
+		Name: "irs-1", App: "irs", PctTime: 55.6,
+		PaperFibers: 208, PaperDeps: 54, PaperBalance: 1.69,
+		PaperCommOps: 3, PaperQueues: 3, PaperSpeedup: 2.29,
+		HasConditionals: false,
+		build:           irs1,
+	})
+	register(&Kernel{
+		Name: "irs-2", App: "irs", PctTime: 5.1,
+		PaperFibers: 47, PaperDeps: 6, PaperBalance: 2.54,
+		PaperCommOps: 8, PaperQueues: 6, PaperSpeedup: 1.33,
+		HasConditionals: true, SpeculationHelps: true,
+		build: irs2,
+	})
+	register(&Kernel{
+		Name: "irs-3", App: "irs", PctTime: 2.5,
+		PaperFibers: 30, PaperDeps: 3, PaperBalance: 1.88,
+		PaperCommOps: 2, PaperQueues: 2, PaperSpeedup: 2.06,
+		HasConditionals: false,
+		build:           irs3,
+	})
+	register(&Kernel{
+		Name: "irs-4", App: "irs", PctTime: 0.6,
+		PaperFibers: 110, PaperDeps: 108, PaperBalance: 1.65,
+		PaperCommOps: 16, PaperQueues: 3, PaperSpeedup: 2.98,
+		HasConditionals: true, SpeculationHelps: true,
+		build: irs4,
+	})
+	register(&Kernel{
+		Name: "irs-5", App: "irs", PctTime: 1.5,
+		PaperFibers: 390, PaperDeps: 698, PaperBalance: 1.84,
+		PaperCommOps: 60, PaperQueues: 3, PaperSpeedup: 2.99,
+		HasConditionals: true, SpeculationHelps: true,
+		build: irs5,
+	})
+}
+
+// irs1 is the rmatmult3 27-point stencil (rmatmult3.c line 75): b[i] is the
+// sum of 27 coefficient*neighbor products across three planes of a 3D
+// brick. Every product is independent; only the final reduction tree links
+// them — the widest-ILP kernel of the suite.
+func irs1() *ir.Loop {
+	const (
+		stX  = 1
+		stY  = 34
+		stZ  = 34 * 34
+		n    = 2*stZ + 1200 // interior band plus halo planes
+		from = stZ + stY + 1
+		to   = n - stZ - stY - 1
+	)
+	r := newRNG(0x125051)
+	b := ir.NewBuilder("irs-1", "i", from, to, 1)
+	b.ArrayF("xv", r.floats(n, -1, 1))
+	b.ArrayF("bv", make([]float64, n))
+	offs := [9][2]int64{
+		{-stZ - stY, 0}, {-stZ, 1}, {-stZ + stY, 2},
+		{-stY, 3}, {0, 4}, {stY, 5},
+		{stZ - stY, 6}, {stZ, 7}, {stZ + stY, 8},
+	}
+	for k := 0; k < 9; k++ {
+		b.ArrayF(fmt.Sprintf("c%d", k), r.floats(n, -0.25, 0.25))
+	}
+	i := b.Idx()
+	// 27 independent products: for each of the 9 rows, the left/center/right
+	// neighbors with that row's coefficient plane.
+	var rows []ir.Expr
+	for k := 0; k < 9; k++ {
+		o := offs[k][0]
+		cf := fmt.Sprintf("c%d", k)
+		l := b.Def(fmt.Sprintf("pl%d", k), ir.MulE(ir.LDF(cf, i), ir.LDF("xv", ir.AddE(i, ir.I(o-stX)))))
+		c := b.Def(fmt.Sprintf("pc%d", k), ir.MulE(ir.LDF(cf, ir.AddE(i, ir.I(o))), ir.LDF("xv", ir.AddE(i, ir.I(o)))))
+		rr := b.Def(fmt.Sprintf("pr%d", k), ir.MulE(ir.LDF(cf, ir.AddE(i, ir.I(o+stX))), ir.LDF("xv", ir.AddE(i, ir.I(o+stX)))))
+		rows = append(rows, b.Def(fmt.Sprintf("row%d", k), ir.AddE(ir.AddE(l, c), rr)))
+	}
+	// Balanced reduction tree over the 9 row sums.
+	s01 := b.Def("s01", ir.AddE(rows[0], rows[1]))
+	s23 := b.Def("s23", ir.AddE(rows[2], rows[3]))
+	s45 := b.Def("s45", ir.AddE(rows[4], rows[5]))
+	s67 := b.Def("s67", ir.AddE(rows[6], rows[7]))
+	sA := b.Def("sA", ir.AddE(s01, s23))
+	sB := b.Def("sB", ir.AddE(s45, s67))
+	b.StoreF("bv", i, ir.AddE(ir.AddE(sA, sB), rows[8]))
+	return b.MustBuild()
+}
+
+// irs2 is the MatrixSolveCG preconditioner loop (MatrixSolve.c line 287):
+// an incomplete-factorization forward substitution — z[i] depends on
+// z[i-1] through memory, a loop-carried recurrence the compiler must
+// synchronize when split — plus a scalar dot-product reduction and a
+// masked correction conditional. The combination of the carried sweep and
+// the reductions is what limits its speedup (paper: 1.33, and one of the
+// four kernels that lose all speedup at 20-cycle transfer latency).
+func irs2() *ir.Loop {
+	const n = 1500
+	r := newRNG(0x125052)
+	b := ir.NewBuilder("irs-2", "i", 1, n, 1)
+	b.ArrayF("rv", r.floats(n, -1, 1))
+	b.ArrayF("pre", r.floats(n, 0.3, 0.9))
+	b.ArrayF("lw", r.floats(n, 0.1, 0.4))
+	b.ArrayF("zv", make([]float64, n))
+	b.ArrayF("pv", r.floats(n, -1, 1))
+	b.ArrayF("p2", make([]float64, n))
+	b.ArrayI("mask", r.indices(n, 3))
+	beta := b.ScalarF("beta", 0.37)
+	rz := b.ScalarF("rz", 0)
+	snorm := b.ScalarF("snorm", 0)
+	_, _ = rz, snorm
+	b.LiveOut("rz", "snorm")
+	i := b.Idx()
+
+	// Forward substitution: z[i] = (r[i] - L[i]*z[i-1]) * pre[i].
+	zp := b.Def("zp", ir.LDF("zv", ir.SubE(i, ir.I(1))))
+	z := b.Def("z", ir.MulE(ir.SubE(ir.LDF("rv", i), ir.MulE(ir.LDF("lw", i), zp)), ir.LDF("pre", i)))
+	b.StoreF("zv", i, z)
+	b.Def("rz", ir.AddE(b.T("rz"), ir.MulE(z, ir.LDF("rv", i))))
+	pnew := b.Def("pnew", ir.AddE(z, ir.MulE(beta, ir.LDF("pv", i))))
+	b.StoreF("p2", i, pnew)
+	cnd := b.Def("cnd", ir.GtE(ir.LDI("mask", i), ir.I(0)))
+	b.If(cnd, func() {
+		b.Def("corr", z)
+	}, func() {
+		b.Def("corr", ir.F(0))
+	})
+	b.Def("snorm", ir.AddE(b.T("snorm"), ir.MulE(b.T("corr"), b.T("corr"))))
+	return b.MustBuild()
+}
+
+// irs3 is the second CG loop (MatrixSolve.c line 250): independent fused
+// multiply-add streams with no cross-stream dependences and no
+// conditionals.
+func irs3() *ir.Loop {
+	const n = 1500
+	r := newRNG(0x125053)
+	b := ir.NewBuilder("irs-3", "i", 0, n, 1)
+	for _, name := range []string{"a1", "a2", "a3", "a4", "a5", "a6", "g1", "g2"} {
+		b.ArrayF(name, r.floats(n, -1, 1))
+	}
+	for _, name := range []string{"o1", "o2", "o3", "o4"} {
+		b.ArrayF(name, make([]float64, n))
+	}
+	k1 := b.ScalarF("k1", 1.5)
+	k2 := b.ScalarF("k2", -0.5)
+	k3 := b.ScalarF("k3", 0.25)
+	k4 := b.ScalarF("k4", 2.0)
+	i := b.Idx()
+
+	b.StoreF("o1", i, ir.AddE(ir.MulE(ir.LDF("a1", i), k1), ir.MulE(ir.LDF("a2", i), k2)))
+	b.StoreF("o2", i, ir.SubE(ir.MulE(ir.LDF("a3", i), k3), ir.MulE(ir.LDF("a4", i), k4)))
+	b.StoreF("o3", i, ir.MulE(ir.AddE(ir.LDF("a5", i), ir.LDF("a6", i)), k1))
+	g := b.Def("g", ir.AddE(ir.MulE(ir.LDF("g1", i), ir.LDF("g1", i)), ir.MulE(ir.LDF("g2", i), ir.LDF("g2", i))))
+	b.StoreF("o4", i, ir.SqrtE(g))
+	return b.MustBuild()
+}
+
+// irs4 is the 3D diffusion-coefficient loop (DiffCoef.c line 191): for each
+// of the three face directions, a geometric mean of the adjacent zones'
+// sigma*volume products guarded by a denominator conditional (the classic
+// speculation target, Fig 10), scaled by the face area.
+func irs4() *ir.Loop {
+	const (
+		stY = 40
+		stZ = 40 * 40
+		n   = 2*stZ + 1300
+	)
+	r := newRNG(0x125054)
+	b := ir.NewBuilder("irs-4", "i", stZ, n-stZ, 1)
+	b.ArrayF("sig", r.floats(n, 0.0, 2.0))
+	b.ArrayF("vol", r.floats(n, 0.5, 1.5))
+	b.ArrayF("ax", r.floats(n, 0.8, 1.2))
+	b.ArrayF("ay", r.floats(n, 0.8, 1.2))
+	b.ArrayF("az", r.floats(n, 0.8, 1.2))
+	b.ArrayF("dcx", make([]float64, n))
+	b.ArrayF("dcy", make([]float64, n))
+	b.ArrayF("dcz", make([]float64, n))
+	tiny := b.ScalarF("tiny", 0.02)
+	i := b.Idx()
+
+	dc := b.Def("dc", ir.MulE(ir.LDF("sig", i), ir.LDF("vol", i)))
+	dirs := []struct {
+		tag  string
+		off  int64
+		area string
+		out  string
+	}{
+		{"x", 1, "ax", "dcx"},
+		{"y", stY, "ay", "dcy"},
+		{"z", stZ, "az", "dcz"},
+	}
+	for _, d := range dirs {
+		dn := b.Def("dn_"+d.tag, ir.MulE(ir.LDF("sig", ir.AddE(i, ir.I(d.off))), ir.LDF("vol", ir.AddE(i, ir.I(d.off)))))
+		num := b.Def("num_"+d.tag, ir.MulE(ir.MulE(ir.F(2), dc), dn))
+		den := b.Def("den_"+d.tag, ir.AddE(ir.AddE(dc, dn), tiny))
+		cnd := b.Def("cnd_"+d.tag, ir.GtE(den, ir.MulE(tiny, ir.F(4))))
+		b.If(cnd, func() {
+			b.Def("gm_"+d.tag, ir.DivE(num, den))
+		}, func() {
+			b.Def("gm_"+d.tag, ir.F(0))
+		})
+		b.StoreF(d.out, i, ir.MulE(b.T("gm_"+d.tag), ir.LDF(d.area, i)))
+	}
+	return b.MustBuild()
+}
+
+// irs5 is the second DiffCoef loop (line 317), the largest kernel: a
+// three-direction advective update with slope limiting (min/abs chains),
+// upwind selection conditionals, and coupled density/energy flux chains
+// feeding a combined zone update — several hundred operations per
+// iteration with dense cross-statement dependences.
+func irs5() *ir.Loop {
+	const (
+		stY = 36
+		stZ = 36 * 36
+		n   = 2*stZ + 1300
+	)
+	r := newRNG(0x125055)
+	b := ir.NewBuilder("irs-5", "i", stZ, n-stZ, 1)
+	b.ArrayF("u", r.floats(n, 0.2, 2.0))
+	b.ArrayF("en", r.floats(n, 0.5, 3.0))
+	b.ArrayF("rho", r.floats(n, 0.5, 1.5))
+	b.ArrayF("vx", r.floats(n, -1, 1))
+	b.ArrayF("vy", r.floats(n, -1, 1))
+	b.ArrayF("vz", r.floats(n, -1, 1))
+	b.ArrayF("unew", make([]float64, n))
+	b.ArrayF("enew", make([]float64, n))
+	dt := b.ScalarF("dt", 0.01)
+	half := b.ScalarF("half", 0.5)
+	i := b.Idx()
+
+	dirs := []struct {
+		tag string
+		off int64
+		vel string
+	}{
+		{"x", 1, "vx"},
+		{"y", stY, "vy"},
+		{"z", stZ, "vz"},
+	}
+	flux := func(field, tag string, off int64, vel string) ir.Expr {
+		ql := b.Def(field+"ql_"+tag, ir.LDF(field, ir.SubE(i, ir.I(off))))
+		qc := b.Def(field+"qc_"+tag, ir.LDF(field, i))
+		qr := b.Def(field+"qr_"+tag, ir.LDF(field, ir.AddE(i, ir.I(off))))
+		dl := b.Def(field+"dl_"+tag, ir.SubE(qc, ql))
+		dr := b.Def(field+"dr_"+tag, ir.SubE(qr, qc))
+		// minmod limiter via min of magnitudes and an agreement mask.
+		mag := b.Def(field+"mag_"+tag, ir.MinE(ir.AbsE(dl), ir.AbsE(dr)))
+		agree := b.Def(field+"ag_"+tag, ir.MaxE(ir.MulE(dl, dr), ir.F(0)))
+		nrm := b.Def(field+"nr_"+tag, ir.AddE(ir.AbsE(ir.MulE(dl, dr)), ir.F(1e-12)))
+		sl := b.Def(field+"sl_"+tag, ir.MulE(mag, ir.DivE(agree, nrm)))
+		v := b.Def(field+"v_"+tag, ir.LDF(vel, i))
+		cnd := b.Def(field+"cnd_"+tag, ir.GtE(v, ir.F(0)))
+		b.If(cnd, func() {
+			b.Def(field+"fs_"+tag, ir.AddE(qc, ir.MulE(half, sl)))
+		}, func() {
+			b.Def(field+"fs_"+tag, ir.SubE(qr, ir.MulE(half, sl)))
+		})
+		return b.Def(field+"fx_"+tag, ir.MulE(v, ir.MulE(b.T(field+"fs_"+tag), ir.LDF("rho", i))))
+	}
+	var uf, ef []ir.Expr
+	for _, d := range dirs {
+		uf = append(uf, flux("u", d.tag, d.off, d.vel))
+		ef = append(ef, flux("en", d.tag, d.off, d.vel))
+	}
+	usum := b.Def("usum", ir.AddE(ir.AddE(uf[0], uf[1]), uf[2]))
+	esum := b.Def("esum", ir.AddE(ir.AddE(ef[0], ef[1]), ef[2]))
+	b.StoreF("unew", i, ir.SubE(ir.LDF("u", i), ir.MulE(dt, usum)))
+	b.StoreF("enew", i, ir.SubE(ir.LDF("en", i), ir.MulE(dt, ir.AddE(esum, ir.MulE(usum, half)))))
+	return b.MustBuild()
+}

@@ -1,0 +1,181 @@
+package kernels
+
+import (
+	"testing"
+
+	"fgp/internal/core"
+	"fgp/internal/interp"
+	"fgp/internal/ir"
+)
+
+func TestAllKernelsRegistered(t *testing.T) {
+	ks := All()
+	if len(ks) != 18 {
+		t.Fatalf("got %d kernels, want 18", len(ks))
+	}
+	for i, k := range ks {
+		if k.Name != tableNames[i] {
+			t.Errorf("kernel %d = %s, want %s", i, k.Name, tableNames[i])
+		}
+	}
+}
+
+func TestKernelsValidateAndInterpret(t *testing.T) {
+	for _, k := range All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			l := k.Build()
+			if err := ir.Validate(l); err != nil {
+				t.Fatal(err)
+			}
+			res, err := interp.Run(l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.OpCount == 0 {
+				t.Fatal("kernel executed no compute operations")
+			}
+			t.Logf("%s: %d trips, %d dynamic ops (%.1f ops/iter)",
+				k.Name, l.Trips(), res.OpCount, float64(res.OpCount)/float64(l.Trips()))
+		})
+	}
+}
+
+func TestKernelsDeterministicBuild(t *testing.T) {
+	for _, k := range All() {
+		a, err := interp.Run(k.Build())
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		b, err := interp.Run(k.Build())
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		for name, av := range a.ArraysF {
+			bv := b.ArraysF[name]
+			for i := range av {
+				if av[i] != bv[i] {
+					t.Fatalf("%s: array %s differs between builds at %d", k.Name, name, i)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelsCompileAndVerify is the central correctness gate: every kernel
+// compiled for 1, 2 and 4 cores must produce a memory image and live-outs
+// bit-identical to the reference interpreter, with queue-edge verification
+// enabled.
+func TestKernelsCompileAndVerify(t *testing.T) {
+	for _, k := range All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			l := k.Build()
+			for _, cores := range []int{1, 2, 4} {
+				opt := core.DefaultOptions(cores)
+				a, err := core.Compile(l, opt)
+				if err != nil {
+					t.Fatalf("cores=%d: compile: %v", cores, err)
+				}
+				if _, err := a.Verify(a.MachineConfig()); err != nil {
+					t.Fatalf("cores=%d: %v", cores, err)
+				}
+			}
+		})
+	}
+}
+
+// TestKernelsSpeculateAndVerify checks the speculation path preserves
+// semantics on every kernel.
+func TestKernelsSpeculateAndVerify(t *testing.T) {
+	for _, k := range All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			l := k.Build()
+			opt := core.DefaultOptions(4)
+			opt.Speculate = true
+			a, err := core.Compile(l, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := a.Verify(a.MachineConfig()); err != nil {
+				t.Fatal(err)
+			}
+			if k.SpeculationHelps && a.Report.SpeculatedIfs == 0 {
+				t.Errorf("%s: expected the speculation pass to fire", k.Name)
+			}
+		})
+	}
+}
+
+// TestKernelStructuralSignatures checks that each kernel exhibits the
+// structural property the paper attributes to it (Section IV).
+func TestKernelStructuralSignatures(t *testing.T) {
+	hasIf := func(l *ir.Loop) bool {
+		found := false
+		ir.WalkStmts(l.Body, func(s ir.Stmt) {
+			if _, ok := s.(*ir.If); ok {
+				found = true
+			}
+		})
+		return found
+	}
+	condCount := 0
+	for _, k := range All() {
+		l := k.Build()
+		if got := hasIf(l); got != k.HasConditionals {
+			t.Errorf("%s: HasConditionals=%v but loop hasIf=%v", k.Name, k.HasConditionals, got)
+		}
+		if k.HasConditionals {
+			condCount++
+		}
+		if k.PctTime <= 0 || k.PaperSpeedup <= 0 {
+			t.Errorf("%s: missing paper metadata", k.Name)
+		}
+	}
+	// Paper: 7 of the 18 loops have no conditionals in the body.
+	if got := 18 - condCount; got != 7 {
+		t.Errorf("%d kernels without conditionals, paper says 7", got)
+	}
+}
+
+// TestTableIPercentages checks per-app coverage stays in the bands the
+// paper quotes (≈85%% lammps, 65%% irs, 50%% umt2k, and Table I's 38%% for
+// sphot).
+func TestTableIPercentages(t *testing.T) {
+	want := map[string][2]float64{
+		"lammps": {80, 92},
+		"irs":    {60, 70},
+		"umt2k":  {44, 55},
+		"sphot":  {35, 42},
+	}
+	for app, band := range want {
+		sum := 0.0
+		for _, k := range ByApp(app) {
+			sum += k.PctTime
+		}
+		if sum < band[0] || sum > band[1] {
+			t.Errorf("%s: coverage %.1f%% outside [%g, %g]", app, sum, band[0], band[1])
+		}
+	}
+}
+
+// TestReductionKernelsAreImbalanced verifies the umt2k-2/3 mechanism: the
+// conditional reductions pin to one core, so those kernels' load balance is
+// the worst of their application.
+func TestReductionKernelsAreImbalanced(t *testing.T) {
+	balance := func(name string) float64 {
+		k, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := core.Compile(k.Build(), core.DefaultOptions(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a.Report.LoadBalance
+	}
+	if b2, b1 := balance("umt2k-2"), balance("umt2k-1"); b2 <= b1 {
+		t.Errorf("umt2k-2 (conditional reduction) balance %.1f should exceed umt2k-1's %.1f", b2, b1)
+	}
+}

@@ -1,0 +1,295 @@
+package kernels
+
+import "fgp/internal/ir"
+
+// The five lammps kernels mirror the EAM pair-potential compute loops and
+// the half-bin neighbor-list construction loops of Sequoia lammps
+// (pair_eam.cpp / neigh_half_bin.cpp): cubic-spline table interpolation,
+// pairwise distance computation, cutoff conditionals, and indirect
+// accumulation into per-atom arrays.
+
+const lammpsN = 1000
+const splineN = 64 // spline table segments
+
+// splineEval emits a cubic spline evaluation ((c3*fr+c2)*fr+c1)*fr+c0 from
+// a coefficient table laid out as 4 consecutive coefficients per segment.
+func splineEval(b *ir.Builder, dst, tbl string, base, fr ir.Expr) ir.Expr {
+	c3 := b.Def(dst+"_c3", ir.LDF(tbl, base))
+	c2 := b.Def(dst+"_c2", ir.LDF(tbl, ir.AddE(base, ir.I(1))))
+	c1 := b.Def(dst+"_c1", ir.LDF(tbl, ir.AddE(base, ir.I(2))))
+	c0 := b.Def(dst+"_c0", ir.LDF(tbl, ir.AddE(base, ir.I(3))))
+	return b.Def(dst, ir.AddE(ir.MulE(ir.AddE(ir.MulE(ir.AddE(ir.MulE(c3, fr), c2), fr), c1), fr), c0))
+}
+
+// splineIndex emits the table lookup prologue: p = v*scale + 1 clamped to
+// the table, returning (base index expr, fractional part expr).
+func splineIndex(b *ir.Builder, tag string, v, scale ir.Expr) (base, fr ir.Expr) {
+	p := b.Def(tag+"_p", ir.AddE(ir.MulE(v, scale), ir.F(1)))
+	mi := b.Def(tag+"_mi", ir.MinE(ir.FToI(p), ir.I(splineN-2)))
+	fr = b.Def(tag+"_fr", ir.SubE(p, ir.IToF(b.T(tag+"_mi"))))
+	base = b.Def(tag+"_b", ir.MulE(mi, ir.I(4)))
+	return base, fr
+}
+
+// pairDistance emits j = nbr[i]; dx,dy,dz = pos_i - pos_j; r2 with a small
+// core-softening constant, so self-pairs in the synthetic neighbor list
+// never produce a singular 1/r.
+func pairDistance(b *ir.Builder) (j, r2 ir.Expr) {
+	i := b.Idx()
+	j = b.Def("j", ir.LDI("nbr", i))
+	dx := b.Def("dx", ir.SubE(ir.LDF("x", i), ir.LDF("x", j)))
+	dy := b.Def("dy", ir.SubE(ir.LDF("y", i), ir.LDF("y", j)))
+	dz := b.Def("dz", ir.SubE(ir.LDF("z", i), ir.LDF("z", j)))
+	r2 = b.Def("r2", ir.AddE(ir.AddE(ir.MulE(dx, dx), ir.MulE(dy, dy)), ir.AddE(ir.MulE(dz, dz), ir.F(0.0625))))
+	return j, r2
+}
+
+func lammpsArrays(b *ir.Builder, r *rng, n int) {
+	b.ArrayF("x", r.floats(n, 0, 8))
+	b.ArrayF("y", r.floats(n, 0, 8))
+	b.ArrayF("z", r.floats(n, 0, 8))
+	b.ArrayI("nbr", r.indices(n, int64(n)))
+}
+
+func init() {
+	register(&Kernel{
+		Name: "lammps-1", App: "lammps", PctTime: 30.0,
+		PaperFibers: 63, PaperDeps: 37, PaperBalance: 1.49,
+		PaperCommOps: 9, PaperQueues: 3, PaperSpeedup: 1.94,
+		HasConditionals: true, SpeculationHelps: true,
+		build: lammps1,
+	})
+	register(&Kernel{
+		Name: "lammps-2", App: "lammps", PctTime: 0.3,
+		PaperFibers: 60, PaperDeps: 6, PaperBalance: 1.89,
+		PaperCommOps: 6, PaperQueues: 3, PaperSpeedup: 2.07,
+		HasConditionals: false,
+		build:           lammps2,
+	})
+	register(&Kernel{
+		Name: "lammps-3", App: "lammps", PctTime: 49.5,
+		PaperFibers: 123, PaperDeps: 96, PaperBalance: 1.49,
+		PaperCommOps: 23, PaperQueues: 6, PaperSpeedup: 1.67,
+		HasConditionals: true, SpeculationHelps: true,
+		build: lammps3,
+	})
+	register(&Kernel{
+		Name: "lammps-4", App: "lammps", PctTime: 3.6,
+		PaperFibers: 105, PaperDeps: 67, PaperBalance: 1.68,
+		PaperCommOps: 34, PaperQueues: 6, PaperSpeedup: 1.56,
+		HasConditionals: true, SpeculationHelps: true,
+		build: lammps4,
+	})
+	register(&Kernel{
+		Name: "lammps-5", App: "lammps", PctTime: 3.6,
+		PaperFibers: 87, PaperDeps: 14, PaperBalance: 1.45,
+		PaperCommOps: 18, PaperQueues: 6, PaperSpeedup: 2.80,
+		HasConditionals: false,
+		build:           lammps5,
+	})
+}
+
+// lammps1 is the EAM density accumulation (PairEAM::compute, line 182):
+// pairwise distance, two spline interpolations of the density tables, a
+// cutoff conditional selecting the contribution, and accumulation into both
+// atoms' densities (the j side through an indirect read-modify-write).
+func lammps1() *ir.Loop {
+	r := newRNG(0x1a55e51)
+	b := ir.NewBuilder("lammps-1", "i", 0, lammpsN, 1)
+	lammpsArrays(b, r, lammpsN)
+	b.ArrayF("rhor", r.floats(splineN*4, 0.01, 0.5))
+	b.ArrayF("rhor2", r.floats(splineN*4, 0.01, 0.4))
+	b.ArrayF("rho", r.floats(lammpsN, 0, 0.1))
+	b.ArrayF("rhoJ", r.floats(lammpsN, 0, 0.1))
+	rdr := b.ScalarF("rdr", float64(splineN-3)/192.0)
+	cutsq := b.ScalarF("cutsq", 120.0)
+	i := b.Idx()
+
+	j, r2 := pairDistance(b)
+	base, fr := splineIndex(b, "s", r2, rdr)
+	val := splineEval(b, "val", "rhor", base, fr)
+	val2 := splineEval(b, "val2", "rhor2", base, fr)
+	cnd := b.Def("cnd", ir.LtE(r2, cutsq))
+	b.If(cnd, func() {
+		b.Def("w", val)
+		b.Def("w2", val2)
+	}, func() {
+		b.Def("w", ir.F(0))
+		b.Def("w2", ir.F(0))
+	})
+	b.StoreF("rho", i, ir.AddE(ir.LDF("rho", i), b.T("w")))
+	rj := b.Def("rj", ir.LDF("rhoJ", j))
+	b.StoreF("rhoJ", j, ir.AddE(rj, b.T("w2")))
+	return b.MustBuild()
+}
+
+// lammps2 is the EAM embedding-energy loop (PairEAM::compute, line 214):
+// one spline index computation feeding several independent polynomial
+// evaluations over different tables — wide instruction-level parallelism
+// with very few cross-chain dependences.
+func lammps2() *ir.Loop {
+	r := newRNG(0x1a55e52)
+	b := ir.NewBuilder("lammps-2", "i", 0, lammpsN, 1)
+	b.ArrayF("rho", r.floats(lammpsN, 0, 150))
+	b.ArrayF("frho", r.floats(splineN*4, -0.4, 0.4))
+	b.ArrayF("frhoP", r.floats(splineN*4, -0.3, 0.3))
+	b.ArrayF("zr", r.floats(splineN*4, 0.0, 0.6))
+	b.ArrayF("zrP", r.floats(splineN*4, 0.0, 0.5))
+	b.ArrayF("fp", make([]float64, lammpsN))
+	b.ArrayF("emb", make([]float64, lammpsN))
+	b.ArrayF("eng", make([]float64, lammpsN))
+	b.ArrayF("aux", make([]float64, lammpsN))
+	rdrho := b.ScalarF("rdrho", float64(splineN-3)/150.0)
+	scale := b.ScalarF("scale", 0.85)
+	i := b.Idx()
+
+	rho := b.Def("rhoi", ir.LDF("rho", i))
+	base, fr := splineIndex(b, "s", rho, rdrho)
+	fpv := splineEval(b, "fpv", "frhoP", base, fr)
+	embv := splineEval(b, "embv", "frho", base, fr)
+	zv := splineEval(b, "zv", "zr", base, fr)
+	zpv := splineEval(b, "zpv", "zrP", base, fr)
+	b.StoreF("fp", i, fpv)
+	b.StoreF("emb", i, ir.MulE(embv, scale))
+	b.StoreF("eng", i, ir.AddE(ir.MulE(zv, zv), ir.MulE(embv, scale)))
+	b.StoreF("aux", i, ir.SubE(ir.MulE(zpv, zv), ir.MulE(fpv, fpv)))
+	return b.MustBuild()
+}
+
+// lammps3 is the EAM force loop (PairEAM::compute, line 247): the densest
+// kernel — four spline evaluations, the pair-potential force formula with
+// a chain of divisions, a cutoff-smoothing conditional, and force
+// accumulation into both atoms (i direct, j indirect).
+func lammps3() *ir.Loop {
+	r := newRNG(0x1a55e53)
+	b := ir.NewBuilder("lammps-3", "i", 0, lammpsN, 1)
+	lammpsArrays(b, r, lammpsN)
+	b.ArrayF("rhorP", r.floats(splineN*4, 0.005, 0.2))
+	b.ArrayF("rhorP2", r.floats(splineN*4, 0.005, 0.25))
+	b.ArrayF("z2r", r.floats(splineN*4, 0.05, 0.8))
+	b.ArrayF("z2rP", r.floats(splineN*4, 0.02, 0.4))
+	b.ArrayF("fpA", r.floats(lammpsN, -0.5, 0.5))
+	b.ArrayF("fpB", r.floats(lammpsN, -0.5, 0.5))
+	b.ArrayF("fx", make([]float64, lammpsN))
+	b.ArrayF("fy", make([]float64, lammpsN))
+	b.ArrayF("fz", make([]float64, lammpsN))
+	b.ArrayF("gx", r.floats(lammpsN, -0.1, 0.1))
+	rdr := b.ScalarF("rdr", float64(splineN-3)/192.0)
+	rin := b.ScalarF("rin", 6.0)
+	swA := b.ScalarF("swA", 0.75)
+	swB := b.ScalarF("swB", 0.25)
+	i := b.Idx()
+
+	j, r2 := pairDistance(b)
+	rr := b.Def("rr", ir.SqrtE(r2))
+	recip := b.Def("recip", ir.DivE(ir.F(1), rr))
+	base, fr := splineIndex(b, "s", r2, rdr)
+	rhoip := splineEval(b, "rhoip", "rhorP", base, fr)
+	rhojp := splineEval(b, "rhojp", "rhorP2", base, fr)
+	z2 := splineEval(b, "z2", "z2r", base, fr)
+	z2p := splineEval(b, "z2p", "z2rP", base, fr)
+	fpi := b.Def("fpi", ir.LDF("fpA", i))
+	fpj := b.Def("fpj", ir.LDF("fpB", j))
+	psip := b.Def("psip", ir.AddE(ir.AddE(ir.MulE(fpi, rhojp), ir.MulE(fpj, rhoip)), z2p))
+	phi := b.Def("phi", ir.MulE(z2, recip))
+	phip := b.Def("phip", ir.SubE(ir.MulE(z2p, recip), ir.MulE(phi, recip)))
+	cnd := b.Def("cnd", ir.GtE(rr, rin))
+	b.If(cnd, func() {
+		b.Def("sw", ir.AddE(ir.MulE(swA, rr), swB))
+	}, func() {
+		b.Def("sw", ir.F(1))
+	})
+	fpair := b.Def("fpair", ir.MulE(ir.NegE(ir.MulE(b.T("sw"), ir.AddE(psip, phip))), recip))
+	b.StoreF("fx", i, ir.AddE(ir.LDF("fx", i), ir.MulE(fpair, b.T("dx"))))
+	b.StoreF("fy", i, ir.AddE(ir.LDF("fy", i), ir.MulE(fpair, b.T("dy"))))
+	b.StoreF("fz", i, ir.AddE(ir.LDF("fz", i), ir.MulE(fpair, b.T("dz"))))
+	gj := b.Def("gj", ir.LDF("gx", j))
+	b.StoreF("gx", j, ir.SubE(gj, ir.MulE(fpair, b.T("dx"))))
+	return b.MustBuild()
+}
+
+// lammps4 is the half-bin neighbor construction (Neighbor::half_bin_newton,
+// line 172): distance test against the neighbor cutoff, bin-coordinate
+// computation, a conditional hit flag, a running pair count (scalar
+// reduction) and per-candidate bookkeeping stores.
+func lammps4() *ir.Loop {
+	r := newRNG(0x1a55e54)
+	b := ir.NewBuilder("lammps-4", "i", 0, lammpsN, 1)
+	lammpsArrays(b, r, lammpsN)
+	b.ArrayF("dist", make([]float64, lammpsN))
+	b.ArrayI("code", make([]int64, lammpsN))
+	b.ArrayI("bins", make([]int64, 4096))
+	cutn2 := b.ScalarF("cutn2", 60.0)
+	xlo := b.ScalarF("xlo", 0.0)
+	binInv := b.ScalarF("binInv", 2.0)
+	cnt := b.ScalarI("cnt", 0)
+	_ = cnt
+	b.LiveOut("cnt")
+	i := b.Idx()
+
+	j, r2 := pairDistance(b)
+	xj := b.Def("xj", ir.LDF("x", j))
+	yj := b.Def("yj", ir.LDF("y", j))
+	zj := b.Def("zj", ir.LDF("z", j))
+	ix := b.Def("ix", ir.FToI(ir.MulE(ir.SubE(xj, xlo), binInv)))
+	iy := b.Def("iy", ir.FToI(ir.MulE(ir.SubE(yj, xlo), binInv)))
+	iz := b.Def("iz", ir.FToI(ir.MulE(ir.SubE(zj, xlo), binInv)))
+	bc := b.Def("bc", ir.AddE(ix, ir.AddE(ir.MulE(iy, ir.I(16)), ir.MulE(iz, ir.I(256)))))
+	flag := b.Def("flag", ir.LeE(r2, cutn2))
+	b.If(flag, func() {
+		b.Def("hit", ir.I(1))
+	}, func() {
+		b.Def("hit", ir.I(0))
+	})
+	b.Def("cnt", ir.AddE(b.T("cnt"), b.T("hit")))
+	b.StoreI("code", i, ir.MulE(bc, b.T("hit")))
+	// Bin occupancy counter: an indirect read-modify-write whose address is
+	// unknown at compile time, so splitting it from other bins accesses
+	// requires bidirectional queue synchronization.
+	slot := b.Def("slot", ir.AndE(bc, ir.I(4095)))
+	bcnt := b.Def("bcnt", ir.LDI("bins", slot))
+	b.StoreI("bins", slot, ir.AddE(bcnt, b.T("hit")))
+	b.StoreF("dist", i, r2)
+	return b.MustBuild()
+}
+
+// lammps5 is the second half-bin loop (line 199): the same candidate scan
+// but unrolled over independent ghost images — four independent distance
+// and bin computations with almost no dependences between them, the
+// highest-ILP lammps kernel.
+func lammps5() *ir.Loop {
+	r := newRNG(0x1a55e55)
+	b := ir.NewBuilder("lammps-5", "i", 0, lammpsN, 1)
+	lammpsArrays(b, r, lammpsN)
+	b.ArrayI("nbr2", r.indices(lammpsN, lammpsN))
+	b.ArrayF("d0", make([]float64, lammpsN))
+	b.ArrayF("d1", make([]float64, lammpsN))
+	b.ArrayF("d2", make([]float64, lammpsN))
+	b.ArrayF("d3", make([]float64, lammpsN))
+	sx := b.ScalarF("sx", 8.0)
+	sy := b.ScalarF("sy", 7.5)
+	i := b.Idx()
+
+	j, r2 := pairDistance(b)
+	_ = j
+	b.StoreF("d0", i, r2)
+
+	k := b.Def("k", ir.LDI("nbr2", i))
+	ex := b.Def("ex", ir.SubE(ir.AddE(ir.LDF("x", i), sx), ir.LDF("x", k)))
+	ey := b.Def("ey", ir.SubE(ir.AddE(ir.LDF("y", i), sy), ir.LDF("y", k)))
+	ez := b.Def("ez", ir.SubE(ir.LDF("z", i), ir.LDF("z", k)))
+	e2 := b.Def("e2", ir.AddE(ir.AddE(ir.MulE(ex, ex), ir.MulE(ey, ey)), ir.MulE(ez, ez)))
+	b.StoreF("d1", i, e2)
+
+	gx := b.Def("gxv", ir.SubE(ir.SubE(ir.LDF("x", i), sx), ir.LDF("x", k)))
+	gy := b.Def("gyv", ir.SubE(ir.SubE(ir.LDF("y", i), sy), ir.LDF("y", k)))
+	gz := b.Def("gzv", ir.AddE(ir.LDF("z", i), ir.LDF("z", k)))
+	g2 := b.Def("g2", ir.AddE(ir.AddE(ir.MulE(gx, gx), ir.MulE(gy, gy)), ir.MulE(gz, gz)))
+	b.StoreF("d2", i, g2)
+
+	hx := b.Def("hx", ir.MulE(ir.AddE(ir.LDF("x", j), ir.LDF("x", k)), sx))
+	hy := b.Def("hy", ir.MulE(ir.SubE(ir.LDF("y", j), ir.LDF("y", k)), sy))
+	h2 := b.Def("h2", ir.AddE(ir.MulE(hx, hx), ir.MulE(hy, hy)))
+	b.StoreF("d3", i, ir.SqrtE(h2))
+	return b.MustBuild()
+}

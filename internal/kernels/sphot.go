@@ -1,0 +1,123 @@
+package kernels
+
+import "fgp/internal/ir"
+
+// The two sphot kernels mirror the Monte Carlo photon-transport execute
+// loops: a short per-particle bookkeeping step (sphot-1) and the main
+// tracking step (sphot-2) with exp/log-heavy distance sampling, scattering
+// angle updates, absorption conditionals and indirect tally accumulation.
+
+const sphotN = 900
+
+func init() {
+	register(&Kernel{
+		Name: "sphot-1", App: "sphot", PctTime: 0.6,
+		PaperFibers: 5, PaperDeps: 2, PaperBalance: 2.36,
+		PaperCommOps: 2, PaperQueues: 2, PaperSpeedup: 2.26,
+		HasConditionals: false,
+		build:           sphot1,
+	})
+	register(&Kernel{
+		Name: "sphot-2", App: "sphot", PctTime: 37.5,
+		PaperFibers: 448, PaperDeps: 329, PaperBalance: 1.71,
+		PaperCommOps: 36, PaperQueues: 8, PaperSpeedup: 2.60,
+		HasConditionals: true, SpeculationHelps: true,
+		build: sphot2,
+	})
+}
+
+// sphot1 is the per-particle setup step (execute.f line 88): attenuate the
+// statistical weight and advance the position — a handful of independent
+// statements.
+func sphot1() *ir.Loop {
+	r := newRNG(0x5107001)
+	b := ir.NewBuilder("sphot-1", "i", 0, sphotN, 1)
+	b.ArrayF("wt", r.floats(sphotN, 0.5, 1))
+	b.ArrayF("sig", r.floats(sphotN, 0.1, 1.5))
+	b.ArrayF("dst", r.floats(sphotN, 0.0, 2))
+	b.ArrayF("x0", r.floats(sphotN, -5, 5))
+	b.ArrayF("u0", r.floats(sphotN, 0, 1))
+	b.ArrayF("wout", make([]float64, sphotN))
+	b.ArrayF("xout", make([]float64, sphotN))
+	i := b.Idx()
+
+	att := b.Def("att", ir.ExpE(ir.NegE(ir.MulE(ir.LDF("sig", i), ir.LDF("dst", i)))))
+	b.StoreF("wout", i, ir.MulE(ir.LDF("wt", i), att))
+	mu := b.Def("mu", ir.SubE(ir.MulE(ir.F(2), ir.LDF("u0", i)), ir.F(1)))
+	b.StoreF("xout", i, ir.AddE(ir.LDF("x0", i), ir.MulE(ir.LDF("dst", i), mu)))
+	return b.MustBuild()
+}
+
+// sphot2 is the main tracking step (execute.f line 300): sample the flight
+// distance (log of a uniform), rotate the direction (sqrt/div chains),
+// attenuate the weight (exp), split the weight into absorbed and scattered
+// parts behind a census conditional (speculable: both parts are pure), and
+// tally into the particle's cell through an indirect read-modify-write.
+func sphot2() *ir.Loop {
+	const cells = 128
+	r := newRNG(0x5107002)
+	b := ir.NewBuilder("sphot-2", "i", 0, sphotN, 1)
+	b.ArrayF("rn1", r.floats(sphotN, 1e-3, 1))
+	b.ArrayF("rn2", r.floats(sphotN, 0, 1))
+	b.ArrayF("rn3", r.floats(sphotN, 1e-3, 1))
+	b.ArrayF("sigt", r.floats(sphotN, 0.2, 2))
+	b.ArrayF("siga", r.floats(sphotN, 0.05, 0.5))
+	b.ArrayF("wt", r.floats(sphotN, 0.2, 1))
+	b.ArrayF("ux", r.floats(sphotN, -0.9, 0.9))
+	b.ArrayF("uy", r.floats(sphotN, -0.9, 0.9))
+	b.ArrayF("xp", r.floats(sphotN, -4, 4))
+	b.ArrayF("yp", r.floats(sphotN, -4, 4))
+	b.ArrayI("cell", r.indices(sphotN, cells))
+	b.ArrayF("tally", make([]float64, cells))
+	b.ArrayF("wnew", make([]float64, sphotN))
+	b.ArrayF("xnew", make([]float64, sphotN))
+	b.ArrayF("ynew", make([]float64, sphotN))
+	b.ArrayF("escat", make([]float64, sphotN))
+	_ = b.ScalarF("wcut", 0.35)
+	twopi := b.ScalarF("twopi", 6.283185307179586)
+	i := b.Idx()
+
+	// Flight distance: d = -ln(rn1)/sigt.
+	st := b.Def("st", ir.LDF("sigt", i))
+	d := b.Def("d", ir.DivE(ir.NegE(ir.LogE(ir.LDF("rn1", i))), st))
+	// New direction cosines from a scattering angle sample.
+	cmu := b.Def("cmu", ir.SubE(ir.MulE(ir.F(2), ir.LDF("rn2", i)), ir.F(1)))
+	smu := b.Def("smu", ir.SqrtE(ir.MaxE(ir.SubE(ir.F(1), ir.MulE(cmu, cmu)), ir.F(0))))
+	phi := b.Def("phi", ir.MulE(twopi, ir.LDF("rn3", i)))
+	// Cheap trig surrogate: Bhaskara-like rational approximations keep the
+	// op mix (mul/div heavy) without a hardware sin/cos.
+	ph2 := b.Def("ph2", ir.MulE(phi, phi))
+	cph := b.Def("cph", ir.DivE(ir.SubE(ir.F(39.478418), ir.MulE(ir.F(4), ph2)),
+		ir.AddE(ir.F(39.478418), ph2)))
+	sph := b.Def("sph", ir.SqrtE(ir.MaxE(ir.SubE(ir.F(1), ir.MulE(cph, cph)), ir.F(0))))
+	uxn := b.Def("uxn", ir.AddE(ir.MulE(ir.LDF("ux", i), cmu), ir.MulE(smu, cph)))
+	uyn := b.Def("uyn", ir.AddE(ir.MulE(ir.LDF("uy", i), cmu), ir.MulE(smu, sph)))
+	// Weight attenuation and absorption split.
+	w := b.Def("w", ir.LDF("wt", i))
+	att := b.Def("att", ir.ExpE(ir.NegE(ir.MulE(ir.LDF("siga", i), d))))
+	wsur := b.Def("wsur", ir.MulE(w, att))
+	// Russian-roulette census with a variance-adaptive threshold: the cut
+	// tracks the running deposited weight, so the previous iteration's
+	// branch outcome feeds this iteration's condition. Without speculation
+	// the branch bodies sit on that recurrence; with it only the select
+	// does (the Fig 10 payoff).
+	cnd := b.Def("cndw", ir.GtE(wsur, b.T("wcut")))
+	b.If(cnd, func() {
+		b.Def("wkeep", wsur)
+		b.Def("wdep", ir.SubE(b.T("w"), wsur))
+	}, func() {
+		b.Def("wkeep", ir.F(0))
+		b.Def("wdep", b.T("w"))
+	})
+	b.Def("wcut", ir.AddE(ir.MulE(b.T("wcut"), ir.F(0.995)), ir.MulE(b.T("wdep"), ir.F(0.004))))
+	// Position advance and scattered energy.
+	b.StoreF("xnew", i, ir.AddE(ir.LDF("xp", i), ir.MulE(d, uxn)))
+	b.StoreF("ynew", i, ir.AddE(ir.LDF("yp", i), ir.MulE(d, uyn)))
+	b.StoreF("wnew", i, b.T("wkeep"))
+	b.StoreF("escat", i, ir.MulE(b.T("wkeep"), ir.AddE(ir.MulE(uxn, uxn), ir.MulE(uyn, uyn))))
+	// Tally deposited weight into the particle's cell (indirect RMW).
+	c := b.Def("c", ir.LDI("cell", i))
+	tv := b.Def("tv", ir.LDF("tally", c))
+	b.StoreF("tally", c, ir.AddE(tv, b.T("wdep")))
+	return b.MustBuild()
+}

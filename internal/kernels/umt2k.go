@@ -1,0 +1,269 @@
+package kernels
+
+import "fgp/internal/ir"
+
+// The six umt2k kernels mirror the snswp3d transport-sweep loops: angular
+// flux updates with per-face incident/exiting flux bookkeeping, conditional
+// scalar reductions over face signs (the load-imbalance cases umt2k-2/3),
+// and a chain of small conditional blocks with read-after-write dependences
+// between the condition variables (umt2k-6, the kernel with no speedup).
+
+const umtN = 1400
+
+func init() {
+	register(&Kernel{
+		Name: "umt2k-1", App: "umt2k", PctTime: 5.5,
+		PaperFibers: 11, PaperDeps: 6, PaperBalance: 1.91,
+		PaperCommOps: 2, PaperQueues: 2, PaperSpeedup: 2.62,
+		HasConditionals: false,
+		build:           umt2k1,
+	})
+	register(&Kernel{
+		Name: "umt2k-2", App: "umt2k", PctTime: 8.0,
+		PaperFibers: 33, PaperDeps: 2, PaperBalance: 87.50,
+		PaperCommOps: 3, PaperQueues: 2, PaperSpeedup: 1.01,
+		HasConditionals: true,
+		build:           umt2k2,
+	})
+	register(&Kernel{
+		Name: "umt2k-3", App: "umt2k", PctTime: 5.2,
+		PaperFibers: 31, PaperDeps: 4, PaperBalance: 55.00,
+		PaperCommOps: 5, PaperQueues: 3, PaperSpeedup: 1.25,
+		HasConditionals: true,
+		build:           umt2k3,
+	})
+	register(&Kernel{
+		Name: "umt2k-4", App: "umt2k", PctTime: 22.6,
+		PaperFibers: 35, PaperDeps: 62, PaperBalance: 1.67,
+		PaperCommOps: 10, PaperQueues: 7, PaperSpeedup: 2.79,
+		HasConditionals: true, SpeculationHelps: true,
+		build: umt2k4,
+	})
+	register(&Kernel{
+		Name: "umt2k-5", App: "umt2k", PctTime: 1.0,
+		PaperFibers: 9, PaperDeps: 28, PaperBalance: 1.30,
+		PaperCommOps: 6, PaperQueues: 6, PaperSpeedup: 2.03,
+		HasConditionals: false,
+		build:           umt2k5,
+	})
+	register(&Kernel{
+		Name: "umt2k-6", App: "umt2k", PctTime: 5.7,
+		PaperFibers: 38, PaperDeps: 1, PaperBalance: 1.57,
+		PaperCommOps: 6, PaperQueues: 6, PaperSpeedup: 0.90,
+		HasConditionals: true,
+		build:           umt2k6,
+	})
+}
+
+// umt2k1 is the zone flux update (snswp3d line 96): the new angular flux
+// from the source plus the incident face fluxes, and the two exiting face
+// fluxes derived from it. Iterations (angles within the wavefront) are
+// independent.
+func umt2k1() *ir.Loop {
+	r := newRNG(0x0171201)
+	b := ir.NewBuilder("umt2k-1", "i", 1, umtN, 1)
+	b.ArrayF("q", r.floats(umtN, 0, 2))
+	b.ArrayF("afp", r.floats(umtN, -1, 1))
+	b.ArrayF("aez", r.floats(umtN, -1, 1))
+	b.ArrayF("rdn", r.floats(umtN, 0.2, 1.2))
+	b.ArrayF("psi", make([]float64, umtN))
+	b.ArrayF("ofp", r.floats(umtN, 0, 0.5))
+	b.ArrayF("oez", make([]float64, umtN))
+	mu := b.ScalarF("mu", 0.35)
+	eta := b.ScalarF("eta", 0.55)
+	i := b.Idx()
+
+	inc := b.Def("inc", ir.LDF("afp", i))
+	fin := b.Def("fin", ir.AddE(ir.MulE(mu, inc), ir.MulE(eta, ir.LDF("aez", i))))
+	pv := b.Def("pv", ir.MulE(ir.AddE(ir.LDF("q", i), fin), ir.LDF("rdn", i)))
+	b.StoreF("psi", i, pv)
+	b.StoreF("ofp", i, ir.MulE(ir.SubE(ir.MulE(ir.F(2), pv), inc), ir.F(0.45)))
+	b.StoreF("oez", i, ir.SubE(ir.MulE(ir.F(2), pv), ir.LDF("aez", i)))
+	return b.MustBuild()
+}
+
+// umt2k2 is the incident/exiting partial-current tally (snswp3d line 117):
+// the loop body is almost entirely two scalar reductions inside a face-sign
+// conditional. Both accumulations are forced onto one core (the recurrence
+// cannot be split), producing the extreme load imbalance Table III reports
+// (87.5) and essentially no speedup.
+func umt2k2() *ir.Loop {
+	r := newRNG(0x0171202)
+	b := ir.NewBuilder("umt2k-2", "i", 0, umtN, 1)
+	b.ArrayF("afp", r.floats(umtN, -1, 1))
+	b.ArrayF("wts", r.floats(umtN, 0.1, 1))
+	b.ArrayF("psi", r.floats(umtN, 0, 2))
+	sumin := b.ScalarF("sumin", 0)
+	sumout := b.ScalarF("sumout", 0)
+	_, _ = sumin, sumout
+	b.LiveOut("sumin", "sumout")
+	i := b.Idx()
+
+	a := b.Def("a", ir.LDF("afp", i))
+	w := b.Def("w", ir.MulE(ir.LDF("wts", i), ir.LDF("psi", i)))
+	// The face test renormalizes against the running tally, so the
+	// condition itself is part of the reduction recurrence: the condition,
+	// both accumulations, and their feeding operations are pinned to one
+	// core, reproducing the pinned-reduction structure behind the paper's
+	// 87.5 load-balance ratio.
+	bal := b.Def("bal", ir.SubE(b.T("sumout"), b.T("sumin")))
+	cnd := b.Def("cnd", ir.GtE(ir.MulE(a, ir.F(500)), bal))
+	b.If(cnd, func() {
+		b.Def("sumout", ir.AddE(b.T("sumout"), ir.MulE(a, w)))
+	}, func() {
+		b.Def("sumin", ir.SubE(b.T("sumin"), w))
+	})
+	return b.MustBuild()
+}
+
+// umt2k3 is the boundary partial-current tally (line 145): like umt2k-2 but
+// with an extra independent exit-flux store that gives the other cores a
+// little work — slightly better balance (55 vs 87.5) and a small speedup.
+func umt2k3() *ir.Loop {
+	r := newRNG(0x0171203)
+	b := ir.NewBuilder("umt2k-3", "i", 0, umtN, 1)
+	b.ArrayF("aez", r.floats(umtN, -1, 1))
+	b.ArrayF("wts", r.floats(umtN, 0.1, 1))
+	b.ArrayF("psib", r.floats(umtN, 0, 2))
+	b.ArrayF("exitf", make([]float64, umtN))
+	binc := b.ScalarF("binc", 0)
+	bout := b.ScalarF("bout", 0)
+	_, _ = binc, bout
+	b.LiveOut("binc", "bout")
+	i := b.Idx()
+
+	a := b.Def("a", ir.LDF("aez", i))
+	w := b.Def("w", ir.MulE(ir.LDF("wts", i), ir.LDF("psib", i)))
+	b.StoreF("exitf", i, ir.MulE(ir.AbsE(a), w))
+	// Like umt2k-2, the boundary test references the running tallies, so
+	// the conditional reductions pin to one core; the independent exit-flux
+	// store gives the remaining cores a little work (balance 55 vs 87.5 in
+	// the paper, and a correspondingly small speedup).
+	cnd := b.Def("cnd", ir.GtE(ir.MulE(a, ir.F(500)), ir.SubE(b.T("bout"), b.T("binc"))))
+	b.If(cnd, func() {
+		b.Def("bout", ir.AddE(b.T("bout"), ir.MulE(a, w)))
+	}, func() {
+		b.Def("binc", ir.SubE(b.T("binc"), ir.MulE(a, w)))
+	})
+	return b.MustBuild()
+}
+
+// umt2k4 is the corner-balance flux solve (line 158), the hottest umt2k
+// loop: three coupled face fluxes, a denominator chain with divisions, and
+// a negative-flux fixup conditional whose branches are pure (speculable).
+func umt2k4() *ir.Loop {
+	r := newRNG(0x0171204)
+	b := ir.NewBuilder("umt2k-4", "i", 1, umtN, 1)
+	b.ArrayF("q", r.floats(umtN, 0.1, 2))
+	b.ArrayF("a1", r.floats(umtN, -1, 1))
+	b.ArrayF("a2", r.floats(umtN, -1, 1))
+	b.ArrayF("a3", r.floats(umtN, -1, 1))
+	b.ArrayF("sigv", r.floats(umtN, 0.5, 2.5))
+	b.ArrayF("psi1", make([]float64, umtN))
+	b.ArrayF("psi2", make([]float64, umtN))
+	b.ArrayF("psi3", make([]float64, umtN))
+	mu := b.ScalarF("mu", 0.4)
+	eta := b.ScalarF("eta", 0.3)
+	xi := b.ScalarF("xi", 0.5)
+	i := b.Idx()
+
+	f1 := b.Def("f1", ir.MulE(mu, ir.LDF("a1", i)))
+	f2 := b.Def("f2", ir.MulE(eta, ir.LDF("a2", i)))
+	f3 := b.Def("f3", ir.MulE(xi, ir.LDF("a3", i)))
+	qq := b.Def("qq", ir.LDF("q", i))
+	sv := b.Def("sv", ir.LDF("sigv", i))
+	// Three independent corner-flux chains, one per face pair.
+	den1 := b.Def("den1", ir.AddE(sv, ir.AddE(ir.AbsE(f1), ir.AbsE(f2))))
+	den2 := b.Def("den2", ir.AddE(sv, ir.AddE(ir.AbsE(f2), ir.AbsE(f3))))
+	den3 := b.Def("den3", ir.AddE(sv, ir.AddE(ir.AbsE(f3), ir.AbsE(f1))))
+	raw1 := b.Def("raw1", ir.DivE(ir.AddE(qq, ir.AddE(f1, f2)), den1))
+	raw2 := b.Def("raw2", ir.DivE(ir.AddE(qq, ir.AddE(f2, f3)), den2))
+	raw3 := b.Def("raw3", ir.DivE(ir.AddE(qq, ir.AddE(f3, f1)), den3))
+	neg := b.Def("neg", ir.LtE(ir.MinE(raw1, ir.MinE(raw2, raw3)), ir.F(0)))
+	b.If(neg, func() {
+		b.Def("o1", ir.MaxE(raw1, ir.F(0)))
+		b.Def("o2", ir.MaxE(raw2, ir.F(0)))
+		b.Def("o3", ir.MaxE(raw3, ir.F(0)))
+	}, func() {
+		b.Def("o1", raw1)
+		b.Def("o2", raw2)
+		b.Def("o3", raw3)
+	})
+	b.StoreF("psi1", i, b.T("o1"))
+	b.StoreF("psi2", i, b.T("o2"))
+	b.StoreF("psi3", i, b.T("o3"))
+	return b.MustBuild()
+}
+
+// umt2k5 is the source-moment update (line 178): few statements but each
+// feeding the next — dependence-dense for its size (the paper reports 28
+// dependences over 9 fibers), which forces real communication between the
+// two halves.
+func umt2k5() *ir.Loop {
+	r := newRNG(0x0171205)
+	b := ir.NewBuilder("umt2k-5", "i", 0, umtN, 1)
+	b.ArrayF("phi", r.floats(umtN, 0.1, 2))
+	b.ArrayF("cur", r.floats(umtN, -1, 1))
+	b.ArrayF("sct", r.floats(umtN, 0.1, 0.9))
+	b.ArrayF("src", make([]float64, umtN))
+	b.ArrayF("mom", make([]float64, umtN))
+	w0 := b.ScalarF("w0", 0.25)
+	w1 := b.ScalarF("w1", 0.75)
+	i := b.Idx()
+
+	t1 := b.Def("t1", ir.MulE(ir.LDF("phi", i), ir.LDF("sct", i)))
+	t2 := b.Def("t2", ir.AddE(t1, ir.MulE(w0, ir.LDF("cur", i))))
+	t3 := b.Def("t3", ir.MulE(t2, w1))
+	t4 := b.Def("t4", ir.AddE(t3, ir.MulE(t1, t2)))
+	b.StoreF("src", i, t4)
+	b.StoreF("mom", i, ir.SubE(ir.MulE(t4, t3), t2))
+	return b.MustBuild()
+}
+
+// umt2k6 is the ordinate-set selection inside the wavefront sweep (line
+// 208): a chain of small conditional blocks where each block's condition
+// depends on the value the previous block computed (read-after-write on
+// the condition variables), and the whole chain is loop-carried through
+// the swept flux array. Every value a core needs sits on the critical
+// path of the previous iteration, so the transformed code only adds queue
+// round-trips — the one kernel the paper reports slowing down (0.90).
+func umt2k6() *ir.Loop {
+	r := newRNG(0x0171206)
+	b := ir.NewBuilder("umt2k-6", "i", 1, umtN, 1)
+	b.ArrayF("xin", r.floats(umtN, -1, 1))
+	b.ArrayF("yout", make([]float64, umtN))
+	th1 := b.ScalarF("th1", 0.1)
+	th2 := b.ScalarF("th2", 0.3)
+	th3 := b.ScalarF("th3", -0.2)
+	th4 := b.ScalarF("th4", 0.6)
+	i := b.Idx()
+
+	prev := b.Def("prev", ir.LDF("yout", ir.SubE(i, ir.I(1))))
+	t0 := b.Def("t0", ir.AddE(ir.LDF("xin", i), ir.MulE(prev, ir.F(0.3))))
+	c1 := b.Def("c1", ir.GtE(t0, th1))
+	b.If(c1, func() {
+		b.Def("t1c", ir.MulE(t0, ir.F(2)))
+	}, func() {
+		b.Def("t1c", ir.AddE(t0, ir.F(1)))
+	})
+	c2 := b.Def("c2", ir.GtE(b.T("t1c"), th2))
+	b.If(c2, func() {
+		b.Def("t2c", ir.SubE(b.T("t1c"), ir.F(0.5)))
+	}, func() {
+		b.Def("t2c", ir.MulE(b.T("t1c"), ir.F(0.25)))
+	})
+	c3 := b.Def("c3", ir.LtE(b.T("t2c"), th3))
+	b.If(c3, func() {
+		b.Def("t3c", ir.NegE(b.T("t2c")))
+	}, func() {
+		b.Def("t3c", ir.AddE(b.T("t2c"), ir.F(0.125)))
+	})
+	c4 := b.Def("c4", ir.LtE(b.T("t3c"), th4))
+	b.If(c4, func() {
+		b.Def("t4c", ir.MulE(b.T("t3c"), b.T("t3c")))
+	}, func() {
+		b.Def("t4c", ir.SubE(b.T("t3c"), ir.F(2)))
+	})
+	b.StoreF("yout", i, b.T("t4c"))
+	return b.MustBuild()
+}

@@ -1,0 +1,175 @@
+package mem
+
+import (
+	"testing"
+)
+
+func TestArraysBasic(t *testing.T) {
+	m := New()
+	a := m.AddF("a", []float64{1, 2, 3})
+	b := m.AddI("b", []int64{10, 20})
+
+	if id, ok := m.ID("a"); !ok || id != a {
+		t.Error("ID lookup for a failed")
+	}
+	if _, ok := m.ID("zzz"); ok {
+		t.Error("ID lookup for missing array should fail")
+	}
+	if m.Len(a) != 3 || m.Len(b) != 2 {
+		t.Error("Len wrong")
+	}
+	if m.Name(b) != "b" {
+		t.Error("Name wrong")
+	}
+
+	v, err := m.LoadF(a, 1)
+	if err != nil || v != 2 {
+		t.Errorf("LoadF = %v, %v", v, err)
+	}
+	if err := m.StoreF(a, 1, 9); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.LoadF(a, 1); v != 9 {
+		t.Error("StoreF did not take effect")
+	}
+	iv, err := m.LoadI(b, 0)
+	if err != nil || iv != 10 {
+		t.Errorf("LoadI = %v, %v", iv, err)
+	}
+	if err := m.StoreI(b, 0, 77); err != nil {
+		t.Fatal(err)
+	}
+	if iv, _ := m.LoadI(b, 0); iv != 77 {
+		t.Error("StoreI did not take effect")
+	}
+}
+
+func TestBoundsChecking(t *testing.T) {
+	m := New()
+	a := m.AddF("a", make([]float64, 4))
+	b := m.AddI("b", make([]int64, 4))
+	if _, err := m.LoadF(a, 4); err == nil {
+		t.Error("load past end should fail")
+	}
+	if _, err := m.LoadF(a, -1); err == nil {
+		t.Error("negative load should fail")
+	}
+	if err := m.StoreF(a, 4, 0); err == nil {
+		t.Error("store past end should fail")
+	}
+	if _, err := m.LoadI(b, 99); err == nil {
+		t.Error("int load past end should fail")
+	}
+	if err := m.StoreI(b, -1, 0); err == nil {
+		t.Error("negative int store should fail")
+	}
+}
+
+func TestAddressesLineAligned(t *testing.T) {
+	m := New()
+	a := m.AddF("a", make([]float64, 3)) // 24 bytes
+	b := m.AddF("b", make([]float64, 3))
+	addrA := m.Addr(a, 0)
+	addrB := m.Addr(b, 0)
+	if addrA%64 != 0 || addrB%64 != 0 {
+		t.Errorf("arrays not 64-byte aligned: %d, %d", addrA, addrB)
+	}
+	if addrB <= m.Addr(a, 2) {
+		t.Error("arrays overlap")
+	}
+	if m.Addr(a, 1)-m.Addr(a, 0) != 8 {
+		t.Error("element stride must be 8 bytes")
+	}
+}
+
+func TestSnapshotCopies(t *testing.T) {
+	m := New()
+	m.AddF("a", []float64{1, 2})
+	s := m.SnapshotF("a")
+	s[0] = 99
+	s2 := m.SnapshotF("a")
+	if s2[0] != 1 {
+		t.Error("snapshot must be a copy")
+	}
+	if m.SnapshotF("missing") != nil {
+		t.Error("snapshot of a missing array must be nil")
+	}
+	m.AddI("b", []int64{5})
+	if got := m.SnapshotI("b"); len(got) != 1 || got[0] != 5 {
+		t.Error("SnapshotI wrong")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	m := New()
+	m.AddF("a", []float64{1})
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate array must panic")
+		}
+	}()
+	m.AddF("a", []float64{2})
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(CacheConfig{Lines: 4, LineSize: 64})
+	// First touch misses, second hits.
+	if c.Access(0) {
+		t.Error("cold access must miss")
+	}
+	if !c.Access(8) {
+		t.Error("same-line access must hit")
+	}
+	if !c.Access(56) {
+		t.Error("end of line must hit")
+	}
+	if c.Access(64) {
+		t.Error("next line must miss")
+	}
+	if c.Hits != 2 || c.Misses != 2 {
+		t.Errorf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+}
+
+func TestCacheConflictEviction(t *testing.T) {
+	c := NewCache(CacheConfig{Lines: 4, LineSize: 64})
+	// Lines 0 and 4 map to the same set in a 4-line direct-mapped cache.
+	c.Access(0)
+	c.Access(4 * 64)
+	if c.Access(0) {
+		t.Error("conflicting line must have evicted line 0")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(CacheConfig{})
+	for i := int64(0); i < 100; i++ {
+		if !c.Access(i * 64) {
+			t.Fatal("disabled cache must always hit")
+		}
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := NewCache(CacheConfig{Lines: 2, LineSize: 64})
+	c.Access(0)
+	c.Access(0)
+	c.Reset()
+	if c.Hits != 0 || c.Misses != 0 {
+		t.Error("reset must clear stats")
+	}
+	if c.Access(0) {
+		t.Error("reset must clear lines")
+	}
+}
+
+func TestCacheStreamingMissRate(t *testing.T) {
+	// Sequential 8-byte accesses: exactly one miss per 64-byte line.
+	c := NewCache(CacheConfig{Lines: 512, LineSize: 64})
+	for i := int64(0); i < 512; i++ {
+		c.Access(i * 8)
+	}
+	if c.Misses != 64 {
+		t.Errorf("streaming misses = %d, want 64", c.Misses)
+	}
+}

@@ -1,0 +1,135 @@
+// Package normalize implements the pre-processing step of Section III-A:
+// "the expression trees are pre-processed to reduce the depth of the tree by
+// splitting compound expressions into multiple statements. This makes it
+// possible to detect even more fine-grained parallelism."
+//
+// Splitting extracts subtrees of large expressions into fresh temporaries,
+// each assigned by its own statement. Because the fiber-partitioning
+// algorithm works per statement tree, smaller trees yield more, finer
+// fibers. Extracted statements keep the pseudo source line of their origin,
+// so the source-proximity merge heuristic still clusters them.
+package normalize
+
+import (
+	"fmt"
+
+	"fgp/internal/ir"
+)
+
+// Result reports what the pass did.
+type Result struct {
+	// Extracted counts subtrees hoisted into fresh statements.
+	Extracted int
+}
+
+// Apply returns a copy of the loop in which no statement's expression tree
+// holds more than maxOps compute operations (loads and literals are free).
+// maxOps < 1 disables the pass. The input loop is not modified.
+func Apply(l *ir.Loop, maxOps int) (*ir.Loop, Result) {
+	out := l.Clone()
+	if maxOps < 1 {
+		return out, Result{}
+	}
+	n := &normalizer{max: maxOps}
+	out.Body = n.stmts(out.Body)
+	return out, Result{Extracted: n.extracted}
+}
+
+type normalizer struct {
+	max       int
+	fresh     int
+	extracted int
+}
+
+func (n *normalizer) stmts(body []ir.Stmt) []ir.Stmt {
+	var out []ir.Stmt
+	for _, s := range body {
+		switch x := s.(type) {
+		case *ir.Assign:
+			pre, nx := n.limit(x.X, x.Src)
+			out = append(out, pre...)
+			if ed, ok := x.Dest.(*ir.ElemDest); ok {
+				preIdx, nidx := n.limit(ed.Index, x.Src)
+				out = append(out, preIdx...)
+				out = append(out, &ir.Assign{Src: x.Src, Dest: &ir.ElemDest{Array: ed.Array, K: ed.K, Index: nidx}, X: nx})
+			} else {
+				out = append(out, &ir.Assign{Src: x.Src, Dest: x.Dest, X: nx})
+			}
+		case *ir.If:
+			pre, nc := n.limit(x.Cond, x.Src)
+			out = append(out, pre...)
+			out = append(out, &ir.If{
+				Src:  x.Src,
+				Cond: nc,
+				Then: n.stmts(x.Then),
+				Else: n.stmts(x.Else),
+			})
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// limit rewrites e so that it holds at most max compute operations,
+// extracting oversized subtrees into fresh temporaries assigned by the
+// returned prelude statements.
+func (n *normalizer) limit(e ir.Expr, line int) ([]ir.Stmt, ir.Expr) {
+	var pre []ir.Stmt
+	out := n.rec(e, line, &pre)
+	return pre, out
+}
+
+func (n *normalizer) rec(e ir.Expr, line int, pre *[]ir.Stmt) ir.Expr {
+	switch x := e.(type) {
+	case *ir.Bin:
+		l := n.rec(x.L, line, pre)
+		r := n.rec(x.R, line, pre)
+		if ir.CountOps(l)+ir.CountOps(r)+1 > n.max {
+			// Extract the heavier side; ties extract the left.
+			if ir.CountOps(l) >= ir.CountOps(r) {
+				l = n.extract(l, line, pre)
+			} else {
+				r = n.extract(r, line, pre)
+			}
+			// One extraction may not suffice when both sides are large.
+			if ir.CountOps(l)+ir.CountOps(r)+1 > n.max {
+				if ir.CountOps(l) >= ir.CountOps(r) {
+					l = n.extract(l, line, pre)
+				} else {
+					r = n.extract(r, line, pre)
+				}
+			}
+		}
+		return &ir.Bin{Op: x.Op, L: l, R: r}
+	case *ir.Un:
+		v := n.rec(x.X, line, pre)
+		if ir.CountOps(v)+1 > n.max {
+			v = n.extract(v, line, pre)
+		}
+		return &ir.Un{Op: x.Op, X: v}
+	case *ir.Load:
+		idx := n.rec(x.Index, line, pre)
+		return &ir.Load{Array: x.Array, K: x.K, Index: idx}
+	default:
+		return e
+	}
+}
+
+// extract hoists a subtree into a fresh temporary. Leaves are returned
+// unchanged (nothing to gain).
+func (n *normalizer) extract(e ir.Expr, line int, pre *[]ir.Stmt) ir.Expr {
+	switch e.(type) {
+	case ir.ConstF, ir.ConstI, ir.Temp:
+		return e
+	}
+	n.fresh++
+	n.extracted++
+	name := fmt.Sprintf(".n%d", n.fresh)
+	*pre = append(*pre, &ir.Assign{
+		Src:  line,
+		Dest: ir.TempDest{Name: name, K: e.Kind()},
+		X:    e,
+	})
+	return ir.Temp{Name: name, K: e.Kind()}
+}

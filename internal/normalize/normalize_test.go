@@ -1,0 +1,163 @@
+package normalize
+
+import (
+	"testing"
+
+	"fgp/internal/fiber"
+	"fgp/internal/interp"
+	"fgp/internal/ir"
+	"fgp/internal/tac"
+)
+
+func bigExprLoop() *ir.Loop {
+	b := ir.NewBuilder("big", "i", 0, 16, 1)
+	data := make([]float64, 18)
+	for i := range data {
+		data[i] = float64(i)*0.25 + 1
+	}
+	b.ArrayF("a", data)
+	b.ArrayF("o", make([]float64, 18))
+	i := b.Idx()
+	ld := func(off int64) ir.Expr { return ir.LDF("a", ir.AddE(i, ir.I(off))) }
+	// A 15-op tree in one statement.
+	e := ir.AddE(
+		ir.MulE(ir.AddE(ld(0), ld(1)), ir.SubE(ld(2), ld(0))),
+		ir.MulE(ir.AddE(ir.MulE(ld(1), ld(1)), ir.F(1)), ir.SqrtE(ir.AbsE(ld(2)))),
+	)
+	b.StoreF("o", i, e)
+	return b.MustBuild()
+}
+
+func TestSplitPreservesSemantics(t *testing.T) {
+	l := bigExprLoop()
+	for _, maxOps := range []int{1, 2, 3, 5, 8} {
+		out, res := Apply(l, maxOps)
+		if err := ir.Validate(out); err != nil {
+			t.Fatalf("maxOps=%d: %v\n%s", maxOps, err, ir.Print(out))
+		}
+		if res.Extracted == 0 {
+			t.Errorf("maxOps=%d: expected extractions", maxOps)
+		}
+		ra, err := interp.Run(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := interp.Run(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ra.ArraysF["o"] {
+			if ra.ArraysF["o"][i] != rb.ArraysF["o"][i] {
+				t.Fatalf("maxOps=%d: o[%d] differs", maxOps, i)
+			}
+		}
+	}
+}
+
+func TestSplitBoundsStatementSize(t *testing.T) {
+	l := bigExprLoop()
+	out, _ := Apply(l, 3)
+	ir.WalkStmts(out.Body, func(s ir.Stmt) {
+		if a, ok := s.(*ir.Assign); ok {
+			if ops := ir.CountOps(a.X); ops > 3 {
+				t.Errorf("statement still has %d ops: %v", ops, a)
+			}
+		}
+	})
+}
+
+func TestSplitIncreasesFiberCount(t *testing.T) {
+	count := func(l *ir.Loop) int {
+		fn, err := tac.Lower(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, err := fiber.Partition(fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(set.Fibers)
+	}
+	// A deep chain is a single fiber before splitting (the partitioning
+	// algorithm continues one fiber down a chain); after splitting, each
+	// fresh statement starts its own fiber.
+	b := ir.NewBuilder("chain", "i", 0, 8, 1)
+	data := make([]float64, 8)
+	for i := range data {
+		data[i] = float64(i) + 1
+	}
+	b.ArrayF("a", data)
+	b.ArrayF("o", make([]float64, 8))
+	i := b.Idx()
+	e := ir.LDF("a", i)
+	for k := 0; k < 8; k++ {
+		e = ir.AddE(ir.MulE(e, ir.F(1.5)), ir.F(float64(k)))
+	}
+	b.StoreF("o", i, e)
+	l := b.MustBuild()
+
+	before := count(l)
+	split, res := Apply(l, 2)
+	if res.Extracted == 0 {
+		t.Fatal("chain should split")
+	}
+	after := count(split)
+	if after <= before {
+		t.Errorf("splitting should expose more fibers: %d -> %d", before, after)
+	}
+}
+
+func TestSplitDisabled(t *testing.T) {
+	l := bigExprLoop()
+	out, res := Apply(l, 0)
+	if res.Extracted != 0 || len(out.Body) != len(l.Body) {
+		t.Error("maxOps=0 must be a no-op")
+	}
+}
+
+func TestSplitInsideConditional(t *testing.T) {
+	b := ir.NewBuilder("c", "i", 0, 8, 1)
+	data := []float64{1, -2, 3, -4, 5, -6, 7, -8}
+	b.ArrayF("a", data)
+	b.ArrayF("o", make([]float64, 8))
+	i := b.Idx()
+	c := b.Def("c", ir.GtE(ir.LDF("a", i), ir.F(0)))
+	b.If(c, func() {
+		x := ir.LDF("a", i)
+		b.Def("v", ir.MulE(ir.AddE(ir.MulE(x, x), ir.MulE(x, ir.F(2))), ir.SubE(ir.MulE(x, x), ir.F(1))))
+	}, func() {
+		b.Def("v", ir.F(0))
+	})
+	b.StoreF("o", i, b.T("v"))
+	l := b.MustBuild()
+	out, res := Apply(l, 2)
+	if res.Extracted == 0 {
+		t.Fatal("expected extraction inside the branch")
+	}
+	if err := ir.Validate(out); err != nil {
+		t.Fatal(err)
+	}
+	ra, _ := interp.Run(l)
+	rb, _ := interp.Run(out)
+	for i := range ra.ArraysF["o"] {
+		if ra.ArraysF["o"][i] != rb.ArraysF["o"][i] {
+			t.Fatalf("o[%d] differs after in-branch split", i)
+		}
+	}
+}
+
+func TestSplitStoreIndex(t *testing.T) {
+	b := ir.NewBuilder("si", "i", 0, 8, 1)
+	b.ArrayF("o", make([]float64, 64))
+	i := b.Idx()
+	idx := ir.AddE(ir.MulE(ir.AddE(i, ir.I(1)), ir.I(3)), ir.MulE(i, ir.I(2)))
+	b.StoreF("o", idx, ir.F(1))
+	l := b.MustBuild()
+	out, res := Apply(l, 1)
+	if res.Extracted == 0 {
+		t.Fatal("expected the store index computation to split")
+	}
+	if err := ir.Validate(out); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,381 @@
+package outline
+
+import (
+	"fmt"
+	"sort"
+
+	"fgp/internal/ir"
+	"fgp/internal/isa"
+	"fgp/internal/sim"
+	"fgp/internal/tac"
+)
+
+// liveOutPlan records how one region live-out returns to the primary core.
+type liveOutPlan struct {
+	temp  tac.TempID
+	owner int
+	edge  int32
+}
+
+// emitter turns one partition's item tree into a machine program.
+type emitter struct {
+	g    *generator
+	part int
+	prog *isa.Program
+	regs map[tac.TempID]isa.Reg
+}
+
+func (g *generator) emitAll() (*Compiled, error) {
+	c := &Compiled{
+		CommOps:   2 * len(g.transfers),
+		Transfers: len(g.transfers),
+	}
+	pairs := map[[2]int]bool{}
+	for _, tr := range g.transfers {
+		pairs[[2]int{tr.src, tr.dst}] = true
+	}
+
+	// Protocol edges, allocated deterministically after transfer edges.
+	dispatch := make([]int32, g.np)
+	completion := make([]int32, g.np)
+	paramEdges := make([]map[tac.TempID]int32, g.np)
+	for s := 1; s < g.np; s++ {
+		dispatch[s] = g.newEdge()
+		paramEdges[s] = map[tac.TempID]int32{}
+		for _, t := range g.paramNeeds[s] {
+			paramEdges[s][t] = g.newEdge()
+		}
+		pairs[[2]int{0, s}] = true
+		pairs[[2]int{s, 0}] = true
+	}
+	// Live-out copy-back plan: (temp, owner part) in declaration order.
+	var liveOuts []liveOutPlan
+	for _, name := range g.fn.Loop.LiveOut {
+		t, ok := g.fn.TempByName(name)
+		if !ok {
+			return nil, fmt.Errorf("outline: live-out %q has no temp", name)
+		}
+		owner := g.defsPart(t)
+		if owner < 0 {
+			owner = 0 // pure parameter: primary already holds it
+		}
+		lo := liveOutPlan{temp: t, owner: owner}
+		if owner != 0 {
+			lo.edge = g.newEdge()
+			pairs[[2]int{owner, 0}] = true
+		}
+		liveOuts = append(liveOuts, lo)
+	}
+	for s := 1; s < g.np; s++ {
+		completion[s] = g.newEdge()
+	}
+	c.StaticQueues = len(pairs)
+
+	for p := 0; p < g.np; p++ {
+		e := &emitter{
+			g:    g,
+			part: p,
+			prog: &isa.Program{Core: p, RegName: map[isa.Reg]string{}},
+			regs: map[tac.TempID]isa.Reg{},
+		}
+		if p == 0 {
+			e.emitPrimary(dispatch, completion, paramEdges, liveOuts)
+		} else {
+			e.emitSecondary(dispatch[p], completion[p], paramEdges[p], liveOuts)
+		}
+		e.prog.NRegs = len(e.regs) + 1
+		c.Programs = append(c.Programs, e.prog)
+	}
+	return c, nil
+}
+
+func (e *emitter) reg(t tac.TempID) isa.Reg {
+	if r, ok := e.regs[t]; ok {
+		return r
+	}
+	r := isa.Reg(len(e.regs))
+	e.regs[t] = r
+	return r
+}
+
+// scratch allocates a register not bound to any temp.
+func (e *emitter) scratch() isa.Reg {
+	r := isa.Reg(len(e.regs))
+	e.regs[tac.TempID(-2-len(e.regs))] = r // unique fake key
+	return r
+}
+
+func (e *emitter) arrID(name string) int32 {
+	for i, a := range e.g.fn.Loop.Arrays {
+		if a.Name == name {
+			return int32(i)
+		}
+	}
+	panic(fmt.Sprintf("outline: unknown array %q", name))
+}
+
+func (e *emitter) qid(src, dst int, class ir.Kind) int32 {
+	return sim.QID(src, dst, class, e.g.opt.MachineCores)
+}
+
+// emitPrimary lays out the primary core's program: parameter
+// materialization, secondary dispatch, the loop, live-out collection,
+// completion barrier, and secondary shutdown.
+func (e *emitter) emitPrimary(dispatch, completion []int32, paramEdges []map[tac.TempID]int32, liveOuts []liveOutPlan) {
+	g := e.g
+	l := g.fn.Loop
+
+	// Materialize every parameter any participating part needs.
+	need := map[tac.TempID]bool{}
+	for p := 0; p < g.np; p++ {
+		for _, t := range g.paramNeeds[p] {
+			need[t] = true
+		}
+	}
+	var params []tac.TempID
+	for t := range need {
+		params = append(params, t)
+	}
+	sort.Slice(params, func(i, j int) bool { return params[i] < params[j] })
+	e.prog.Label("params")
+	for _, t := range params {
+		name := g.fn.Temps[t].Name
+		s, _ := l.Scalar(name)
+		if s.K == ir.F64 {
+			e.prog.Append(isa.Instr{Op: isa.ConstF, Dst: e.reg(t), A: isa.NoReg, B: isa.NoReg, ImmF: s.F, Edge: -1, Tac: -1})
+		} else {
+			e.prog.Append(isa.Instr{Op: isa.ConstI, Dst: e.reg(t), A: isa.NoReg, B: isa.NoReg, ImmI: s.I, Edge: -1, Tac: -1})
+		}
+	}
+
+	// Dispatch each secondary: function index (the instruction after the
+	// 3-instruction driver), then its parameters (Fig 9).
+	e.prog.Label("dispatch")
+	for s := 1; s < g.np; s++ {
+		fnIdx := e.scratch()
+		e.prog.Append(isa.Instr{Op: isa.ConstI, Dst: fnIdx, A: isa.NoReg, B: isa.NoReg, ImmI: driverLen, Edge: -1, Tac: -1})
+		e.prog.Append(isa.Instr{Op: isa.Enq, A: fnIdx, B: isa.NoReg, Dst: isa.NoReg, K: ir.I64, Q: e.qid(0, s, ir.I64), Edge: dispatch[s], Tac: -1})
+		for _, t := range g.paramNeeds[s] {
+			k := g.fn.Temps[t].K
+			e.prog.Append(isa.Instr{Op: isa.Enq, A: e.reg(t), B: isa.NoReg, Dst: isa.NoReg, K: k, Q: e.qid(0, s, k), Edge: paramEdges[s][t], Tac: -1})
+		}
+	}
+
+	e.emitBody()
+
+	// Collect live-outs computed on secondaries, then the completion
+	// barrier, then shut the secondaries down.
+	e.prog.Label("epilogue")
+	for _, lo := range liveOuts {
+		name := g.fn.Temps[lo.temp].Name
+		if lo.owner != 0 {
+			k := g.fn.Temps[lo.temp].K
+			e.prog.Append(isa.Instr{Op: isa.Deq, Dst: e.reg(lo.temp), A: isa.NoReg, B: isa.NoReg, K: k, Q: e.qid(lo.owner, 0, k), Edge: lo.edge, Tac: -1})
+		}
+		e.prog.RegName[e.reg(lo.temp)] = name
+	}
+	for s := 1; s < g.np; s++ {
+		done := e.scratch()
+		e.prog.Append(isa.Instr{Op: isa.Deq, Dst: done, A: isa.NoReg, B: isa.NoReg, K: ir.I64, Q: e.qid(s, 0, ir.I64), Edge: completion[s], Tac: -1})
+	}
+	for s := 1; s < g.np; s++ {
+		z := e.scratch()
+		e.prog.Append(isa.Instr{Op: isa.ConstI, Dst: z, A: isa.NoReg, B: isa.NoReg, ImmI: 0, Edge: -1, Tac: -1})
+		e.prog.Append(isa.Instr{Op: isa.Enq, A: z, B: isa.NoReg, Dst: isa.NoReg, K: ir.I64, Q: e.qid(0, s, ir.I64), Edge: dispatch[s], Tac: -1})
+	}
+	e.prog.Append(isa.Instr{Op: isa.Halt, Dst: isa.NoReg, A: isa.NoReg, B: isa.NoReg, Edge: -1, Tac: -1})
+}
+
+// driverLen is the instruction count of the secondary driver loop; the
+// outlined function body starts right after it.
+const driverLen = 3
+
+// emitSecondary lays out a secondary core: the driver loop (dequeue a
+// function index, 0 means halt, otherwise jump to it), then the single
+// outlined function: parameter receive, loop body, live-out send,
+// completion signal, return to driver.
+func (e *emitter) emitSecondary(dispatchEdge, completionEdge int32, paramEdges map[tac.TempID]int32, liveOuts []liveOutPlan) {
+	g := e.g
+	p := e.part
+
+	fnReg := e.scratch()
+	e.prog.Label("driver")
+	e.prog.Append(isa.Instr{Op: isa.Deq, Dst: fnReg, A: isa.NoReg, B: isa.NoReg, K: ir.I64, Q: e.qid(0, p, ir.I64), Edge: dispatchEdge, Tac: -1})
+	fjp := e.prog.Append(isa.Instr{Op: isa.Fjp, A: fnReg, B: isa.NoReg, Dst: isa.NoReg, Edge: -1, Tac: -1})
+	e.prog.Append(isa.Instr{Op: isa.Jr, A: fnReg, B: isa.NoReg, Dst: isa.NoReg, Edge: -1, Tac: -1})
+	if len(e.prog.Instrs) != driverLen {
+		panic("outline: driver length drifted from driverLen")
+	}
+
+	e.prog.Label("fn")
+	for _, t := range g.paramNeeds[p] {
+		k := g.fn.Temps[t].K
+		e.prog.Append(isa.Instr{Op: isa.Deq, Dst: e.reg(t), A: isa.NoReg, B: isa.NoReg, K: k, Q: e.qid(0, p, k), Edge: paramEdges[t], Tac: -1})
+	}
+
+	e.emitBody()
+
+	e.prog.Label("epilogue")
+	for _, lo := range liveOuts {
+		if lo.owner != p {
+			continue
+		}
+		k := g.fn.Temps[lo.temp].K
+		e.prog.Append(isa.Instr{Op: isa.Enq, A: e.reg(lo.temp), B: isa.NoReg, Dst: isa.NoReg, K: k, Q: e.qid(p, 0, k), Edge: lo.edge, Tac: -1})
+	}
+	one := e.scratch()
+	e.prog.Append(isa.Instr{Op: isa.ConstI, Dst: one, A: isa.NoReg, B: isa.NoReg, ImmI: 1, Edge: -1, Tac: -1})
+	e.prog.Append(isa.Instr{Op: isa.Enq, A: one, B: isa.NoReg, Dst: isa.NoReg, K: ir.I64, Q: e.qid(p, 0, ir.I64), Edge: completionEdge, Tac: -1})
+	e.prog.Append(isa.Instr{Op: isa.Jp, Tgt: 0, Dst: isa.NoReg, A: isa.NoReg, B: isa.NoReg, Edge: -1, Tac: -1})
+
+	halt := e.prog.Append(isa.Instr{Op: isa.Halt, Dst: isa.NoReg, A: isa.NoReg, B: isa.NoReg, Edge: -1, Tac: -1})
+	e.prog.Label("halt")
+	e.prog.Instrs[fjp].Tgt = int32(halt)
+}
+
+// emitBody emits the loop preheader (rematerialized literals, loop
+// control), the loop skeleton, and the region-0 item tree.
+func (e *emitter) emitBody() {
+	g := e.g
+	l := g.fn.Loop
+
+	e.prog.Label("preheader")
+	var consts []int
+	for id := range g.constNeeds[e.part] {
+		consts = append(consts, id)
+	}
+	sort.Ints(consts)
+	for _, id := range consts {
+		in := g.fn.Instrs[id]
+		e.emitInstr(in)
+	}
+	for _, t := range g.accInit[e.part] {
+		s, ok := l.Scalar(g.fn.Temps[t].Name)
+		if !ok {
+			panic(fmt.Sprintf("outline: accumulator %s has no scalar declaration", g.fn.Temps[t].Name))
+		}
+		if s.K == ir.F64 {
+			e.prog.Append(isa.Instr{Op: isa.ConstF, Dst: e.reg(t), A: isa.NoReg, B: isa.NoReg, ImmF: s.F, Edge: -1, Tac: -1})
+		} else {
+			e.prog.Append(isa.Instr{Op: isa.ConstI, Dst: e.reg(t), A: isa.NoReg, B: isa.NoReg, ImmI: s.I, Edge: -1, Tac: -1})
+		}
+	}
+
+	// Token register: the payload of memory-ordering tokens (value is
+	// irrelevant; initialized so no read is ever undefined).
+	needsToken := false
+	for _, tr := range g.transfers {
+		if tr.token && (tr.src == e.part || tr.dst == e.part) {
+			needsToken = true
+		}
+	}
+	if needsToken {
+		e.prog.Append(isa.Instr{Op: isa.ConstI, Dst: e.reg(tokenTemp), A: isa.NoReg, B: isa.NoReg, ImmI: 0, Edge: -1, Tac: -1})
+	}
+	// Prime carried-token queues: depth entries of slack before the loop.
+	for _, tr := range g.transfers {
+		if tr.token && tr.depth > 0 && tr.src == e.part {
+			for k := 0; k < tr.depth; k++ {
+				e.prog.Append(isa.Instr{Op: isa.Enq, A: e.reg(tokenTemp), B: isa.NoReg, Dst: isa.NoReg, K: tr.class, Q: e.qid(tr.src, tr.dst, tr.class), Edge: tr.edge, Tac: -1})
+			}
+		}
+	}
+
+	iReg := e.reg(e.indexTemp())
+	endReg := e.scratch()
+	stepReg := e.scratch()
+	cmpReg := e.scratch()
+	e.prog.Append(isa.Instr{Op: isa.ConstI, Dst: iReg, A: isa.NoReg, B: isa.NoReg, ImmI: l.Start, Edge: -1, Tac: -1})
+	e.prog.Append(isa.Instr{Op: isa.ConstI, Dst: endReg, A: isa.NoReg, B: isa.NoReg, ImmI: l.End, Edge: -1, Tac: -1})
+	e.prog.Append(isa.Instr{Op: isa.ConstI, Dst: stepReg, A: isa.NoReg, B: isa.NoReg, ImmI: l.Step, Edge: -1, Tac: -1})
+
+	e.prog.Label("loop")
+	head := len(e.prog.Instrs)
+	e.prog.Append(isa.Instr{Op: isa.Bin, BinOp: ir.Lt, K: ir.I64, Dst: cmpReg, A: iReg, B: endReg, Edge: -1, Tac: -1})
+	exitFjp := e.prog.Append(isa.Instr{Op: isa.Fjp, A: cmpReg, B: isa.NoReg, Dst: isa.NoReg, Edge: -1, Tac: -1})
+
+	e.emitRegion(0)
+
+	e.prog.Append(isa.Instr{Op: isa.Bin, BinOp: ir.Add, K: ir.I64, Dst: iReg, A: iReg, B: stepReg, Edge: -1, Tac: -1})
+	e.prog.Append(isa.Instr{Op: isa.Jp, Tgt: int32(head), Dst: isa.NoReg, A: isa.NoReg, B: isa.NoReg, Edge: -1, Tac: -1})
+	e.prog.Instrs[exitFjp].Tgt = int32(len(e.prog.Instrs))
+	e.prog.Label("exit")
+
+	// Drain leftover primed tokens so the queues are clean for the
+	// epilogue protocol traffic.
+	for _, tr := range g.transfers {
+		if tr.token && tr.depth > 0 && tr.dst == e.part {
+			for k := 0; k < tr.depth; k++ {
+				e.prog.Append(isa.Instr{Op: isa.Deq, Dst: e.reg(tokenTemp), A: isa.NoReg, B: isa.NoReg, K: tr.class, Q: e.qid(tr.src, tr.dst, tr.class), Edge: tr.edge, Tac: -1})
+			}
+		}
+	}
+}
+
+// tokenTemp is the pseudo temp backing the token payload register.
+const tokenTemp = tac.TempID(-1)
+
+func (e *emitter) indexTemp() tac.TempID {
+	t, ok := e.g.fn.TempByName(e.g.fn.Loop.Index)
+	if !ok {
+		panic("outline: loop index temp missing")
+	}
+	return t
+}
+
+func (e *emitter) emitRegion(region int) {
+	for _, it := range e.g.items[e.part][region] {
+		switch it.kind {
+		case itInstr:
+			e.emitInstr(e.g.fn.Instrs[it.instr])
+		case itEnq:
+			tr := it.tr
+			src := e.reg(tr.temp) // tokens use the token register (temp None)
+			e.prog.Append(isa.Instr{Op: isa.Enq, A: src, B: isa.NoReg, Dst: isa.NoReg, K: tr.class, Q: e.qid(tr.src, tr.dst, tr.class), Edge: tr.edge, Tac: -1})
+		case itDeq:
+			tr := it.tr
+			e.prog.Append(isa.Instr{Op: isa.Deq, Dst: e.reg(tr.temp), A: isa.NoReg, B: isa.NoReg, K: tr.class, Q: e.qid(tr.src, tr.dst, tr.class), Edge: tr.edge, Tac: -1})
+		case itBranch:
+			condReg := e.reg(it.cond)
+			fjp := e.prog.Append(isa.Instr{Op: isa.Fjp, A: condReg, B: isa.NoReg, Dst: isa.NoReg, Edge: -1, Tac: -1})
+			if it.thenRegion >= 0 {
+				e.emitRegion(it.thenRegion)
+			}
+			if it.elseRegion >= 0 {
+				jp := e.prog.Append(isa.Instr{Op: isa.Jp, Dst: isa.NoReg, A: isa.NoReg, B: isa.NoReg, Edge: -1, Tac: -1})
+				e.prog.Instrs[fjp].Tgt = int32(len(e.prog.Instrs))
+				e.emitRegion(it.elseRegion)
+				e.prog.Instrs[jp].Tgt = int32(len(e.prog.Instrs))
+			} else {
+				e.prog.Instrs[fjp].Tgt = int32(len(e.prog.Instrs))
+			}
+		}
+	}
+}
+
+func (e *emitter) emitInstr(in *tac.Instr) {
+	base := isa.Instr{Dst: isa.NoReg, A: isa.NoReg, B: isa.NoReg, Edge: -1, Tac: int32(in.ID)}
+	switch in.Op {
+	case tac.OpConstF:
+		base.Op, base.Dst, base.ImmF = isa.ConstF, e.reg(in.Dst), in.CF
+	case tac.OpConstI:
+		base.Op, base.Dst, base.ImmI = isa.ConstI, e.reg(in.Dst), in.CI
+	case tac.OpMov:
+		base.Op, base.Dst, base.A = isa.Mov, e.reg(in.Dst), e.reg(in.A)
+	case tac.OpBin:
+		base.Op, base.BinOp, base.K = isa.Bin, in.BinOp, in.K
+		base.Dst, base.A, base.B = e.reg(in.Dst), e.reg(in.A), e.reg(in.B)
+	case tac.OpUn:
+		base.Op, base.UnOp, base.K = isa.Un, in.UnOp, in.K
+		base.Dst, base.A = e.reg(in.Dst), e.reg(in.A)
+	case tac.OpLoad:
+		base.Op, base.K, base.Arr = isa.Load, in.K, e.arrID(in.Array)
+		base.Dst, base.A = e.reg(in.Dst), e.reg(in.A)
+	case tac.OpStore:
+		base.Op, base.K, base.Arr = isa.Store, in.K, e.arrID(in.Array)
+		base.A, base.B = e.reg(in.A), e.reg(in.B)
+	default:
+		panic(fmt.Sprintf("outline: cannot emit %s", in.Op))
+	}
+	e.prog.Append(base)
+}

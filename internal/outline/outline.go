@@ -1,0 +1,236 @@
+// Package outline generates per-core machine programs from a partitioned
+// TAC function. It implements Sections III-C through III-G of the paper:
+//
+//   - Outlining: each partition becomes a separate code body; the primary
+//     core (core 0) runs its partition inline, secondary cores run theirs
+//     as outlined functions dispatched by a runtime driver loop.
+//   - Communication insertion: for every value defined in one partition and
+//     used in another, an enqueue is placed right after the producing item
+//     and a dequeue right before the first consuming item, at the lowest
+//     common control region of producer and consumers.
+//   - Conditional-structure replication: every core that owns code or
+//     communication inside a branch re-creates the branch skeleton (FJP /
+//     JP / label) and receives the condition value through a queue.
+//   - Live-variable copy-out: region live-outs computed on secondary cores
+//     are enqueued back to the primary at region exit.
+//   - Runtime thread management: secondaries run a driver loop that blocks
+//     on a dequeue for a function index, executes the outlined function,
+//     and signals completion back to the primary; index 0 shuts the thread
+//     down.
+//
+// A static FIFO matcher verifies (and where legal, repairs by hoisting
+// dequeues) that for every (sender, receiver, register class) pair the
+// dynamic enqueue order equals the dequeue order on every control path.
+package outline
+
+import (
+	"fmt"
+
+	"fgp/internal/codegraph"
+	"fgp/internal/deps"
+	"fgp/internal/ir"
+	"fgp/internal/isa"
+	"fgp/internal/mem"
+	"fgp/internal/tac"
+)
+
+// Options configures code generation.
+type Options struct {
+	// MachineCores is the total core count of the target machine (queue
+	// indices are computed against it). It must be >= the partition count.
+	MachineCores int
+	// Schedule enables the within-region instruction scheduling pass
+	// (producers of communicated values early, consumers late). It
+	// requires InstrCost.
+	Schedule bool
+	// InstrCost estimates one instruction's latency, for scheduling
+	// priorities.
+	InstrCost func(*tac.Instr) int64
+	// TokenDepthCap bounds carried-token queue priming; it must not exceed
+	// the hardware queue length. 0 selects the default (8).
+	TokenDepthCap int
+}
+
+// Compiled is the result of code generation.
+type Compiled struct {
+	// Programs holds one program per participating core; Programs[0] is the
+	// primary.
+	Programs []*isa.Program
+	// CommOps is the number of enqueue+dequeue operations inserted in the
+	// loop body (Table III's "Com Ops"; runtime-protocol transfers outside
+	// the loop are not counted).
+	CommOps int
+	// Transfers is the number of distinct communicated values per iteration.
+	Transfers int
+	// StaticQueues is the number of distinct (sender, receiver) core pairs
+	// with at least one queue operation anywhere in the generated code.
+	StaticQueues int
+}
+
+// Generate produces machine code for every partition in parts.
+func Generate(fn *tac.Fn, info *deps.Info, parts *codegraph.Result, opt Options) (*Compiled, error) {
+	np := len(parts.Parts)
+	if np == 0 {
+		return nil, fmt.Errorf("outline: no partitions")
+	}
+	if opt.MachineCores < np {
+		return nil, fmt.Errorf("outline: %d partitions exceed %d machine cores", np, opt.MachineCores)
+	}
+	g := &generator{fn: fn, info: info, parts: parts, opt: opt, np: np}
+	g.partOf()
+	if err := g.planTransfers(); err != nil {
+		return nil, err
+	}
+	if err := g.buildItems(); err != nil {
+		return nil, err
+	}
+	if opt.Schedule {
+		g.scheduleItems()
+	}
+	if err := g.matchFIFO(); err != nil {
+		return nil, err
+	}
+	return g.emitAll()
+}
+
+// BuildMemory creates a fresh memory image for a loop; array IDs equal the
+// array's index in loop.Arrays, matching the IDs compiled into programs.
+func BuildMemory(l *ir.Loop) *mem.Memory {
+	m := mem.New()
+	for _, a := range l.Arrays {
+		if a.K == ir.F64 {
+			m.AddF(a.Name, a.InitF)
+		} else {
+			m.AddI(a.Name, a.InitI)
+		}
+	}
+	return m
+}
+
+type generator struct {
+	fn    *tac.Fn
+	info  *deps.Info
+	parts *codegraph.Result
+	opt   Options
+	np    int
+
+	part []int // instr id -> partition
+
+	transfers []*transfer
+	// trByTempDst dedupes transfers: (temp, dstPart) -> transfer.
+	trByTempDst map[trKey]*transfer
+
+	// materialized[p] is the set of regions partition p must emit.
+	materialized []map[int]bool
+
+	// items[p][r] is the ordered item list of region r on partition p.
+	items []map[int][]*item
+
+	// paramNeeds[p] lists the param temps partition p reads.
+	paramNeeds [][]tac.TempID
+
+	// constNeeds[p] holds literal-producing instruction IDs partition p
+	// rematerializes in its loop preheader (instead of communicating).
+	constNeeds []map[int]bool
+
+	// accInit[p] lists accumulator parameters (region parameters that the
+	// loop redefines, e.g. reduction variables) whose initial value
+	// partition p must materialize in its preheader: the partition that
+	// owns the recurrence.
+	accInit [][]tac.TempID
+
+	nextEdge int32
+}
+
+type trKey struct {
+	temp tac.TempID
+	dst  int
+}
+
+// transfer is one communicated value per iteration (or per region entry for
+// conditions): an ENQ on src and a DEQ on dst at placement region.
+type transfer struct {
+	temp     tac.TempID
+	src, dst int
+	region   int // placement region (LCA of producer and consumer anchors)
+	class    ir.Kind
+	edge     int32
+	planned  bool // region has been computed at least once
+
+	// Memory-ordering synchronization token (no payload): the enqueue
+	// follows the producing access, the dequeue precedes the consuming
+	// access. depth > 0 primes the queue with depth tokens before the loop
+	// (and drains them after), allowing the consumer to trail the producer
+	// by up to depth iterations — the compiled form of a loop-carried
+	// memory dependence of that distance.
+	token bool
+	depth int
+	// For same-iteration tokens: the memory-access instructions ordered by
+	// this token. The scheduler pins producers before the enqueue anchor
+	// and consumers after the dequeue anchor.
+	prodIDs, consIDs []int
+
+	// enqAfter / deqBefore anchor the queue ops in the region's item order.
+	enqAfter  anchor
+	deqBefore anchor
+}
+
+type anchor struct {
+	// instr >= 0 anchors at that instruction item; otherwise subtree >= 0
+	// anchors at the branch item owning that child region.
+	instr   int
+	subtree int
+	stmt    int
+}
+
+func instrAnchor(in *tac.Instr) anchor { return anchor{instr: in.ID, subtree: -1, stmt: in.Stmt} }
+
+func subtreeAnchor(fnRegions []tac.Region, region int) anchor {
+	return anchor{instr: -1, subtree: region, stmt: fnRegions[region].Stmt}
+}
+
+type itemKind uint8
+
+const (
+	itInstr itemKind = iota
+	itBranch
+	itEnq
+	itDeq
+)
+
+type item struct {
+	kind itemKind
+	// itInstr
+	instr int
+	// itBranch: thenRegion/elseRegion (-1 if absent), cond temp
+	thenRegion, elseRegion int
+	cond                   tac.TempID
+	// itEnq/itDeq
+	tr *transfer
+	// ordering
+	stmt int
+}
+
+func (g *generator) partOf() {
+	g.part = make([]int, len(g.fn.Instrs))
+	for i, in := range g.fn.Instrs {
+		g.part[i] = int(g.parts.PartOf[in.Fiber])
+	}
+}
+
+func (g *generator) newEdge() int32 {
+	e := g.nextEdge
+	g.nextEdge++
+	return e
+}
+
+// defsPart returns the partition holding all defs of a temp (defs are
+// co-located by the dependence constraints) or -1 for def-less temps
+// (parameters, the induction variable).
+func (g *generator) defsPart(t tac.TempID) int {
+	defs := g.fn.Temps[t].Defs
+	if len(defs) == 0 {
+		return -1
+	}
+	return g.part[defs[0]]
+}

@@ -1,0 +1,306 @@
+package outline
+
+import (
+	"strings"
+	"testing"
+
+	"fgp/internal/codegraph"
+	"fgp/internal/cost"
+	"fgp/internal/deps"
+	"fgp/internal/fiber"
+	"fgp/internal/interp"
+	"fgp/internal/ir"
+	"fgp/internal/isa"
+	"fgp/internal/profile"
+	"fgp/internal/sim"
+	"fgp/internal/tac"
+)
+
+// compile builds a loop, partitions it for n cores, and generates code.
+func compile(t *testing.T, l *ir.Loop, cores int, opt Options) (*tac.Fn, *codegraph.Result, *Compiled) {
+	t.Helper()
+	fn, err := tac.Lower(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := fiber.Partition(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := deps.Analyze(fn, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic := profile.InstrCost(cost.Default(), nil)
+	parts, err := codegraph.Merge(info, codegraph.Options{
+		Targets: cores, Weights: codegraph.DefaultWeights(), InstrCost: ic,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.MachineCores == 0 {
+		opt.MachineCores = cores
+	}
+	if opt.InstrCost == nil {
+		opt.InstrCost = ic
+	}
+	c, err := Generate(fn, info, parts, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fn, parts, c
+}
+
+// runAndCheck simulates the compiled programs with edge verification and
+// compares the memory image to the interpreter.
+func runAndCheck(t *testing.T, l *ir.Loop, c *Compiled, cores int) *sim.Result {
+	t.Helper()
+	cfg := sim.DefaultConfig(cores)
+	cfg.DebugEdges = true
+	memImage := BuildMemory(l)
+	m, err := sim.New(c.Programs, memImage, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := interp.Run(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arr := range l.Arrays {
+		if arr.K == ir.F64 {
+			got := memImage.SnapshotF(arr.Name)
+			for i, want := range ref.ArraysF[arr.Name] {
+				if got[i] != want {
+					t.Fatalf("%s[%d] = %v, want %v", arr.Name, i, got[i], want)
+				}
+			}
+		} else {
+			got := memImage.SnapshotI(arr.Name)
+			for i, want := range ref.ArraysI[arr.Name] {
+				if got[i] != want {
+					t.Fatalf("%s[%d] = %v, want %v", arr.Name, i, got[i], want)
+				}
+			}
+		}
+	}
+	return res
+}
+
+func twoChainLoop() *ir.Loop {
+	b := ir.NewBuilder("twochain", "i", 0, 32, 1)
+	a := make([]float64, 32)
+	for i := range a {
+		a[i] = float64(i)*0.5 + 1
+	}
+	b.ArrayF("a", a)
+	b.ArrayF("o1", make([]float64, 32))
+	b.ArrayF("o2", make([]float64, 32))
+	i := b.Idx()
+	b.StoreF("o1", i, ir.MulE(ir.AddE(ir.LDF("a", i), ir.F(1)), ir.F(2)))
+	b.StoreF("o2", i, ir.SubE(ir.MulE(ir.LDF("a", i), ir.F(3)), ir.F(4)))
+	return b.MustBuild()
+}
+
+func TestGenerateSingleCore(t *testing.T) {
+	l := twoChainLoop()
+	_, _, c := compile(t, l, 1, Options{})
+	if len(c.Programs) != 1 {
+		t.Fatalf("got %d programs", len(c.Programs))
+	}
+	if c.CommOps != 0 || c.Transfers != 0 {
+		t.Errorf("single core must have no communication (comm=%d)", c.CommOps)
+	}
+	runAndCheck(t, l, c, 1)
+}
+
+func TestGenerateTwoCores(t *testing.T) {
+	l := twoChainLoop()
+	_, parts, c := compile(t, l, 2, Options{})
+	if len(parts.Parts) != 2 || len(c.Programs) != 2 {
+		t.Fatalf("expected a 2-way split, got %d parts", len(parts.Parts))
+	}
+	res := runAndCheck(t, l, c, 2)
+	// The dispatch/completion protocol must have used both directions.
+	if res.PairsUsed < 2 {
+		t.Errorf("pairs used = %d, want >= 2 (dispatch + completion)", res.PairsUsed)
+	}
+}
+
+func TestDriverStructure(t *testing.T) {
+	l := twoChainLoop()
+	_, _, c := compile(t, l, 2, Options{})
+	sec := c.Programs[1]
+	// The driver must be exactly: Deq, Fjp, Jr.
+	if sec.Instrs[0].Op != isa.Deq || sec.Instrs[1].Op != isa.Fjp || sec.Instrs[2].Op != isa.Jr {
+		t.Fatalf("driver prologue wrong:\n%s", sec.Disasm())
+	}
+	// The Fjp must target a Halt.
+	tgt := sec.Instrs[1].Tgt
+	if sec.Instrs[tgt].Op != isa.Halt {
+		t.Error("driver shutdown path must reach Halt")
+	}
+	// The function body must end by jumping back to the driver.
+	foundReturn := false
+	for _, in := range sec.Instrs {
+		if in.Op == isa.Jp && in.Tgt == 0 {
+			foundReturn = true
+		}
+	}
+	if !foundReturn {
+		t.Error("outlined function must return to the driver loop")
+	}
+}
+
+func TestLiveOutTransfer(t *testing.T) {
+	b := ir.NewBuilder("lo", "i", 0, 16, 1)
+	data := make([]float64, 16)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	b.ArrayF("a", data)
+	b.ArrayF("o", make([]float64, 16))
+	acc := b.ScalarF("acc", 0)
+	_ = acc
+	b.LiveOut("acc")
+	i := b.Idx()
+	b.Def("acc", ir.AddE(b.T("acc"), ir.LDF("a", i)))
+	b.StoreF("o", i, ir.MulE(ir.LDF("a", i), ir.F(2)))
+	l := b.MustBuild()
+
+	_, _, c := compile(t, l, 2, Options{})
+	res := runAndCheck(t, l, c, 2)
+	if v, ok := res.LiveOut["acc"]; !ok || v.F != 120 {
+		t.Errorf("live-out acc = %+v, want 120", res.LiveOut["acc"])
+	}
+}
+
+func TestConditionalReplication(t *testing.T) {
+	b := ir.NewBuilder("cond", "i", 0, 32, 1)
+	data := make([]float64, 32)
+	for i := range data {
+		data[i] = float64(i%5) - 2
+	}
+	b.ArrayF("a", data)
+	b.ArrayF("o", make([]float64, 32))
+	i := b.Idx()
+	cnd := b.Def("cnd", ir.GtE(ir.LDF("a", i), ir.F(0)))
+	b.If(cnd, func() {
+		b.Def("v", ir.MulE(ir.LDF("a", i), ir.MulE(ir.LDF("a", i), ir.LDF("a", i))))
+	}, func() {
+		b.Def("v", ir.NegE(ir.LDF("a", i)))
+	})
+	b.StoreF("o", i, b.T("v"))
+	l := b.MustBuild()
+
+	for cores := 2; cores <= 4; cores++ {
+		_, _, c := compile(t, l, cores, Options{})
+		runAndCheck(t, l, c, cores)
+	}
+}
+
+func TestTokenPriming(t *testing.T) {
+	// A swept recurrence through memory: when split, the generated code
+	// must prime the token queue with exactly `depth` entries and drain
+	// them after the loop.
+	b := ir.NewBuilder("sweep", "i", 1, 24, 1)
+	src := make([]float64, 25)
+	for i := range src {
+		src[i] = float64(i % 7)
+	}
+	b.ArrayF("s", src)
+	b.ArrayF("w", make([]float64, 25))
+	i := b.Idx()
+	prev := b.Def("prev", ir.LDF("w", ir.SubE(i, ir.I(1))))
+	heavy := b.Def("heavy", ir.SqrtE(ir.AbsE(ir.MulE(ir.LDF("s", i), ir.LDF("s", ir.AddE(i, ir.I(1)))))))
+	b.StoreF("w", i, ir.AddE(ir.MulE(prev, ir.F(0.5)), heavy))
+	l := b.MustBuild()
+
+	_, _, c := compile(t, l, 2, Options{})
+	runAndCheck(t, l, c, 2)
+	// Count enq/deq with equal edge tags appearing outside the loop on
+	// paired cores: priming enqueues precede the loop label.
+	counted := false
+	for _, p := range c.Programs {
+		dis := p.Disasm()
+		if strings.Contains(dis, "enq") {
+			counted = true
+		}
+	}
+	if !counted {
+		t.Fatal("no queue traffic generated for the split sweep")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	l := twoChainLoop()
+	fn, err := tac.Lower(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, _ := fiber.Partition(fn)
+	info, _ := deps.Analyze(fn, set)
+	ic := profile.InstrCost(cost.Default(), nil)
+	parts, _ := codegraph.Merge(info, codegraph.Options{Targets: 2, Weights: codegraph.DefaultWeights(), InstrCost: ic})
+	if _, err := Generate(fn, info, parts, Options{MachineCores: 1}); err == nil {
+		t.Error("partitions exceeding machine cores must error")
+	}
+}
+
+func TestCommOpsCounting(t *testing.T) {
+	// A value computed on one side and consumed on the other: at least one
+	// transfer; CommOps is always 2x transfers.
+	b := ir.NewBuilder("x", "i", 0, 32, 1)
+	a := make([]float64, 32)
+	for i := range a {
+		a[i] = float64(i) + 1
+	}
+	b.ArrayF("a", a)
+	b.ArrayF("o", make([]float64, 32))
+	i := b.Idx()
+	v := b.Def("v", ir.SqrtE(ir.LDF("a", i)))
+	w := b.Def("w", ir.MulE(ir.LDF("a", i), ir.F(3)))
+	b.StoreF("o", i, ir.AddE(ir.MulE(v, v), ir.MulE(w, ir.AddE(v, w))))
+	l := b.MustBuild()
+	_, _, c := compile(t, l, 2, Options{})
+	if c.CommOps != 2*c.Transfers {
+		t.Errorf("CommOps = %d, Transfers = %d", c.CommOps, c.Transfers)
+	}
+	runAndCheck(t, l, c, 2)
+}
+
+func TestBuildMemoryMatchesArrayIDs(t *testing.T) {
+	l := twoChainLoop()
+	m := BuildMemory(l)
+	for idx, arr := range l.Arrays {
+		id, ok := m.ID(arr.Name)
+		if !ok || int(id) != idx {
+			t.Errorf("array %s: memory id %d, declaration index %d", arr.Name, id, idx)
+		}
+	}
+}
+
+func TestScheduleOptionPreservesSemantics(t *testing.T) {
+	l := twoChainLoop()
+	_, _, c := compile(t, l, 2, Options{Schedule: true})
+	runAndCheck(t, l, c, 2)
+}
+
+func TestIdleMachineCores(t *testing.T) {
+	// 2 partitions on a 4-core machine: queue IDs must be computed against
+	// the machine size, and the run must still verify.
+	l := twoChainLoop()
+	fn, _ := tac.Lower(l)
+	set, _ := fiber.Partition(fn)
+	info, _ := deps.Analyze(fn, set)
+	ic := profile.InstrCost(cost.Default(), nil)
+	parts, _ := codegraph.Merge(info, codegraph.Options{Targets: 2, Weights: codegraph.DefaultWeights(), InstrCost: ic})
+	c, err := Generate(fn, info, parts, Options{MachineCores: 4, InstrCost: ic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAndCheck(t, l, c, 4)
+}

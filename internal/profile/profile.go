@@ -1,0 +1,54 @@
+// Package profile implements the profile-directed feedback loop the paper's
+// partitioner relies on (Section III-B / III-I): static operation latencies
+// from the cost table, refined with measured memory-access latencies from a
+// sequential profiling run on the simulator.
+package profile
+
+import (
+	"fgp/internal/cost"
+	"fgp/internal/tac"
+)
+
+// Profile maps a TAC instruction id to its measured average load latency in
+// cycles. A nil or empty profile falls back to the static L1-hit latency.
+type Profile map[int32]float64
+
+// FromLoadStats converts the simulator's (total latency, count) pairs into
+// averages.
+func FromLoadStats(stats map[int32][2]int64) Profile {
+	p := Profile{}
+	for id, s := range stats {
+		if s[1] > 0 {
+			p[id] = float64(s[0]) / float64(s[1])
+		}
+	}
+	return p
+}
+
+// InstrCost returns a cost estimator combining the static table with the
+// profile. It is handed to both the code-graph merger (compute-time
+// heuristic) and the scheduler (critical-path priorities).
+func InstrCost(t cost.Table, p Profile) func(*tac.Instr) int64 {
+	return func(in *tac.Instr) int64 {
+		switch in.Op {
+		case tac.OpConstF, tac.OpConstI:
+			return t.Const
+		case tac.OpMov:
+			return t.Mov
+		case tac.OpBin:
+			return t.Bin(in.BinOp, in.K)
+		case tac.OpUn:
+			return t.Un(in.UnOp, in.K)
+		case tac.OpLoad:
+			if p != nil {
+				if avg, ok := p[int32(in.ID)]; ok {
+					return int64(avg + 0.5)
+				}
+			}
+			return t.L1Hit
+		case tac.OpStore:
+			return t.Store
+		}
+		return 1
+	}
+}

@@ -1,0 +1,64 @@
+package profile
+
+import (
+	"testing"
+
+	"fgp/internal/cost"
+	"fgp/internal/ir"
+	"fgp/internal/tac"
+)
+
+func TestFromLoadStats(t *testing.T) {
+	p := FromLoadStats(map[int32][2]int64{
+		1: {100, 10}, // avg 10
+		2: {46, 1},   // avg 46
+		3: {0, 0},    // no samples: dropped
+	})
+	if p[1] != 10 || p[2] != 46 {
+		t.Errorf("averages wrong: %v", p)
+	}
+	if _, ok := p[3]; ok {
+		t.Error("zero-count entry must be dropped")
+	}
+}
+
+func TestInstrCostUsesProfile(t *testing.T) {
+	tab := cost.Default()
+	load := &tac.Instr{ID: 7, Op: tac.OpLoad, K: ir.F64}
+	static := InstrCost(tab, nil)
+	if got := static(load); got != tab.L1Hit {
+		t.Errorf("static load cost = %d, want L1 hit %d", got, tab.L1Hit)
+	}
+	prof := Profile{7: 30.4}
+	dynamic := InstrCost(tab, prof)
+	if got := dynamic(load); got != 30 {
+		t.Errorf("profiled load cost = %d, want 30 (rounded)", got)
+	}
+	other := &tac.Instr{ID: 8, Op: tac.OpLoad, K: ir.F64}
+	if got := dynamic(other); got != tab.L1Hit {
+		t.Errorf("unprofiled load must fall back to hit latency, got %d", got)
+	}
+}
+
+func TestInstrCostTable(t *testing.T) {
+	tab := cost.Default()
+	f := InstrCost(tab, nil)
+	cases := []struct {
+		in   tac.Instr
+		want int64
+	}{
+		{tac.Instr{Op: tac.OpConstF}, tab.Const},
+		{tac.Instr{Op: tac.OpConstI}, tab.Const},
+		{tac.Instr{Op: tac.OpMov}, tab.Mov},
+		{tac.Instr{Op: tac.OpBin, BinOp: ir.Mul, K: ir.F64}, tab.FMul},
+		{tac.Instr{Op: tac.OpBin, BinOp: ir.Div, K: ir.I64}, tab.IntDiv},
+		{tac.Instr{Op: tac.OpUn, UnOp: ir.Sqrt, K: ir.F64}, tab.FSqrt},
+		{tac.Instr{Op: tac.OpStore}, tab.Store},
+	}
+	for _, c := range cases {
+		in := c.in
+		if got := f(&in); got != c.want {
+			t.Errorf("%s: cost %d, want %d", in.Op, got, c.want)
+		}
+	}
+}

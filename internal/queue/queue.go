@@ -1,0 +1,93 @@
+// Package queue models the dedicated hardware communication queues the
+// paper introduces (Section II, Fig 3): fixed-length FIFOs between a
+// specific (sender core, receiver core) pair, one per register class, with
+// a configurable transfer latency. An enqueued value becomes visible to the
+// receiver only transfer-latency cycles after the enqueue issues (Fig 11);
+// enqueues block while the queue is full and dequeues block until a value
+// is visible.
+package queue
+
+import (
+	"fmt"
+
+	"fgp/internal/interp"
+	"fgp/internal/ir"
+)
+
+// Entry is one in-flight value.
+type Entry struct {
+	V       interp.Value
+	AvailAt int64 // simulation time at which the receiver may observe it
+	Edge    int32 // communication-edge tag for debug verification
+}
+
+// Queue is one directional hardware queue.
+type Queue struct {
+	ID       int32
+	Src, Dst int
+	Class    ir.Kind
+	Cap      int
+
+	buf  []Entry // FIFO, index 0 is the head
+	used bool
+
+	// Peak occupancy and transfer counts, for the evaluation's
+	// "queues actually used" metric and general stats.
+	Transfers int64
+	Peak      int
+}
+
+// New creates an empty queue with the given capacity.
+func New(id int32, src, dst int, class ir.Kind, capacity int) *Queue {
+	if capacity < 1 {
+		panic(fmt.Sprintf("queue: capacity must be >= 1, got %d", capacity))
+	}
+	return &Queue{ID: id, Src: src, Dst: dst, Class: class, Cap: capacity}
+}
+
+// Full reports whether an enqueue would block.
+func (q *Queue) Full() bool { return len(q.buf) >= q.Cap }
+
+// Empty reports whether no entries are present (visible or not).
+func (q *Queue) Empty() bool { return len(q.buf) == 0 }
+
+// Len returns the current occupancy.
+func (q *Queue) Len() int { return len(q.buf) }
+
+// Used reports whether the queue ever carried a value.
+func (q *Queue) Used() bool { return q.used }
+
+// Push appends a value that becomes visible at availAt. The caller must
+// have checked Full.
+func (q *Queue) Push(v interp.Value, availAt int64, edge int32) {
+	if q.Full() {
+		panic("queue: push on full queue")
+	}
+	q.buf = append(q.buf, Entry{V: v, AvailAt: availAt, Edge: edge})
+	q.used = true
+	q.Transfers++
+	if len(q.buf) > q.Peak {
+		q.Peak = len(q.buf)
+	}
+}
+
+// Head returns the oldest entry without removing it. The caller must have
+// checked Empty.
+func (q *Queue) Head() Entry {
+	if q.Empty() {
+		panic("queue: head of empty queue")
+	}
+	return q.buf[0]
+}
+
+// Pop removes and returns the oldest entry.
+func (q *Queue) Pop() Entry {
+	e := q.Head()
+	copy(q.buf, q.buf[1:])
+	q.buf = q.buf[:len(q.buf)-1]
+	return e
+}
+
+func (q *Queue) String() string {
+	return fmt.Sprintf("q%d(%d->%d %s, %d/%d)", q.ID, q.Src, q.Dst, q.Class, len(q.buf), q.Cap)
+}

@@ -1,0 +1,184 @@
+package tac
+
+import (
+	"fmt"
+
+	"fgp/internal/ir"
+)
+
+// Lower converts a validated IR loop body into TAC. Each expression-tree
+// node becomes one instruction; conditionals become regions. The instruction
+// list is in program order.
+func Lower(l *ir.Loop) (*Fn, error) {
+	f := &Fn{Loop: l, byName: map[string]TempID{}}
+	f.Regions = []Region{{ID: 0, Parent: -1, Cond: None, Stmt: -1}}
+
+	f.NewTemp(TempInfo{Name: l.Index, K: ir.I64, Named: true, IsIndex: true})
+	for _, s := range l.Scalars {
+		f.NewTemp(TempInfo{Name: s.Name, K: s.K, Named: true, IsParam: true})
+	}
+
+	lw := &lowerer{f: f}
+	if err := lw.stmts(l.Body, 0); err != nil {
+		return nil, fmt.Errorf("tac: %s: %w", l.Name, err)
+	}
+	f.NStmts = lw.stmt
+	return f, nil
+}
+
+type lowerer struct {
+	f     *Fn
+	stmt  int // statement ordinal counter
+	fresh int
+}
+
+func (lw *lowerer) genTemp(k ir.Kind) TempID {
+	lw.fresh++
+	return lw.f.NewTemp(TempInfo{Name: fmt.Sprintf(".t%d", lw.fresh), K: k})
+}
+
+func (lw *lowerer) stmts(stmts []ir.Stmt, region int) error {
+	for _, s := range stmts {
+		switch x := s.(type) {
+		case *ir.Assign:
+			ord := lw.stmt
+			lw.stmt++
+			if err := lw.assign(x, ord, region); err != nil {
+				return err
+			}
+		case *ir.If:
+			ord := lw.stmt
+			lw.stmt++
+			cond, err := lw.expr(x.Cond, ord, x.Src, region)
+			if err != nil {
+				return err
+			}
+			thenR := lw.newRegion(region, cond, true, ord)
+			if err := lw.stmts(x.Then, thenR); err != nil {
+				return err
+			}
+			if len(x.Else) > 0 {
+				elseR := lw.newRegion(region, cond, false, ord)
+				if err := lw.stmts(x.Else, elseR); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (lw *lowerer) newRegion(parent int, cond TempID, sense bool, stmt int) int {
+	id := len(lw.f.Regions)
+	lw.f.Regions = append(lw.f.Regions, Region{
+		ID: id, Parent: parent, Cond: cond, Sense: sense, Stmt: stmt,
+		Depth: lw.f.Regions[parent].Depth + 1,
+	})
+	return id
+}
+
+func (lw *lowerer) assign(a *ir.Assign, ord, region int) error {
+	switch d := a.Dest.(type) {
+	case ir.TempDest:
+		dst := lw.namedTemp(d.Name, d.K)
+		// Lower the RHS; if it produced a fresh instruction inside this
+		// statement, retarget that instruction's destination to the named
+		// temp instead of emitting an extra move.
+		v, root, err := lw.exprRoot(a.X, ord, a.Src, region)
+		if err != nil {
+			return err
+		}
+		if root != nil && !lw.f.Temps[root.Dst].Named {
+			lw.retarget(root, dst)
+			return nil
+		}
+		lw.f.Emit(Instr{Op: OpMov, K: d.K, Dst: dst, A: v, B: None, Stmt: ord, Line: a.Src, Region: region})
+		return nil
+	case *ir.ElemDest:
+		idx, err := lw.expr(d.Index, ord, a.Src, region)
+		if err != nil {
+			return err
+		}
+		v, err := lw.expr(a.X, ord, a.Src, region)
+		if err != nil {
+			return err
+		}
+		lw.f.Emit(Instr{Op: OpStore, K: d.K, Dst: None, A: idx, B: v, Array: d.Array, Stmt: ord, Line: a.Src, Region: region})
+		return nil
+	}
+	return fmt.Errorf("unknown dest %T", a.Dest)
+}
+
+// retarget redirects the destination of a freshly emitted instruction to a
+// named temp. The generated temp it previously defined has exactly one def
+// and no uses yet, so it becomes dead and is dropped from the def list.
+func (lw *lowerer) retarget(in *Instr, dst TempID) {
+	old := in.Dst
+	lw.f.Temps[old].Defs = nil
+	in.Dst = dst
+	lw.f.Temps[dst].Defs = append(lw.f.Temps[dst].Defs, in.ID)
+}
+
+func (lw *lowerer) namedTemp(name string, k ir.Kind) TempID {
+	if t, ok := lw.f.byName[name]; ok {
+		return t
+	}
+	return lw.f.NewTemp(TempInfo{Name: name, K: k, Named: true})
+}
+
+// expr lowers an expression and returns the temp holding its value.
+func (lw *lowerer) expr(e ir.Expr, ord, line, region int) (TempID, error) {
+	t, _, err := lw.exprRoot(e, ord, line, region)
+	return t, err
+}
+
+// exprRoot lowers an expression; root is the instruction that produced the
+// value if the expression emitted one (nil when the value is a pre-existing
+// temp reference).
+func (lw *lowerer) exprRoot(e ir.Expr, ord, line, region int) (TempID, *Instr, error) {
+	switch n := e.(type) {
+	case ir.ConstF:
+		dst := lw.genTemp(ir.F64)
+		in := lw.f.Emit(Instr{Op: OpConstF, K: ir.F64, Dst: dst, A: None, B: None, CF: n.V, Stmt: ord, Line: line, Region: region})
+		return dst, in, nil
+	case ir.ConstI:
+		dst := lw.genTemp(ir.I64)
+		in := lw.f.Emit(Instr{Op: OpConstI, K: ir.I64, Dst: dst, A: None, B: None, CI: n.V, Stmt: ord, Line: line, Region: region})
+		return dst, in, nil
+	case ir.Temp:
+		t, ok := lw.f.byName[n.Name]
+		if !ok {
+			return None, nil, fmt.Errorf("line %d: temp %q used before definition", line, n.Name)
+		}
+		return t, nil, nil
+	case *ir.Load:
+		idx, err := lw.expr(n.Index, ord, line, region)
+		if err != nil {
+			return None, nil, err
+		}
+		dst := lw.genTemp(n.K)
+		in := lw.f.Emit(Instr{Op: OpLoad, K: n.K, Dst: dst, A: idx, B: None, Array: n.Array, Stmt: ord, Line: line, Region: region})
+		return dst, in, nil
+	case *ir.Bin:
+		a, err := lw.expr(n.L, ord, line, region)
+		if err != nil {
+			return None, nil, err
+		}
+		b, err := lw.expr(n.R, ord, line, region)
+		if err != nil {
+			return None, nil, err
+		}
+		dst := lw.genTemp(n.Kind())
+		in := lw.f.Emit(Instr{Op: OpBin, BinOp: n.Op, K: n.L.Kind(), Dst: dst, A: a, B: b, Stmt: ord, Line: line, Region: region})
+		return dst, in, nil
+	case *ir.Un:
+		a, err := lw.expr(n.X, ord, line, region)
+		if err != nil {
+			return None, nil, err
+		}
+		dst := lw.genTemp(n.Kind())
+		in := lw.f.Emit(Instr{Op: OpUn, UnOp: n.Op, K: n.X.Kind(), Dst: dst, A: a, B: None, Stmt: ord, Line: line, Region: region})
+		return dst, in, nil
+	}
+	return None, nil, fmt.Errorf("unknown expression %T", e)
+}

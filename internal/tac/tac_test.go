@@ -1,0 +1,346 @@
+package tac
+
+import (
+	"strings"
+	"testing"
+
+	"fgp/internal/ir"
+)
+
+func lower(t *testing.T, build func(b *ir.Builder)) *Fn {
+	t.Helper()
+	b := ir.NewBuilder("t", "i", 0, 8, 1)
+	b.ArrayF("a", make([]float64, 8))
+	b.ArrayF("o", make([]float64, 8))
+	build(b)
+	l := b.MustBuild()
+	fn, err := Lower(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fn
+}
+
+func TestLowerSimpleAssign(t *testing.T) {
+	fn := lower(t, func(b *ir.Builder) {
+		i := b.Idx()
+		v := b.Def("v", ir.AddE(ir.MulE(ir.LDF("a", i), ir.F(2)), ir.F(1)))
+		b.StoreF("o", i, v)
+	})
+	// Expect: load, const 2, mul, const 1, add (retargeted to v), store.
+	var ops []OpKind
+	for _, in := range fn.Instrs {
+		ops = append(ops, in.Op)
+	}
+	want := []OpKind{OpLoad, OpConstF, OpBin, OpConstF, OpBin, OpStore}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("ops = %v, want %v", ops, want)
+		}
+	}
+	// The add's destination must be the named temp v (no extra mov).
+	add := fn.Instrs[4]
+	if !fn.Temps[add.Dst].Named || fn.Temps[add.Dst].Name != "v" {
+		t.Errorf("root dst = %q, want retargeted to v", fn.TempName(add.Dst))
+	}
+}
+
+func TestLowerMovForBareTempCopy(t *testing.T) {
+	fn := lower(t, func(b *ir.Builder) {
+		b.Def("x", ir.F(1))
+		b.Def("y", b.T("x")) // y = x is a copy, must become a Mov
+		b.StoreF("o", b.Idx(), b.T("y"))
+	})
+	found := false
+	for _, in := range fn.Instrs {
+		if in.Op == OpMov {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected a Mov for the bare temp copy")
+	}
+}
+
+func TestLowerRegions(t *testing.T) {
+	fn := lower(t, func(b *ir.Builder) {
+		i := b.Idx()
+		c := b.Def("c", ir.GtE(ir.LDF("a", i), ir.F(0)))
+		b.If(c, func() {
+			b.Def("v", ir.F(1))
+		}, func() {
+			b.Def("v", ir.F(2))
+		})
+		b.StoreF("o", i, b.T("v"))
+	})
+	if len(fn.Regions) != 3 {
+		t.Fatalf("got %d regions, want 3 (root + then + else)", len(fn.Regions))
+	}
+	thenR, elseR := fn.Regions[1], fn.Regions[2]
+	if thenR.Parent != 0 || elseR.Parent != 0 {
+		t.Error("branch regions must be children of root")
+	}
+	if thenR.Sense == elseR.Sense {
+		t.Error("then and else must have opposite senses")
+	}
+	if thenR.Cond != elseR.Cond {
+		t.Error("then and else must share the condition temp")
+	}
+	if thenR.Stmt != elseR.Stmt {
+		t.Error("then and else must share the If statement ordinal")
+	}
+	// Exactly one instruction in each branch region (the retargeted const).
+	count := map[int]int{}
+	for _, in := range fn.Instrs {
+		count[in.Region]++
+	}
+	if count[1] != 1 || count[2] != 1 {
+		t.Errorf("per-region instr counts %v", count)
+	}
+}
+
+func TestLowerNestedRegions(t *testing.T) {
+	fn := lower(t, func(b *ir.Builder) {
+		i := b.Idx()
+		c1 := b.Def("c1", ir.GtE(ir.LDF("a", i), ir.F(0)))
+		b.If(c1, func() {
+			c2 := b.Def("c2", ir.LtE(ir.LDF("a", i), ir.F(1)))
+			b.If(c2, func() {
+				b.Def("v", ir.F(1))
+			}, func() {
+				b.Def("v", ir.F(2))
+			})
+		}, func() {
+			b.Def("v", ir.F(3))
+		})
+		b.StoreF("o", i, b.T("v"))
+	})
+	// Regions: root, then1, (then2, else2 nested), else1 = 5.
+	if len(fn.Regions) != 5 {
+		t.Fatalf("got %d regions, want 5", len(fn.Regions))
+	}
+	// Depth of the nested branches is 2.
+	deepest := 0
+	for _, r := range fn.Regions {
+		if r.Depth > deepest {
+			deepest = r.Depth
+		}
+	}
+	if deepest != 2 {
+		t.Errorf("max depth %d, want 2", deepest)
+	}
+}
+
+func TestPredChainAndLCA(t *testing.T) {
+	fn := lower(t, func(b *ir.Builder) {
+		i := b.Idx()
+		c1 := b.Def("c1", ir.GtE(ir.LDF("a", i), ir.F(0)))
+		b.If(c1, func() {
+			c2 := b.Def("c2", ir.LtE(ir.LDF("a", i), ir.F(1)))
+			b.If(c2, func() {
+				b.Def("v", ir.F(1))
+			}, nil)
+			b.Def("w", ir.F(4))
+		}, func() {
+			b.Def("u", ir.F(3))
+		})
+		b.StoreF("o", i, ir.F(0))
+	})
+	// Region ids: 0 root, 1 then1, 2 then2 (nested), 3 else1 (order of
+	// creation). Verify via parents.
+	var then1, then2, else1 = -1, -1, -1
+	for _, r := range fn.Regions {
+		switch {
+		case r.Parent == 0 && r.Sense:
+			then1 = r.ID
+		case r.Parent > 0 && r.Sense:
+			then2 = r.ID
+		case r.Parent == 0 && !r.Sense && r.ID != 0:
+			else1 = r.ID
+		}
+	}
+	if then1 < 0 || then2 < 0 || else1 < 0 {
+		t.Fatalf("region discovery failed: %+v", fn.Regions)
+	}
+	if got := fn.LCA(then2, else1); got != 0 {
+		t.Errorf("LCA(then2, else1) = %d, want 0", got)
+	}
+	if got := fn.LCA(then2, then1); got != then1 {
+		t.Errorf("LCA(then2, then1) = %d, want %d", got, then1)
+	}
+	chain := fn.PredChain(then2)
+	if len(chain) != 2 || !chain[0].Sense || !chain[1].Sense {
+		t.Errorf("PredChain(then2) = %+v", chain)
+	}
+	if got := fn.AncestorAt(then2, 0); got != then1 {
+		t.Errorf("AncestorAt(then2, root) = %d, want %d", got, then1)
+	}
+	if got := fn.AncestorAt(then1, 0); got != then1 {
+		t.Errorf("AncestorAt(then1, root) = %d, want itself", got)
+	}
+	if got := fn.AncestorAt(0, 0); got != -1 {
+		t.Errorf("AncestorAt(root, root) = %d, want -1", got)
+	}
+	if got := fn.AncestorAt(else1, then1); got != -1 {
+		t.Errorf("AncestorAt(else1, then1) = %d, want -1 (not a descendant)", got)
+	}
+}
+
+func TestLowerIndexAndParams(t *testing.T) {
+	b := ir.NewBuilder("t", "i", 0, 8, 1)
+	b.ArrayF("o", make([]float64, 8))
+	s := b.ScalarF("s", 2.5)
+	b.StoreF("o", b.Idx(), ir.MulE(s, ir.F(1)))
+	l := b.MustBuild()
+	fn, err := Lower(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, ok := fn.TempByName("i")
+	if !ok || !fn.Temps[it].IsIndex {
+		t.Error("index temp missing or not flagged")
+	}
+	st, ok := fn.TempByName("s")
+	if !ok || !fn.Temps[st].IsParam {
+		t.Error("param temp missing or not flagged")
+	}
+	if len(fn.Temps[st].Defs) != 0 {
+		t.Error("pure param must have no defs")
+	}
+}
+
+func TestLowerAccumulatorDefs(t *testing.T) {
+	b := ir.NewBuilder("t", "i", 0, 8, 1)
+	b.ArrayF("a", make([]float64, 8))
+	acc := b.ScalarF("acc", 0)
+	_ = acc
+	b.LiveOut("acc")
+	b.Def("acc", ir.AddE(b.T("acc"), ir.LDF("a", b.Idx())))
+	l := b.MustBuild()
+	fn, err := Lower(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, _ := fn.TempByName("acc")
+	if !fn.Temps[at].IsParam || len(fn.Temps[at].Defs) != 1 {
+		t.Errorf("accumulator: IsParam=%v defs=%v", fn.Temps[at].IsParam, fn.Temps[at].Defs)
+	}
+}
+
+func TestInstrUses(t *testing.T) {
+	fn := lower(t, func(b *ir.Builder) {
+		i := b.Idx()
+		b.StoreF("o", i, ir.AddE(ir.LDF("a", i), ir.F(1)))
+	})
+	store := fn.Instrs[len(fn.Instrs)-1]
+	if store.Op != OpStore {
+		t.Fatalf("last instr is %s", store.Op)
+	}
+	var uses []TempID
+	uses = store.Uses(uses)
+	if len(uses) != 2 {
+		t.Errorf("store uses %d temps, want 2 (index + value)", len(uses))
+	}
+}
+
+func TestStmtOrdinalsMonotonic(t *testing.T) {
+	fn := lower(t, func(b *ir.Builder) {
+		i := b.Idx()
+		c := b.Def("c", ir.GtE(ir.LDF("a", i), ir.F(0)))
+		b.If(c, func() {
+			b.Def("x", ir.F(1))
+			b.Def("y", ir.F(2))
+		}, nil)
+		b.StoreF("o", i, ir.F(3))
+	})
+	last := -1
+	for _, in := range fn.Instrs {
+		if in.Stmt < last {
+			t.Fatalf("statement ordinals not monotonic at instr %d", in.ID)
+		}
+		last = in.Stmt
+	}
+}
+
+func TestDumpContainsStructure(t *testing.T) {
+	fn := lower(t, func(b *ir.Builder) {
+		i := b.Idx()
+		b.StoreF("o", i, ir.MulE(ir.LDF("a", i), ir.F(2)))
+	})
+	out := fn.Dump()
+	for _, frag := range []string{"tac t:", "a[i]", "mul", "o["} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("dump missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestIsCompute(t *testing.T) {
+	fn := lower(t, func(b *ir.Builder) {
+		i := b.Idx()
+		b.StoreF("o", i, ir.SqrtE(ir.MulE(ir.LDF("a", i), ir.F(2))))
+	})
+	computes := 0
+	for _, in := range fn.Instrs {
+		if in.IsCompute() {
+			computes++
+		}
+	}
+	if computes != 2 { // mul + sqrt
+		t.Errorf("computes = %d, want 2", computes)
+	}
+}
+
+func TestLowerStoreIndexThenValueOrder(t *testing.T) {
+	// Store lowering evaluates the index before the value, matching the
+	// interpreter's evaluation order.
+	fn := lower(t, func(b *ir.Builder) {
+		i := b.Idx()
+		b.StoreF("o", ir.AddE(i, ir.I(0)), ir.MulE(ir.LDF("a", i), ir.F(2)))
+	})
+	st := fn.Instrs[len(fn.Instrs)-1]
+	if st.Op != OpStore {
+		t.Fatalf("last op %s", st.Op)
+	}
+	// Index def must precede value def in program order.
+	idxDef := fn.Temps[st.A].Defs[0]
+	valDef := fn.Temps[st.B].Defs[0]
+	if idxDef > valDef {
+		t.Errorf("index def %d after value def %d", idxDef, valDef)
+	}
+}
+
+func TestTempByNameMiss(t *testing.T) {
+	fn := lower(t, func(b *ir.Builder) {
+		b.StoreF("o", b.Idx(), ir.F(1))
+	})
+	if _, ok := fn.TempByName("nope"); ok {
+		t.Error("lookup of unknown temp must fail")
+	}
+	if _, ok := fn.TempByName("i"); !ok {
+		t.Error("index temp must resolve")
+	}
+}
+
+func TestInstrStringForms(t *testing.T) {
+	fn := lower(t, func(b *ir.Builder) {
+		i := b.Idx()
+		b.Def("m", ir.MinE(ir.LDF("a", i), ir.F(1)))
+		b.Def("u", ir.SqrtE(b.T("m")))
+		b.Def("c", b.T("u"))
+		b.StoreF("o", i, b.T("c"))
+	})
+	var forms []string
+	for _, in := range fn.Instrs {
+		forms = append(forms, fn.InstrString(in))
+	}
+	joined := strings.Join(forms, "\n")
+	for _, frag := range []string{"a[i]", "min", "sqrt", "c = u", "o[i] = c"} {
+		if !strings.Contains(joined, frag) {
+			t.Errorf("InstrString output missing %q:\n%s", frag, joined)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package ir_test
+
+import (
+	"strings"
+	"testing"
+
+	"fgp/ir"
+)
+
+// TestFacadeRoundTrip builds the doc-comment example through the public
+// facade and checks the aliases wire through to the implementation.
+func TestFacadeRoundTrip(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{4, 3, 2, 1}
+	b := ir.NewBuilder("dot", "i", 0, 4, 1)
+	b.ArrayF("x", xs)
+	b.ArrayF("y", ys)
+	acc := b.ScalarF("acc", 0)
+	_ = acc
+	b.LiveOut("acc")
+	i := b.Idx()
+	b.Def("acc", ir.AddE(b.T("acc"), ir.MulE(ir.LDF("x", i), ir.LDF("y", i))))
+	loop := b.MustBuild()
+
+	if err := ir.Validate(loop); err != nil {
+		t.Fatal(err)
+	}
+	out := ir.Print(loop)
+	if !strings.Contains(out, "loop dot") || !strings.Contains(out, "liveout acc") {
+		t.Errorf("facade Print:\n%s", out)
+	}
+	if loop.Trips() != 4 {
+		t.Errorf("trips = %d", loop.Trips())
+	}
+}
+
+func TestFacadeConstructors(t *testing.T) {
+	cases := []struct {
+		e    ir.Expr
+		want ir.Kind
+	}{
+		{ir.F(1), ir.F64},
+		{ir.I(1), ir.I64},
+		{ir.SubE(ir.F(2), ir.F(1)), ir.F64},
+		{ir.DivE(ir.F(2), ir.F(1)), ir.F64},
+		{ir.RemE(ir.I(5), ir.I(2)), ir.I64},
+		{ir.MinE(ir.I(1), ir.I(2)), ir.I64},
+		{ir.MaxE(ir.F(1), ir.F(2)), ir.F64},
+		{ir.AndE(ir.I(1), ir.I(2)), ir.I64},
+		{ir.OrE(ir.I(1), ir.I(2)), ir.I64},
+		{ir.XorE(ir.I(1), ir.I(2)), ir.I64},
+		{ir.ShlE(ir.I(1), ir.I(2)), ir.I64},
+		{ir.ShrE(ir.I(4), ir.I(1)), ir.I64},
+		{ir.EqE(ir.F(1), ir.F(1)), ir.I64},
+		{ir.NeE(ir.I(1), ir.I(2)), ir.I64},
+		{ir.LeE(ir.F(1), ir.F(2)), ir.I64},
+		{ir.GeE(ir.I(1), ir.I(2)), ir.I64},
+		{ir.NotE(ir.I(0)), ir.I64},
+		{ir.ExpE(ir.F(0)), ir.F64},
+		{ir.LogE(ir.F(1)), ir.F64},
+		{ir.FloorE(ir.F(1.5)), ir.F64},
+		{ir.IToF(ir.I(2)), ir.F64},
+		{ir.FToI(ir.F(2.5)), ir.I64},
+		{ir.TF("a"), ir.F64},
+		{ir.TI("n"), ir.I64},
+		{ir.LDI("p", ir.I(0)), ir.I64},
+		{ir.AbsE(ir.NegE(ir.F(1))), ir.F64},
+		{ir.SqrtE(ir.F(4)), ir.F64},
+		{ir.GtE(ir.F(1), ir.F(0)), ir.I64},
+		{ir.LtE(ir.I(1), ir.I(0)), ir.I64},
+	}
+	for i, c := range cases {
+		if got := c.e.Kind(); got != c.want {
+			t.Errorf("case %d (%v): kind %v, want %v", i, c.e, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+// Package kernels exposes the 18 evaluation kernels of the paper (Table I)
+// for use by examples, benchmarks and downstream experiments. See
+// fgp/internal/kernels for the construction details and the documented
+// substitutions for the original Sequoia sources.
+package kernels
+
+import "fgp/internal/kernels"
+
+// Kernel is one evaluation loop plus the paper's published numbers for it.
+type Kernel = kernels.Kernel
+
+// All returns the 18 kernels in Table I order.
+func All() []*Kernel { return kernels.All() }
+
+// ByName finds a kernel by its Table I name (e.g. "lammps-1").
+func ByName(name string) (*Kernel, error) { return kernels.ByName(name) }
+
+// Apps returns the four application names in Table II order.
+func Apps() []string { return kernels.Apps() }
+
+// ByApp returns the kernels of one application.
+func ByApp(app string) []*Kernel { return kernels.ByApp(app) }

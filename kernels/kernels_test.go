@@ -1,0 +1,41 @@
+package kernels_test
+
+import (
+	"testing"
+
+	"fgp"
+	"fgp/kernels"
+)
+
+// TestFacadeEndToEnd compiles a kernel obtained through the public facade
+// and verifies it — the downstream-user workflow.
+func TestFacadeEndToEnd(t *testing.T) {
+	k, err := kernels.ByName("umt2k-5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := fgp.Compile(k.Build(), fgp.DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Verify(a.MachineConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeListing(t *testing.T) {
+	if got := len(kernels.All()); got != 18 {
+		t.Fatalf("%d kernels", got)
+	}
+	apps := kernels.Apps()
+	total := 0
+	for _, app := range apps {
+		total += len(kernels.ByApp(app))
+	}
+	if total != 18 {
+		t.Fatalf("app grouping covers %d kernels", total)
+	}
+	if _, err := kernels.ByName("not-a-kernel"); err == nil {
+		t.Error("unknown kernel must error")
+	}
+}
