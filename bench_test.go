@@ -20,37 +20,56 @@ import (
 	"fgp/internal/kernels"
 )
 
-// compileAll builds artifacts for every kernel at the given core count.
+// compileAll builds artifacts for every kernel at the given core count,
+// fanning compilations out across the CPU so benchmark setup stays cheap.
 func compileAll(b *testing.B, cores int, mod func(*core.Options)) map[string]*core.Artifact {
 	b.Helper()
-	arts := map[string]*core.Artifact{}
-	for _, k := range kernels.All() {
+	ks := kernels.All()
+	built := make([]*core.Artifact, len(ks))
+	err := experiments.ParallelEach(len(ks), 0, func(i int) error {
 		opt := core.DefaultOptions(cores)
 		if mod != nil {
 			mod(&opt)
 		}
-		a, err := core.Compile(k.Build(), opt)
+		a, err := core.Compile(ks[i].Build(), opt)
 		if err != nil {
-			b.Fatalf("%s: %v", k.Name, err)
+			return fmt.Errorf("%s: %w", ks[i].Name, err)
 		}
-		arts[k.Name] = a
+		built[i] = a
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	arts := map[string]*core.Artifact{}
+	for i, k := range ks {
+		arts[k.Name] = built[i]
 	}
 	return arts
 }
 
 func seqCycles(b *testing.B) map[string]int64 {
 	b.Helper()
-	out := map[string]int64{}
-	for _, k := range kernels.All() {
-		a, err := core.CompileSequential(k.Build())
+	ks := kernels.All()
+	cycles := make([]int64, len(ks))
+	err := experiments.ParallelEach(len(ks), 0, func(i int) error {
+		a, err := core.CompileSequential(ks[i].Build())
 		if err != nil {
-			b.Fatalf("%s: %v", k.Name, err)
+			return fmt.Errorf("%s: %w", ks[i].Name, err)
 		}
 		res, err := a.RunDefault()
 		if err != nil {
-			b.Fatalf("%s: %v", k.Name, err)
+			return fmt.Errorf("%s: %w", ks[i].Name, err)
 		}
-		out[k.Name] = res.Cycles
+		cycles[i] = res.Cycles
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := map[string]int64{}
+	for i, k := range ks {
+		out[k.Name] = cycles[i]
 	}
 	return out
 }
@@ -79,6 +98,36 @@ func BenchmarkFig12(b *testing.B) {
 					b.ReportMetric(float64(seq[k.Name])/float64(cycles), "speedup")
 					b.ReportMetric(float64(cycles)/1e6, "simMcycles")
 				})
+			}
+		})
+	}
+}
+
+// BenchmarkFig12Sweep times the whole Figure 12 sweep (18 kernels, compile
+// and simulate at 1, 2, and 4 cores) end to end through the experiments
+// Runner — the number cmd/fgpbench tracks for host-performance regressions.
+// Sub-benchmarks cover the burst engine on a serial and a saturated worker
+// pool plus the reference per-instruction scheduler.
+func BenchmarkFig12Sweep(b *testing.B) {
+	modes := []struct {
+		name      string
+		workers   int
+		reference bool
+	}{
+		{"burst/parallel", 0, false},
+		{"burst/serial", 1, false},
+		{"reference/serial", 1, true},
+	}
+	for _, m := range modes {
+		m := m
+		b.Run(m.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := experiments.NewRunner()
+				r.SetWorkers(m.workers)
+				r.SetReference(m.reference)
+				if _, err := experiments.Fig12(r); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

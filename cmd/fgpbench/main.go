@@ -1,0 +1,271 @@
+// Command fgpbench is the host-performance regression harness: it times the
+// full Figure 12 sweep (every kernel compiled and simulated at 1, 2, and 4
+// cores) on the burst engine and on the retained per-instruction reference
+// scheduler, serial and parallel, and emits a machine-readable report.
+//
+// The report (BENCH_sim.json, committed at the repo root) records total
+// sweep wall-clock, the compile/simulate split, host nanoseconds per
+// simulated cycle, and the speedups of the burst engine and the parallel
+// runner over the reference-serial baseline. Regenerate it after simulator
+// or compiler changes with:
+//
+//	go run ./cmd/fgpbench -o BENCH_sim.json
+//
+// Simulated results are bit-identical across every mode (the determinism
+// tests in internal/sim enforce this); only host time may change.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+
+	"fgp/internal/experiments"
+	"fgp/internal/kernels"
+)
+
+// Mode is one engine/worker configuration of the sweep.
+type Mode struct {
+	Name      string `json:"name"`
+	Engine    string `json:"engine"`  // "burst" or "reference"
+	Workers   int    `json:"workers"` // 0 = one per available CPU
+	Reference bool   `json:"-"`
+
+	// ColdNs is the best wall-clock of the full sweep from an empty cache:
+	// compilation plus simulation. WarmNs re-runs the sweep with artifacts
+	// and sequential baselines cached, so it isolates simulation time.
+	ColdNs  int64   `json:"cold_ns"`
+	WarmNs  int64   `json:"warm_ns"`
+	ColdRun []int64 `json:"cold_runs_ns"`
+	WarmRun []int64 `json:"warm_runs_ns"`
+
+	// NsPerSimCycle is host-warm nanoseconds per simulated cycle across the
+	// sweep's parallel runs (the simulation work a warm sweep repeats).
+	NsPerSimCycle float64 `json:"ns_per_simulated_cycle"`
+}
+
+// Report is the BENCH_sim.json schema.
+type Report struct {
+	Benchmark  string `json:"benchmark"`
+	Kernels    int    `json:"kernels"`
+	Repeats    int    `json:"repeats"`
+	GoMaxProcs int    `json:"go_max_procs"`
+	GoVersion  string `json:"go_version"`
+
+	// TotalSimCycles is the number of simulated cycles a warm sweep
+	// executes (the 2- and 4-core run of every kernel); identical across
+	// modes by construction.
+	TotalSimCycles int64 `json:"total_simulated_cycles"`
+
+	Modes []Mode `json:"modes"`
+
+	// Headline ratios, all versus the reference-serial cold sweep.
+	SpeedupBurstSerial   float64 `json:"speedup_burst_serial"`
+	SpeedupBurstParallel float64 `json:"speedup_burst_parallel"`
+
+	// Baseline optionally records an externally measured cold sweep of an
+	// older checkout (via -baseline/-baseline-ns), e.g. the seed
+	// implementation timed with this tool's -once flag built at that
+	// commit, A/B-interleaved with the current binary on the same machine.
+	Baseline *Baseline `json:"baseline,omitempty"`
+}
+
+// Baseline is a cross-version comparison point.
+type Baseline struct {
+	Name   string `json:"name"`
+	ColdNs int64  `json:"cold_ns"`
+
+	// Speedups of the current modes' cold sweeps over this baseline.
+	SpeedupBurstSerial   float64 `json:"speedup_burst_serial"`
+	SpeedupBurstParallel float64 `json:"speedup_burst_parallel"`
+}
+
+func main() {
+	repeats := flag.Int("repeats", 5, "timed repetitions per mode (best is reported)")
+	workers := flag.Int("workers", 0, "worker pool size for the parallel mode (0 = one per CPU)")
+	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
+	once := flag.String("once", "", "run a single cold sweep in the named mode and print its nanoseconds (for cross-version A/B runs)")
+	baseName := flag.String("baseline", "", "name of a baseline checkout to record in the report")
+	baseNs := flag.Int64("baseline-ns", 0, "externally measured cold-sweep nanoseconds of the -baseline checkout")
+	baseCmd := flag.String("baseline-cmd", "", "command printing one cold-sweep nanosecond count (e.g. an older checkout's 'fgpbench -once burst-parallel' binary); run interleaved with the modes each repeat, overriding -baseline-ns")
+	flag.Parse()
+	if *repeats < 1 {
+		fatal(fmt.Errorf("repeats must be >= 1"))
+	}
+
+	modes := []Mode{
+		{Name: "reference-serial", Engine: "reference", Workers: 1, Reference: true},
+		{Name: "burst-serial", Engine: "burst", Workers: 1},
+		{Name: "burst-parallel", Engine: "burst", Workers: *workers},
+	}
+
+	if *once != "" {
+		for i := range modes {
+			if modes[i].Name == *once {
+				cold, _, err := timeSweep(&modes[i])
+				if err != nil {
+					fatal(fmt.Errorf("%s: %w", *once, err))
+				}
+				fmt.Println(cold.Nanoseconds())
+				return
+			}
+		}
+		fatal(fmt.Errorf("unknown mode %q", *once))
+	}
+
+	simCycles, err := totalSimCycles()
+	if err != nil {
+		fatal(err)
+	}
+
+	rep := Report{
+		Benchmark:      "fig12-sweep",
+		Kernels:        len(kernels.All()),
+		Repeats:        *repeats,
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		GoVersion:      runtime.Version(),
+		TotalSimCycles: simCycles,
+	}
+
+	// Interleave the modes round-robin so slow phases of a shared host are
+	// charged to every mode equally rather than to whichever ran last. An
+	// external baseline command joins the rotation for the same reason: a
+	// cross-version ratio is only meaningful when both sides sample the
+	// same host conditions.
+	var baseRuns []int64
+	for rep := 0; rep < *repeats; rep++ {
+		if *baseCmd != "" {
+			ns, err := runBaseline(*baseCmd)
+			if err != nil {
+				fatal(fmt.Errorf("baseline command: %w", err))
+			}
+			baseRuns = append(baseRuns, ns)
+		}
+		for i := range modes {
+			m := &modes[i]
+			cold, warm, err := timeSweep(m)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", m.Name, err))
+			}
+			m.ColdRun = append(m.ColdRun, cold.Nanoseconds())
+			m.WarmRun = append(m.WarmRun, warm.Nanoseconds())
+		}
+	}
+	if len(baseRuns) > 0 {
+		*baseNs = min64(baseRuns)
+	}
+	for i := range modes {
+		m := &modes[i]
+		m.ColdNs = min64(m.ColdRun)
+		m.WarmNs = min64(m.WarmRun)
+		m.NsPerSimCycle = float64(m.WarmNs) / float64(simCycles)
+	}
+	rep.Modes = modes
+
+	ref := float64(modes[0].ColdNs)
+	rep.SpeedupBurstSerial = ref / float64(modes[1].ColdNs)
+	rep.SpeedupBurstParallel = ref / float64(modes[2].ColdNs)
+	if *baseName != "" && *baseNs > 0 {
+		rep.Baseline = &Baseline{
+			Name:                 *baseName,
+			ColdNs:               *baseNs,
+			SpeedupBurstSerial:   float64(*baseNs) / float64(modes[1].ColdNs),
+			SpeedupBurstParallel: float64(*baseNs) / float64(modes[2].ColdNs),
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "fig12 sweep: reference-serial %v, burst-serial %v (%.1fx), burst-parallel %v (%.1fx)\n",
+		time.Duration(modes[0].ColdNs), time.Duration(modes[1].ColdNs), rep.SpeedupBurstSerial,
+		time.Duration(modes[2].ColdNs), rep.SpeedupBurstParallel)
+}
+
+// timeSweep runs the Figure 12 sweep twice on a fresh runner: cold (compile
+// + simulate) and warm (artifact cache full, so simulation dominates).
+func timeSweep(m *Mode) (cold, warm time.Duration, err error) {
+	r := experiments.NewRunner()
+	r.SetWorkers(m.Workers)
+	r.SetReference(m.Reference)
+
+	// Settle the heap so earlier modes' garbage is not charged to this one.
+	runtime.GC()
+	start := time.Now()
+	if _, err := experiments.Fig12(r); err != nil {
+		return 0, 0, err
+	}
+	cold = time.Since(start)
+
+	start = time.Now()
+	if _, err := experiments.Fig12(r); err != nil {
+		return 0, 0, err
+	}
+	warm = time.Since(start)
+	return cold, warm, nil
+}
+
+// totalSimCycles sums the simulated cycles of every parallel run in the
+// sweep (the work a warm sweep repeats). Engine choice cannot affect it:
+// both engines produce bit-identical results.
+func totalSimCycles() (int64, error) {
+	r := experiments.NewRunner()
+	var total int64
+	for _, k := range kernels.All() {
+		for _, cores := range []int{2, 4} {
+			_, res, _, err := r.Speedup(k, experiments.Variant{Cores: cores}, nil)
+			if err != nil {
+				return 0, err
+			}
+			total += res.Cycles
+		}
+	}
+	return total, nil
+}
+
+// runBaseline executes the baseline command and parses the nanosecond
+// count it prints.
+func runBaseline(cmdline string) (int64, error) {
+	parts := strings.Fields(cmdline)
+	out, err := exec.Command(parts[0], parts[1:]...).Output()
+	if err != nil {
+		return 0, err
+	}
+	var ns int64
+	if _, err := fmt.Sscan(string(out), &ns); err != nil {
+		return 0, fmt.Errorf("parsing output %q: %w", string(out), err)
+	}
+	return ns, nil
+}
+
+func min64(xs []int64) int64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fgpbench:", err)
+	os.Exit(1)
+}

@@ -10,6 +10,11 @@
 //
 // Experiments: table1, fig12, table2, table3, fig13, fig14, throughput,
 // multipair, schedule, queuelen, all.
+//
+// Host-performance knobs: -workers bounds the sweep's worker pool,
+// -reference forces the retained per-instruction simulator engine
+// (bit-identical results, slower), and -cpuprofile/-memprofile write pprof
+// profiles of the run for go tool pprof.
 package main
 
 import (
@@ -17,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -28,6 +35,10 @@ func main() {
 	lats := flag.String("lat", "5,20,50,100", "comma-separated transfer latencies for fig13")
 	qlens := flag.String("qlen", "2,4,8,20,64", "comma-separated queue lengths for queuelen")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
+	workers := flag.Int("workers", 0, "worker pool size for experiment sweeps (0 = one per CPU, 1 = serial)")
+	reference := flag.Bool("reference", false, "simulate on the reference per-instruction engine instead of the burst engine")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	latencies, err := parseInt64s(*lats)
@@ -39,7 +50,34 @@ func main() {
 		fatal(err)
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // get up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+
 	r := experiments.NewRunner()
+	r.SetWorkers(*workers)
+	r.SetReference(*reference)
 	jsonOut := map[string]any{}
 	run := func(name string, f func() (string, error)) {
 		if *exp != "all" && *exp != name {

@@ -82,6 +82,23 @@ type merger struct {
 	nodes []*node
 	owner []int32 // fiber -> node id
 	alive int
+	// und[a][b] is the undirected edge multiplicity between nodes a and b
+	// (out[b] + in[b] kept dense): the affinity scan reads it O(V^2) times
+	// per merge step, far too hot for the per-node maps.
+	und [][]int32
+
+	// Single-pair argmax cache. bestScore[i]/bestJ[i] memoize the best
+	// partner j > i (in id order, ties to the smallest j) for alive node i;
+	// a merge only changes scores of pairs involving the survivor or the
+	// dead node, so mergeNodes patches or invalidates exactly those rows
+	// and each merge step costs O(V) instead of a fresh O(V^2) scan. The
+	// cached maximum is bit-identical to the full scan: both resolve score
+	// ties to the lexicographically first (i, j) pair.
+	bestScore  []float64
+	bestJ      []int32
+	bestOK     []bool
+	cacheTotal int64 // total live cost; invariant under merges
+	cacheOn    bool
 }
 
 // Merge runs the transformation and returns the final partitions.
@@ -151,9 +168,15 @@ func (m *merger) build() {
 		m.owner[i] = int32(i)
 		m.alive++
 	}
+	m.und = make([][]int32, len(set.Fibers))
+	for i := range m.und {
+		m.und[i] = make([]int32, len(set.Fibers))
+	}
 	for _, fe := range m.info.FiberEdges() {
 		m.nodes[fe.From].out[fe.To] += fe.Count
 		m.nodes[fe.To].in[fe.From] += fe.Count
+		m.und[fe.From][fe.To] += int32(fe.Count)
+		m.und[fe.To][fe.From] += int32(fe.Count)
 	}
 }
 
@@ -202,14 +225,53 @@ func (m *merger) mergeNodes(a, b *node) {
 	}
 	delete(a.out, b.id)
 	delete(a.in, b.id)
+	ua, ub := m.und[a.id], m.und[b.id]
+	for x := range ub {
+		if int32(x) == a.id || int32(x) == b.id {
+			continue
+		}
+		ua[x] += ub[x]
+		m.und[x][a.id] = ua[x]
+		m.und[x][b.id] = 0
+		ub[x] = 0
+	}
+	ua[b.id], ub[a.id] = 0, 0
 	b.alive = false
 	b.out, b.in = nil, nil
 	m.alive--
+
+	if m.cacheOn {
+		// Only pairs involving the survivor changed score and only pairs
+		// involving the dead node disappeared; patch exactly those rows.
+		aID, bID := a.id, b.id
+		for _, nd := range m.nodes {
+			if !nd.alive || nd == a || !m.bestOK[nd.id] {
+				continue
+			}
+			id := nd.id
+			if m.bestJ[id] == aID || m.bestJ[id] == bID {
+				// The row's maximum involved a changed or vanished pair;
+				// recompute lazily on the next pickPairs.
+				m.bestOK[id] = false
+				continue
+			}
+			if id < aID {
+				// The (nd, a) score changed. The row's cached maximum did
+				// not involve a, so it still stands — unless the new score
+				// beats it, or ties it earlier in scan order.
+				s := m.affinity(nd, a, m.cacheTotal)
+				if s > m.bestScore[id] || (s == m.bestScore[id] && aID < m.bestJ[id]) {
+					m.bestScore[id], m.bestJ[id] = s, aID
+				}
+			}
+		}
+		m.bestOK[aID], m.bestOK[bID] = false, false
+	}
 }
 
 // affinity scores a candidate pair per the paper's combined heuristics.
 func (m *merger) affinity(a, b *node, totalCost int64) float64 {
-	e := math.Sqrt(float64(a.out[b.id] + a.in[b.id]))
+	e := math.Sqrt(float64(m.und[a.id][b.id]))
 	cScore := 0.0
 	if totalCost > 0 {
 		cScore = 1.0 - float64(a.cost+b.cost)/float64(totalCost)
@@ -253,15 +315,23 @@ func (m *merger) pickPairs() [][2]int32 {
 		return nil
 	}
 	if !m.opt.MultiPair {
-		// Single-pair mode: scan for the maximum without materializing and
-		// sorting the full pair list (the common case, run every step).
+		// Single-pair mode, run every merge step: consult the per-node
+		// best-partner cache, refreshing only rows a merge invalidated.
+		if !m.cacheOn {
+			v := len(m.nodes)
+			m.bestScore = make([]float64, v)
+			m.bestJ = make([]int32, v)
+			m.bestOK = make([]bool, v)
+			m.cacheTotal = totalCost
+			m.cacheOn = true
+		}
 		best := scoredPair{score: math.Inf(-1)}
-		for i := 0; i < len(live); i++ {
-			for j := i + 1; j < len(live); j++ {
-				s := m.affinity(live[i], live[j], totalCost)
-				if s > best.score {
-					best = scoredPair{live[i].id, live[j].id, s}
-				}
+		for i, a := range live {
+			if !m.bestOK[a.id] {
+				m.recomputeRow(a, live[i+1:])
+			}
+			if m.bestJ[a.id] >= 0 && m.bestScore[a.id] > best.score {
+				best = scoredPair{a.id, m.bestJ[a.id], m.bestScore[a.id]}
 			}
 		}
 		return [][2]int32{{best.a, best.b}}
@@ -300,6 +370,20 @@ func (m *merger) pickPairs() [][2]int32 {
 		out = append(out, [2]int32{p.a, p.b})
 	}
 	return out
+}
+
+// recomputeRow refreshes node a's cache row: its best partner among the
+// later live nodes (rest is the tail of the id-ordered live slice after a),
+// with score ties resolved to the earliest partner like the full scan.
+func (m *merger) recomputeRow(a *node, rest []*node) {
+	bs, bj := math.Inf(-1), int32(-1)
+	for _, b := range rest {
+		if s := m.affinity(a, b, m.cacheTotal); s > bs {
+			bs, bj = s, b.id
+		}
+	}
+	m.bestScore[a.id], m.bestJ[a.id] = bs, bj
+	m.bestOK[a.id] = true
 }
 
 // collapseCycles merges every strongly connected component of the current

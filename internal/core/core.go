@@ -56,6 +56,13 @@ type Options struct {
 	// UseProfile runs a sequential profiling simulation and feeds measured
 	// load latencies to the partitioning heuristics.
 	UseProfile bool
+	// Profile supplies precomputed profile feedback (see ComputeProfile),
+	// skipping the profiling simulation. The profile depends only on the
+	// loop and the pre-lowering transformations (speculation, tree
+	// splitting) plus the machine cost model — not on the target core count
+	// — so one profile can feed compilations at every core count. Ignored
+	// unless UseProfile is set.
+	Profile profile.Profile
 	// Machine overrides the simulation configuration used for profiling
 	// runs (and recorded as default for Run). Cores is forced to Options
 	// values as needed.
@@ -165,9 +172,13 @@ func Compile(l *ir.Loop, opt Options) (*Artifact, error) {
 
 	var prof profile.Profile
 	if opt.UseProfile {
-		prof, err = profileRun(fn, info, set, mc)
-		if err != nil {
-			return nil, fmt.Errorf("core: profiling run failed: %w", err)
+		if opt.Profile != nil {
+			prof = opt.Profile
+		} else {
+			prof, err = profileRun(fn, info, set, mc)
+			if err != nil {
+				return nil, fmt.Errorf("core: profiling run failed: %w", err)
+			}
 		}
 	}
 	instrCost := profile.InstrCost(mc.Cost, prof)
@@ -208,6 +219,40 @@ func Compile(l *ir.Loop, opt Options) (*Artifact, error) {
 	}
 	a.Report = buildReport(l.Name, opt.Cores, set, info, parts, compiled, specRes)
 	return a, nil
+}
+
+// ComputeProfile runs the front of the pipeline (normalization,
+// speculation, lowering, fiber partitioning, dependence analysis) and the
+// sequential profiling simulation, returning the profile feedback Compile
+// would measure for these options. The result is independent of
+// Options.Cores (the profiling machine always has one core), so callers
+// compiling one loop variant at several core counts can measure the profile
+// once and pass it to each compilation via Options.Profile — bit-identical
+// to letting every Compile run its own profiling simulation.
+func ComputeProfile(l *ir.Loop, opt Options) (profile.Profile, error) {
+	mc := sim.DefaultConfig(1)
+	if opt.Machine != nil {
+		mc = *opt.Machine
+	}
+	if opt.NormalizeOps > 0 {
+		l, _ = normalize.Apply(l, opt.NormalizeOps)
+	}
+	if opt.Speculate {
+		l, _ = speculate.Apply(l)
+	}
+	fn, err := tac.Lower(l)
+	if err != nil {
+		return nil, err
+	}
+	set, err := fiber.Partition(fn)
+	if err != nil {
+		return nil, err
+	}
+	info, err := deps.Analyze(fn, set)
+	if err != nil {
+		return nil, err
+	}
+	return profileRun(fn, info, set, mc)
 }
 
 // profileRun compiles the loop for one core and simulates it collecting

@@ -20,19 +20,25 @@ type ThroughputRow struct {
 	Throughput float64
 }
 
-// Throughput runs the ablation at 4 cores.
+// Throughput runs the ablation at 4 cores, one worker item per kernel.
 func Throughput(r *Runner) ([]ThroughputRow, error) {
-	var rows []ThroughputRow
-	for _, k := range kernels.All() {
+	ks := kernels.All()
+	rows := make([]ThroughputRow, len(ks))
+	err := r.each(len(ks), func(i int) error {
+		k := ks[i]
 		base, _, _, err := r.Speedup(k, Variant{Cores: 4}, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		thr, _, _, err := r.Speedup(k, Variant{Cores: 4, Throughput: true}, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, ThroughputRow{k.Name, base, thr})
+		rows[i] = ThroughputRow{k.Name, base, thr}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -72,25 +78,32 @@ type MultiPairRow struct {
 	MultiPairResult float64
 }
 
-// MultiPair runs the compile-time variant ablation at 4 cores.
+// MultiPair runs the compile-time variant ablation at 4 cores, one worker
+// item per kernel.
 func MultiPair(r *Runner) ([]MultiPairRow, error) {
-	var rows []MultiPairRow
-	for _, k := range kernels.All() {
+	ks := kernels.All()
+	rows := make([]MultiPairRow, len(ks))
+	err := r.each(len(ks), func(i int) error {
+		k := ks[i]
 		base, _, ab, err := r.Speedup(k, Variant{Cores: 4}, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		multi, _, am, err := r.Speedup(k, Variant{Cores: 4, MultiPair: true}, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, MultiPairRow{
+		rows[i] = MultiPairRow{
 			Name:            k.Name,
 			BaseSteps:       ab.Report.MergeSteps,
 			MultiSteps:      am.Report.MergeSteps,
 			BaseSpeedup:     base,
 			MultiPairResult: multi,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -120,21 +133,26 @@ type QueueLenRow struct {
 // reasons the paper provisions 20 slots. Deadlocked configurations are
 // reported as speedup 0.
 func QueueLen(r *Runner, lens []int) ([]QueueLenRow, error) {
-	var rows []QueueLenRow
-	for _, k := range kernels.All() {
-		row := QueueLenRow{Name: k.Name}
-		for _, ql := range lens {
-			sp, _, _, err := r.Speedup(k, Variant{Cores: 4, QueueLen: ql}, nil)
-			if err != nil {
-				if errors.Is(err, sim.ErrDeadlock) {
-					row.Speedups = append(row.Speedups, 0)
-					continue
-				}
-				return nil, err
+	ks := kernels.All()
+	rows := make([]QueueLenRow, len(ks))
+	for i, k := range ks {
+		rows[i] = QueueLenRow{Name: k.Name, Speedups: make([]float64, len(lens))}
+	}
+	err := r.each(len(ks)*len(lens), func(i int) error {
+		ki, li := i/len(lens), i%len(lens)
+		sp, _, _, err := r.Speedup(ks[ki], Variant{Cores: 4, QueueLen: lens[li]}, nil)
+		if err != nil {
+			if errors.Is(err, sim.ErrDeadlock) {
+				rows[ki].Speedups[li] = 0
+				return nil
 			}
-			row.Speedups = append(row.Speedups, sp)
+			return err
 		}
-		rows = append(rows, row)
+		rows[ki].Speedups[li] = sp
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -178,19 +196,26 @@ type ScheduleRow struct {
 	Scheduled float64
 }
 
-// Schedule runs the scheduling ablation at 4 cores.
+// Schedule runs the scheduling ablation at 4 cores, one worker item per
+// kernel.
 func Schedule(r *Runner) ([]ScheduleRow, error) {
-	var rows []ScheduleRow
-	for _, k := range kernels.All() {
+	ks := kernels.All()
+	rows := make([]ScheduleRow, len(ks))
+	err := r.each(len(ks), func(i int) error {
+		k := ks[i]
 		base, _, _, err := r.Speedup(k, Variant{Cores: 4}, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sched, _, _, err := r.Speedup(k, Variant{Cores: 4, Schedule: true}, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, ScheduleRow{k.Name, base, sched})
+		rows[i] = ScheduleRow{k.Name, base, sched}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -223,25 +248,32 @@ type NormalizeRow struct {
 	Normalized float64
 }
 
-// Normalize runs the tree-splitting ablation at 4 cores.
+// Normalize runs the tree-splitting ablation at 4 cores, one worker item
+// per kernel.
 func Normalize(r *Runner) ([]NormalizeRow, error) {
-	var rows []NormalizeRow
-	for _, k := range kernels.All() {
+	ks := kernels.All()
+	rows := make([]NormalizeRow, len(ks))
+	err := r.each(len(ks), func(i int) error {
+		k := ks[i]
 		base, _, ab, err := r.Speedup(k, Variant{Cores: 4}, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		norm, _, an, err := r.Speedup(k, Variant{Cores: 4, NormalizeOps: 4}, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, NormalizeRow{
+		rows[i] = NormalizeRow{
 			Name:       k.Name,
 			Fibers:     ab.Report.InitialFibers,
 			FibersNorm: an.Report.InitialFibers,
 			Base:       base,
 			Normalized: norm,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

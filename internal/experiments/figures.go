@@ -18,26 +18,35 @@ type Fig12Row struct {
 	PaperSpeedup float64 // Table III's 4-core value
 }
 
-// Fig12 regenerates Figure 12.
+// Fig12 regenerates Figure 12. The 2- and 4-core variants of every kernel
+// fan out across the runner's worker pool; rows come back in kernel order.
 func Fig12(r *Runner) ([]Fig12Row, error) {
-	var rows []Fig12Row
-	for _, k := range kernels.All() {
+	ks := kernels.All()
+	rows := make([]Fig12Row, len(ks))
+	// Two work items per kernel so a slow 4-core compile does not serialize
+	// behind its own kernel's 2-core run.
+	err := r.each(2*len(ks), func(i int) error {
+		k, cores := ks[i/2], 2+2*(i%2)
+		sp, _, _, err := r.Speedup(k, Variant{Cores: cores}, nil)
+		if err != nil {
+			return err
+		}
 		seq, err := r.SeqCycles(k)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		s2, _, _, err := r.Speedup(k, Variant{Cores: 2}, nil)
-		if err != nil {
-			return nil, err
+		// The two items of one kernel write disjoint fields of the row.
+		row := &rows[i/2]
+		if cores == 2 {
+			row.Name, row.SeqCycles, row.PaperSpeedup = k.Name, seq, k.PaperSpeedup
+			row.Speedup2 = sp
+		} else {
+			row.Speedup4 = sp
 		}
-		s4, _, _, err := r.Speedup(k, Variant{Cores: 4}, nil)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, Fig12Row{
-			Name: k.Name, SeqCycles: seq,
-			Speedup2: s2, Speedup4: s4, PaperSpeedup: k.PaperSpeedup,
-		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -69,20 +78,26 @@ type Fig13Row struct {
 }
 
 // Fig13 regenerates Figure 13 for the given latencies (paper: 5, 20, 50,
-// 100).
+// 100). The full kernel×latency grid is one flat work list; all latency
+// points of a kernel share its compiled artifact through the runner cache.
 func Fig13(r *Runner, latencies []int64) ([]Fig13Row, error) {
-	var rows []Fig13Row
-	for _, k := range kernels.All() {
-		row := Fig13Row{Name: k.Name}
-		for _, lat := range latencies {
-			lat := lat
-			sp, _, _, err := r.Speedup(k, Variant{Cores: 4}, func(c *sim.Config) { c.TransferLatency = lat })
-			if err != nil {
-				return nil, err
-			}
-			row.Speedups = append(row.Speedups, sp)
+	ks := kernels.All()
+	rows := make([]Fig13Row, len(ks))
+	for i, k := range ks {
+		rows[i] = Fig13Row{Name: k.Name, Speedups: make([]float64, len(latencies))}
+	}
+	err := r.each(len(ks)*len(latencies), func(i int) error {
+		ki, li := i/len(latencies), i%len(latencies)
+		lat := latencies[li]
+		sp, _, _, err := r.Speedup(ks[ki], Variant{Cores: 4}, func(c *sim.Config) { c.TransferLatency = lat })
+		if err != nil {
+			return err
 		}
-		rows = append(rows, row)
+		rows[ki].Speedups[li] = sp
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -131,19 +146,25 @@ type Fig14Row struct {
 	SpeculatedIfs int
 }
 
-// Fig14 regenerates Figure 14.
+// Fig14 regenerates Figure 14, one worker item per kernel.
 func Fig14(r *Runner) ([]Fig14Row, error) {
-	var rows []Fig14Row
-	for _, k := range kernels.All() {
+	ks := kernels.All()
+	rows := make([]Fig14Row, len(ks))
+	err := r.each(len(ks), func(i int) error {
+		k := ks[i]
 		base, _, _, err := r.Speedup(k, Variant{Cores: 4}, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		spec, _, art, err := r.Speedup(k, Variant{Cores: 4, Speculate: true}, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, Fig14Row{Name: k.Name, Base: base, Speculated: spec, SpeculatedIfs: art.Report.SpeculatedIfs})
+		rows[i] = Fig14Row{Name: k.Name, Base: base, Speculated: spec, SpeculatedIfs: art.Report.SpeculatedIfs}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ParallelEach runs f(i) for every i in [0, n) on a pool of at most
+// `workers` goroutines (workers <= 0 means one per available CPU). Workers
+// pull indices from a shared counter, so uneven item costs still load the
+// pool evenly. All indices are attempted even when some fail; the returned
+// error is the one with the lowest index, which keeps the reported error
+// deterministic regardless of goroutine interleaving.
+//
+// With workers == 1 the function degenerates to a plain serial loop on the
+// calling goroutine — the experiment code paths are identical, only the
+// concurrency changes.
+func ParallelEach(n, workers int, f func(int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = f(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

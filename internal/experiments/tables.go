@@ -128,15 +128,17 @@ type Table3Row struct {
 	PaperSpeedup float64
 }
 
-// Table3 regenerates Table III.
+// Table3 regenerates Table III, one worker item per kernel.
 func Table3(r *Runner) ([]Table3Row, error) {
-	var rows []Table3Row
-	for _, k := range kernels.All() {
+	ks := kernels.All()
+	rows := make([]Table3Row, len(ks))
+	err := r.each(len(ks), func(i int) error {
+		k := ks[i]
 		sp, res, a, err := r.Speedup(k, Variant{Cores: 4}, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, Table3Row{
+		rows[i] = Table3Row{
 			Name:    k.Name,
 			Fibers:  a.Report.InitialFibers,
 			Deps:    a.Report.DataDeps,
@@ -151,7 +153,11 @@ func Table3(r *Runner) ([]Table3Row, error) {
 			PaperCommOps: k.PaperCommOps,
 			PaperQueues:  k.PaperQueues,
 			PaperSpeedup: k.PaperSpeedup,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

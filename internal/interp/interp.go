@@ -25,6 +25,16 @@ func VF(f float64) Value { return Value{K: ir.F64, F: f} }
 // VI wraps an integer value.
 func VI(i int64) Value { return Value{K: ir.I64, I: i} }
 
+// VB wraps a boolean as the I64 0/1 encoding the IR uses for comparison
+// results. Shared with the simulator's burst engine so inline comparisons
+// produce bit-identical values.
+func VB(b bool) Value {
+	if b {
+		return Value{K: ir.I64, I: 1}
+	}
+	return Value{K: ir.I64, I: 0}
+}
+
 // Result holds the post-execution state of a loop.
 type Result struct {
 	ArraysF map[string][]float64
@@ -201,17 +211,17 @@ func EvalBin(op ir.BinOp, l, r Value) (Value, error) {
 		case ir.Max:
 			return VF(math.Max(l.F, r.F)), nil
 		case ir.Eq:
-			return vb(l.F == r.F), nil
+			return VB(l.F == r.F), nil
 		case ir.Ne:
-			return vb(l.F != r.F), nil
+			return VB(l.F != r.F), nil
 		case ir.Lt:
-			return vb(l.F < r.F), nil
+			return VB(l.F < r.F), nil
 		case ir.Le:
-			return vb(l.F <= r.F), nil
+			return VB(l.F <= r.F), nil
 		case ir.Gt:
-			return vb(l.F > r.F), nil
+			return VB(l.F > r.F), nil
 		case ir.Ge:
-			return vb(l.F >= r.F), nil
+			return VB(l.F >= r.F), nil
 		}
 		return Value{}, fmt.Errorf("op %s undefined on f64", op)
 	}
@@ -253,17 +263,17 @@ func EvalBin(op ir.BinOp, l, r Value) (Value, error) {
 	case ir.Shr:
 		return VI(l.I >> uint64(r.I&63)), nil
 	case ir.Eq:
-		return vb(l.I == r.I), nil
+		return VB(l.I == r.I), nil
 	case ir.Ne:
-		return vb(l.I != r.I), nil
+		return VB(l.I != r.I), nil
 	case ir.Lt:
-		return vb(l.I < r.I), nil
+		return VB(l.I < r.I), nil
 	case ir.Le:
-		return vb(l.I <= r.I), nil
+		return VB(l.I <= r.I), nil
 	case ir.Gt:
-		return vb(l.I > r.I), nil
+		return VB(l.I > r.I), nil
 	case ir.Ge:
-		return vb(l.I >= r.I), nil
+		return VB(l.I >= r.I), nil
 	}
 	return Value{}, fmt.Errorf("op %s undefined on i64", op)
 }
@@ -277,7 +287,7 @@ func EvalUn(op ir.UnOp, v Value) (Value, error) {
 		}
 		return VI(-v.I), nil
 	case ir.Not:
-		return vb(v.I == 0), nil
+		return VB(v.I == 0), nil
 	case ir.Sqrt:
 		return VF(math.Sqrt(v.F)), nil
 	case ir.Exp:
@@ -300,11 +310,4 @@ func EvalUn(op ir.UnOp, v Value) (Value, error) {
 		return VI(int64(v.F)), nil
 	}
 	return Value{}, fmt.Errorf("unknown unary op %s", op)
-}
-
-func vb(b bool) Value {
-	if b {
-		return VI(1)
-	}
-	return VI(0)
 }

@@ -17,6 +17,7 @@ type Cache struct {
 	tags      []int64
 	valid     []bool
 	shift     uint
+	mask      int64 // Lines-1 when Lines is a power of two, else -1
 	Hits      int64
 	Misses    int64
 	Disabled  bool
@@ -33,12 +34,27 @@ func NewCache(cfg CacheConfig) *Cache {
 	for (1 << shift) < cfg.LineSize {
 		shift++
 	}
+	mask := int64(-1)
+	if cfg.Lines&(cfg.Lines-1) == 0 {
+		mask = int64(cfg.Lines - 1)
+	}
 	return &Cache{
 		cfg:   cfg,
 		tags:  make([]int64, cfg.Lines),
 		valid: make([]bool, cfg.Lines),
 		shift: shift,
+		mask:  mask,
 	}
+}
+
+// set maps a line number to its direct-mapped slot. Addresses (hence line
+// numbers) are non-negative, so the mask path equals the modulo path for
+// power-of-two line counts while avoiding a hardware divide per access.
+func (c *Cache) set(line int64) int {
+	if c.mask >= 0 {
+		return int(line & c.mask)
+	}
+	return int(line % int64(c.cfg.Lines))
 }
 
 // Access touches addr for a load; it returns true on a hit and fills the
@@ -49,7 +65,7 @@ func (c *Cache) Access(addr int64) bool {
 		return true
 	}
 	line := addr >> c.shift
-	set := int(line % int64(c.cfg.Lines))
+	set := c.set(line)
 	if c.valid[set] && c.tags[set] == line {
 		c.Hits++
 		return true
@@ -58,6 +74,19 @@ func (c *Cache) Access(addr int64) bool {
 	c.tags[set] = line
 	c.Misses++
 	return false
+}
+
+// Probe reports whether a load of addr would hit, without filling the line
+// or touching the hit/miss statistics. The simulator's burst engine uses it
+// to decide — before committing to the access — whether a load would need
+// the shared memory port.
+func (c *Cache) Probe(addr int64) bool {
+	if c.hitAlways {
+		return true
+	}
+	line := addr >> c.shift
+	set := c.set(line)
+	return c.valid[set] && c.tags[set] == line
 }
 
 // Touch updates the line for a store without counting hit/miss statistics

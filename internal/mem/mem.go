@@ -84,6 +84,35 @@ func (m *Memory) Addr(arr ArrayID, idx int64) int64 {
 	return m.arrays[arr].base + idx*elemSize
 }
 
+// DataF returns the live backing slice of a float array (nil for integer
+// arrays or invalid ids). Writes through the slice are real stores; the
+// simulator's burst engine uses it to predecode loads and stores into
+// direct slice accesses.
+func (m *Memory) DataF(arr ArrayID) []float64 {
+	if arr < 0 || int(arr) >= len(m.arrays) {
+		return nil
+	}
+	return m.arrays[arr].f
+}
+
+// DataI returns the live backing slice of an integer array (nil for float
+// arrays or invalid ids).
+func (m *Memory) DataI(arr ArrayID) []int64 {
+	if arr < 0 || int(arr) >= len(m.arrays) {
+		return nil
+	}
+	return m.arrays[arr].i
+}
+
+// Base returns the byte address of element 0 of an array (0 for invalid
+// ids), so Base(arr) + idx*8 == Addr(arr, idx).
+func (m *Memory) Base(arr ArrayID) int64 {
+	if arr < 0 || int(arr) >= len(m.arrays) {
+		return 0
+	}
+	return m.arrays[arr].base
+}
+
 // Len returns the element count of an array.
 func (m *Memory) Len(arr ArrayID) int { return m.arrays[arr].len() }
 

@@ -28,7 +28,9 @@ type Queue struct {
 	Class    ir.Kind
 	Cap      int
 
-	buf  []Entry // FIFO, index 0 is the head
+	buf  []Entry // ring buffer of Cap entries
+	head int     // index of the oldest entry
+	n    int     // current occupancy
 	used bool
 
 	// Peak occupancy and transfer counts, for the evaluation's
@@ -42,17 +44,18 @@ func New(id int32, src, dst int, class ir.Kind, capacity int) *Queue {
 	if capacity < 1 {
 		panic(fmt.Sprintf("queue: capacity must be >= 1, got %d", capacity))
 	}
-	return &Queue{ID: id, Src: src, Dst: dst, Class: class, Cap: capacity}
+	return &Queue{ID: id, Src: src, Dst: dst, Class: class, Cap: capacity,
+		buf: make([]Entry, capacity)}
 }
 
 // Full reports whether an enqueue would block.
-func (q *Queue) Full() bool { return len(q.buf) >= q.Cap }
+func (q *Queue) Full() bool { return q.n >= q.Cap }
 
 // Empty reports whether no entries are present (visible or not).
-func (q *Queue) Empty() bool { return len(q.buf) == 0 }
+func (q *Queue) Empty() bool { return q.n == 0 }
 
 // Len returns the current occupancy.
-func (q *Queue) Len() int { return len(q.buf) }
+func (q *Queue) Len() int { return q.n }
 
 // Used reports whether the queue ever carried a value.
 func (q *Queue) Used() bool { return q.used }
@@ -63,11 +66,16 @@ func (q *Queue) Push(v interp.Value, availAt int64, edge int32) {
 	if q.Full() {
 		panic("queue: push on full queue")
 	}
-	q.buf = append(q.buf, Entry{V: v, AvailAt: availAt, Edge: edge})
+	tail := q.head + q.n
+	if tail >= q.Cap {
+		tail -= q.Cap
+	}
+	q.buf[tail] = Entry{V: v, AvailAt: availAt, Edge: edge}
+	q.n++
 	q.used = true
 	q.Transfers++
-	if len(q.buf) > q.Peak {
-		q.Peak = len(q.buf)
+	if q.n > q.Peak {
+		q.Peak = q.n
 	}
 }
 
@@ -77,17 +85,20 @@ func (q *Queue) Head() Entry {
 	if q.Empty() {
 		panic("queue: head of empty queue")
 	}
-	return q.buf[0]
+	return q.buf[q.head]
 }
 
 // Pop removes and returns the oldest entry.
 func (q *Queue) Pop() Entry {
 	e := q.Head()
-	copy(q.buf, q.buf[1:])
-	q.buf = q.buf[:len(q.buf)-1]
+	q.head++
+	if q.head >= q.Cap {
+		q.head = 0
+	}
+	q.n--
 	return e
 }
 
 func (q *Queue) String() string {
-	return fmt.Sprintf("q%d(%d->%d %s, %d/%d)", q.ID, q.Src, q.Dst, q.Class, len(q.buf), q.Cap)
+	return fmt.Sprintf("q%d(%d->%d %s, %d/%d)", q.ID, q.Src, q.Dst, q.Class, q.n, q.Cap)
 }

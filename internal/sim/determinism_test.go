@@ -1,0 +1,161 @@
+package sim_test
+
+// Determinism tests: the burst engine must be a pure host-speed
+// optimization. For every kernel of the paper's evaluation, at 2 and 4
+// cores, with and without control-flow speculation, the full simulation
+// Result — cycles, per-core cycles and instruction counts, enqueue and
+// dequeue stalls, queue statistics, cache statistics, and live-out values —
+// must be bit-identical between the burst engine and the retained
+// per-instruction reference scheduler. Any divergence is a correctness bug
+// in burst execution, not a tolerable approximation.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"fgp/internal/core"
+	"fgp/internal/kernels"
+	"fgp/internal/sim"
+)
+
+// runEngines compiles nothing: it simulates an existing artifact once per
+// engine and returns both results.
+func runEngines(t *testing.T, a *core.Artifact, cfg sim.Config) (burst, ref *sim.Result) {
+	t.Helper()
+	cfg.Reference = false
+	burst, err := a.Run(cfg)
+	if err != nil {
+		t.Fatalf("burst run: %v", err)
+	}
+	cfg.Reference = true
+	ref, err = a.Run(cfg)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	return burst, ref
+}
+
+// diffResults compares every observable field of two results.
+func diffResults(t *testing.T, label string, burst, ref *sim.Result) {
+	t.Helper()
+	type cmp struct {
+		name      string
+		got, want any
+	}
+	checks := []cmp{
+		{"Cycles", burst.Cycles, ref.Cycles},
+		{"PerCoreCycles", burst.PerCoreCycles, ref.PerCoreCycles},
+		{"PerCoreInstrs", burst.PerCoreInstrs, ref.PerCoreInstrs},
+		{"EnqStalls", burst.EnqStalls, ref.EnqStalls},
+		{"DeqStalls", burst.DeqStalls, ref.DeqStalls},
+		{"QueuesUsed", burst.QueuesUsed, ref.QueuesUsed},
+		{"PairsUsed", burst.PairsUsed, ref.PairsUsed},
+		{"Transfers", burst.Transfers, ref.Transfers},
+		{"LoadHits", burst.LoadHits, ref.LoadHits},
+		{"LoadMisses", burst.LoadMisses, ref.LoadMisses},
+		{"LiveOut", burst.LiveOut, ref.LiveOut},
+	}
+	for _, c := range checks {
+		if !reflect.DeepEqual(c.got, c.want) {
+			t.Errorf("%s: %s diverges: burst %v, reference %v", label, c.name, c.got, c.want)
+		}
+	}
+}
+
+// TestBurstMatchesReferenceAllKernels is the tentpole guarantee: for all 18
+// kernels × {2, 4} cores × {speculation off, on}, burst-mode results are
+// identical to the reference per-instruction scheduler.
+func TestBurstMatchesReferenceAllKernels(t *testing.T) {
+	for _, k := range kernels.All() {
+		for _, cores := range []int{2, 4} {
+			for _, spec := range []bool{false, true} {
+				k, cores, spec := k, cores, spec
+				name := fmt.Sprintf("%s/%dcore/spec=%v", k.Name, cores, spec)
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					opt := core.DefaultOptions(cores)
+					opt.Speculate = spec
+					a, err := core.Compile(k.Build(), opt)
+					if err != nil {
+						t.Fatalf("compile: %v", err)
+					}
+					burst, ref := runEngines(t, a, a.MachineConfig())
+					diffResults(t, name, burst, ref)
+				})
+			}
+		}
+	}
+}
+
+// TestBurstMatchesReferenceSequential covers the 1-core compilation path
+// (the baseline of every speedup and the profiling runs).
+func TestBurstMatchesReferenceSequential(t *testing.T) {
+	for _, k := range kernels.All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			t.Parallel()
+			a, err := core.CompileSequential(k.Build())
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			burst, ref := runEngines(t, a, a.MachineConfig())
+			diffResults(t, k.Name, burst, ref)
+		})
+	}
+}
+
+// TestBurstMatchesReferenceConfigSweep stresses the engine equivalence on
+// the machine-parameter axes the figures sweep: transfer latency (Fig 13),
+// queue length, disabled memory port, and disabled caches.
+func TestBurstMatchesReferenceConfigSweep(t *testing.T) {
+	k, err := kernels.ByName("irs-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Compile(k.Build(), core.DefaultOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mods := map[string]func(*sim.Config){
+		"latency50":  func(c *sim.Config) { c.TransferLatency = 50 },
+		"latency100": func(c *sim.Config) { c.TransferLatency = 100 },
+		"noport":     func(c *sim.Config) { c.MemPortCycles = 0 },
+		"bigport":    func(c *sim.Config) { c.MemPortCycles = 128 },
+		"nocache":    func(c *sim.Config) { c.Cache.Lines = 0 },
+		"debugedges": func(c *sim.Config) { c.DebugEdges = true },
+	}
+	for name, mod := range mods {
+		name, mod := name, mod
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg := a.MachineConfig()
+			mod(&cfg)
+			burst, ref := runEngines(t, a, cfg)
+			diffResults(t, name, burst, ref)
+		})
+	}
+}
+
+// TestBurstVerifiesAgainstInterpreter runs the burst engine through the
+// full memory-image verification against the reference interpreter for a
+// handful of kernels, closing the loop end-to-end.
+func TestBurstVerifiesAgainstInterpreter(t *testing.T) {
+	for _, name := range []string{"lammps-1", "irs-2", "umt2k-3", "sphot-1"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			k, err := kernels.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := core.Compile(k.Build(), core.DefaultOptions(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := a.Verify(a.MachineConfig()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -14,6 +14,7 @@
 package sim
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
@@ -56,7 +57,18 @@ type Config struct {
 	// Trace, when non-nil, receives one line per completed instruction in
 	// deterministic execution order: "t=<start>..<end> core=<id> pc=<pc>
 	// <op>". Queue stalls show up as gaps between end and the next start.
+	// Tracing implies the reference engine (only the per-instruction
+	// scheduler has a global per-instruction order to report); the writes
+	// are buffered and flushed before Run returns.
 	Trace io.Writer
+	// Reference forces the retained per-instruction scheduler: one global
+	// scheduling decision per executed instruction, exactly the seed
+	// implementation. The default engine executes each picked core in
+	// uninterrupted bursts of non-communicating instructions instead; both
+	// engines produce bit-identical Results (cycles, stalls, transfers,
+	// live-outs), which the determinism tests enforce. The reference engine
+	// remains as the oracle the burst engine is validated against.
+	Reference bool
 }
 
 // DefaultConfig returns the configuration used by the paper's main
@@ -139,7 +151,15 @@ type Machine struct {
 	// memPortFree is the time at which the shared memory port next accepts
 	// an L1 miss (see Config.MemPortCycles).
 	memPortFree int64
-	prof        map[int32][2]int64
+	// prof accumulates (total latency, count) per TAC instruction id when
+	// Config.CollectProfile is set; dense because TAC ids are. result()
+	// converts it to the sparse LoadProfile map.
+	prof [][2]int64
+	// trace is the (buffered) destination for Config.Trace output.
+	trace io.Writer
+	// code holds the predecoded programs the burst engine executes; built
+	// lazily on the first burst-mode Run.
+	code [][]dinstr
 }
 
 // New builds a machine for the given per-core programs. progs[i] runs on
@@ -156,7 +176,15 @@ func New(progs []*isa.Program, memory *mem.Memory, cfg Config) (*Machine, error)
 	}
 	m := &Machine{cfg: cfg, mm: memory}
 	if cfg.CollectProfile {
-		m.prof = map[int32][2]int64{}
+		maxTac := int32(-1)
+		for _, p := range progs {
+			for i := range p.Instrs {
+				if t := p.Instrs[i].Tac; t > maxTac {
+					maxTac = t
+				}
+			}
+		}
+		m.prof = make([][2]int64, maxTac+1)
 	}
 	for i, p := range progs {
 		m.cores = append(m.cores, &coreState{
@@ -182,7 +210,35 @@ func New(progs []*isa.Program, memory *mem.Memory, cfg Config) (*Machine, error)
 
 // Run executes until every core halts. It returns a deadlock error (with a
 // state dump wrapped around ErrDeadlock) if all unfinished cores block.
+//
+// Two engines produce the identical deterministic execution: the default
+// burst engine (runBurst) executes each picked core in uninterrupted runs
+// of non-communicating instructions, and the reference engine
+// (runReference) re-enters the global scheduler after every instruction.
+// Config.Reference or a non-nil Config.Trace selects the latter.
 func (m *Machine) Run() (*Result, error) {
+	if m.cfg.Trace != nil {
+		// The trace is defined as one line per instruction in global
+		// scheduler order, which only the reference engine materializes.
+		// Buffer the per-instruction writes; the seed wrote every line
+		// straight to the writer.
+		bw := bufio.NewWriterSize(m.cfg.Trace, 1<<16)
+		m.trace = bw
+		res, err := m.runReference()
+		if ferr := bw.Flush(); ferr != nil && err == nil {
+			return nil, fmt.Errorf("sim: flushing trace: %w", ferr)
+		}
+		return res, err
+	}
+	if m.cfg.Reference {
+		return m.runReference()
+	}
+	return m.runBurst()
+}
+
+// runReference is the retained per-instruction scheduler: the seed
+// implementation, kept verbatim as the oracle for the burst engine.
+func (m *Machine) runReference() (*Result, error) {
 	var steps int64
 	for {
 		c := m.pickCore()
@@ -196,9 +252,9 @@ func (m *Machine) Run() (*Result, error) {
 		if err := m.step(c); err != nil {
 			return nil, fmt.Errorf("sim: core %d pc %d t=%d: %w", c.id, c.pc, c.time, err)
 		}
-		if m.cfg.Trace != nil && c.blocked == notBlocked && (c.pc != prePC || c.halted) {
+		if m.trace != nil && c.blocked == notBlocked && (c.pc != prePC || c.halted) {
 			in := &c.prog.Instrs[prePC]
-			fmt.Fprintf(m.cfg.Trace, "t=%d..%d core=%d pc=%d %s\n", preT, c.time, c.id, prePC, in.Op)
+			fmt.Fprintf(m.trace, "t=%d..%d core=%d pc=%d %s\n", preT, c.time, c.id, prePC, in.Op)
 		}
 		steps++
 		if steps > m.cfg.MaxSteps {
@@ -301,10 +357,8 @@ func (m *Machine) step(c *coreState) error {
 		}
 		c.time += lat
 		if m.prof != nil && in.Tac >= 0 {
-			p := m.prof[in.Tac]
-			p[0] += lat
-			p[1]++
-			m.prof[in.Tac] = p
+			m.prof[in.Tac][0] += lat
+			m.prof[in.Tac][1]++
 		}
 	case isa.Store:
 		idx := c.regs[in.A].I
@@ -401,7 +455,15 @@ func (m *Machine) step(c *coreState) error {
 }
 
 func (m *Machine) result() *Result {
-	r := &Result{LoadProfile: m.prof}
+	r := &Result{}
+	if m.prof != nil {
+		r.LoadProfile = map[int32][2]int64{}
+		for tac, p := range m.prof {
+			if p[1] > 0 {
+				r.LoadProfile[int32(tac)] = p
+			}
+		}
+	}
 	for _, c := range m.cores {
 		r.PerCoreCycles = append(r.PerCoreCycles, c.time)
 		r.PerCoreInstrs = append(r.PerCoreInstrs, c.instrs)
