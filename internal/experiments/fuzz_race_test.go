@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"testing"
+
+	"fgp/internal/fuzz"
+)
+
+// TestParallelDifferentialBatch runs a differential-fuzzing batch on the
+// experiments worker pool: every seed's kernel is generated, compiled, and
+// cross-checked against the interpreter concurrently. Run under
+// `go test -race` this is the data-race smoke test for the whole
+// compile-and-simulate pipeline (compiler, both simulator engines, memory
+// images) executing in parallel — the exact shape cmd/fgpfuzz uses for its
+// batch mode.
+func TestParallelDifferentialBatch(t *testing.T) {
+	n := 24
+	if testing.Short() {
+		n = 6
+	}
+	oc := fuzz.OracleConfig{MaxCores: 3, SkipRepeat: true, Norms: []int{0}}
+	err := ParallelEach(n, 0, func(i int) error {
+		l := fuzz.Generate(uint64(i), fuzz.GenConfig{Trips: 12, MaxStmts: 8})
+		return fuzz.Check(l, oc)
+	})
+	if err != nil {
+		t.Fatalf("parallel differential batch: %v", err)
+	}
+}

@@ -1,0 +1,198 @@
+package fuzz
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fgp/internal/interp"
+	"fgp/internal/ir"
+)
+
+// testOracle is the matrix used by unit tests: full speculation/normalize
+// coverage but three cores and no repeat run, keeping `go test` fast. The
+// CLI (cmd/fgpfuzz) and the fuzz targets exercise the full default matrix.
+func testOracle() OracleConfig {
+	return OracleConfig{MaxCores: 3, SkipRepeat: true}
+}
+
+// TestGeneratorAlwaysValid pins the generator contract: every decoded loop
+// validates and runs trap-free on the interpreter.
+func TestGeneratorAlwaysValid(t *testing.T) {
+	n := 300
+	if testing.Short() {
+		n = 60
+	}
+	for seed := 0; seed < n; seed++ {
+		l := Generate(uint64(seed), GenConfig{})
+		if err := ir.Validate(l); err != nil {
+			t.Fatalf("seed %d: invalid loop: %v\n%s", seed, err, ir.Print(l))
+		}
+		if _, err := interp.Run(l); err != nil {
+			t.Fatalf("seed %d: interpreter trap: %v\n%s", seed, err, ir.Print(l))
+		}
+	}
+}
+
+// TestGeneratorDeterministic: same bytes, same loop.
+func TestGeneratorDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		a := ir.Print(Generate(seed, GenConfig{}))
+		b := ir.Print(Generate(seed, GenConfig{}))
+		if a != b {
+			t.Fatalf("seed %d: nondeterministic generation", seed)
+		}
+	}
+}
+
+// TestOracleSeeds is the in-tree differential sweep: a batch of generated
+// kernels through the full interpreter-vs-compiled matrix.
+func TestOracleSeeds(t *testing.T) {
+	n := 30
+	if testing.Short() {
+		n = 6
+	}
+	oc := testOracle()
+	for seed := 0; seed < n; seed++ {
+		l := Generate(uint64(seed), GenConfig{})
+		if err := Check(l, oc); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, ir.Print(l))
+		}
+	}
+}
+
+// TestInjectedMiscompileCaught is the mutation self-test demanded by the
+// acceptance criteria: a deliberately miscompiled kernel must be flagged by
+// the oracle and minimized by the shrinker to a strictly smaller kernel
+// that still reproduces the divergence.
+func TestInjectedMiscompileCaught(t *testing.T) {
+	oc := testOracle()
+	oc.Norms = []int{0}
+	mutFails := func(l *ir.Loop) bool {
+		c := oc
+		c.MutateCompiled = func(x *ir.Loop) *ir.Loop {
+			m, _ := InjectMiscompile(x)
+			return m
+		}
+		return Check(l, c) != nil
+	}
+	for seed := uint64(0); seed < 10; seed++ {
+		l := Generate(seed, GenConfig{})
+		if _, ok := InjectMiscompile(l); !ok {
+			continue
+		}
+		if !mutFails(l) {
+			continue // flip happened to be unobservable; try another seed
+		}
+		shrunk := Shrink(l, mutFails, 400)
+		if !mutFails(shrunk) {
+			t.Fatalf("seed %d: shrinker returned a kernel that no longer fails\n%s", seed, ir.Print(shrunk))
+		}
+		if got, orig := ir.CountStmts(shrunk.Body), ir.CountStmts(l.Body); got > orig {
+			t.Fatalf("seed %d: shrinker grew the kernel: %d -> %d stmts", seed, orig, got)
+		} else {
+			t.Logf("seed %d: injected miscompile caught; minimized %d -> %d stmts, %d -> %d trips",
+				seed, orig, got, l.Trips(), shrunk.Trips())
+		}
+		return
+	}
+	t.Fatal("no seed in 0..9 produced an observable injected miscompile — generator or oracle regressed")
+}
+
+// TestShrinkMachinery exercises the shrinker against a cheap structural
+// predicate (no oracle): it must reach a minimal loop that still satisfies
+// the predicate and prune now-unused declarations.
+func TestShrinkMachinery(t *testing.T) {
+	l := Generate(7, GenConfig{})
+	hasGather := func(c *ir.Loop) bool {
+		found := false
+		ir.WalkStmts(c.Body, func(s ir.Stmt) {
+			ir.StmtExprs(s, func(e ir.Expr) {
+				ir.WalkExpr(e, func(n ir.Expr) {
+					if ld, ok := n.(*ir.Load); ok && ld.Array == "idx" {
+						found = true
+					}
+				})
+			})
+		})
+		return found
+	}
+	if !hasGather(l) {
+		t.Skip("seed 7 has no gather; adjust seed")
+	}
+	shrunk := Shrink(l, hasGather, 3000)
+	if !hasGather(shrunk) {
+		t.Fatal("shrunk loop lost the property")
+	}
+	if err := ir.Validate(shrunk); err != nil {
+		t.Fatalf("shrunk loop invalid: %v\n%s", err, ir.Print(shrunk))
+	}
+	if ir.CountStmts(shrunk.Body) >= ir.CountStmts(l.Body) {
+		t.Fatalf("no reduction: %d -> %d stmts", ir.CountStmts(l.Body), ir.CountStmts(shrunk.Body))
+	}
+	if shrunk.Trips() >= l.Trips() {
+		t.Fatalf("trip count not reduced: %d -> %d", l.Trips(), shrunk.Trips())
+	}
+}
+
+// TestCrasherCorpus replays every committed crasher byte input through the
+// full default oracle matrix. A crasher lands here together with the fix
+// that made it pass, so the corpus is a cross-package regression suite for
+// the whole pipeline.
+func TestCrasherCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "crashers", "*.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Skip("no committed crashers")
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			l := FromBytes(data, GenConfig{})
+			if err := Check(l, OracleConfig{}); err != nil {
+				t.Fatalf("%v\n%s", err, ir.Print(l))
+			}
+		})
+	}
+}
+
+// FuzzDifferential is the native entry point for Go's coverage-guided
+// engine: arbitrary byte strings decode to valid kernels, which must agree
+// with the interpreter across the multi-core matrix.
+func FuzzDifferential(f *testing.F) {
+	for seed := uint64(0); seed < 8; seed++ {
+		f.Add(SeedBytes(seed))
+	}
+	oc := OracleConfig{MaxCores: 3, SkipRepeat: true}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l := FromBytes(data, GenConfig{Trips: 12, MaxStmts: 8})
+		if err := ir.Validate(l); err != nil {
+			t.Fatalf("generator produced invalid loop: %v\n%s", err, ir.Print(l))
+		}
+		if err := Check(l, oc); err != nil {
+			t.Fatalf("%v\n%s", err, ir.Print(l))
+		}
+	})
+}
+
+// FuzzSequential is the high-throughput target: single-core compilation
+// (through normalization, speculation, lowering, outlining) against the
+// interpreter. It executes an order of magnitude more kernels per second
+// than FuzzDifferential, catching front-of-pipeline semantics bugs fast.
+func FuzzSequential(f *testing.F) {
+	for seed := uint64(0); seed < 8; seed++ {
+		f.Add(SeedBytes(seed))
+	}
+	oc := OracleConfig{MaxCores: 1, SkipRepeat: true}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l := FromBytes(data, GenConfig{Trips: 10, MaxStmts: 6})
+		if err := Check(l, oc); err != nil {
+			t.Fatalf("%v\n%s", err, ir.Print(l))
+		}
+	})
+}

@@ -1,0 +1,326 @@
+package fuzz
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fgp/internal/core"
+	"fgp/internal/interp"
+	"fgp/internal/ir"
+	"fgp/internal/mem"
+	"fgp/internal/outline"
+	"fgp/internal/sim"
+)
+
+// OracleConfig selects the configuration matrix one kernel is checked
+// against. The zero value checks the full default matrix: cores 1..4 ×
+// speculation {off, on} × normalization {as-authored, split-at-3} × engine
+// {burst, reference}, plus the metamorphic invariants.
+type OracleConfig struct {
+	// MaxCores bounds the core-count sweep (default 4).
+	MaxCores int
+	// Specs lists the speculation settings to compile (default {false, true}).
+	Specs []bool
+	// Norms lists NormalizeOps settings to compile (default {0, 3}).
+	Norms []int
+	// SkipRepeat disables the run-twice determinism invariant.
+	SkipRepeat bool
+	// MutateCompiled, when set, transforms the loop fed to the compiler
+	// while the interpreter keeps running the original — a deliberate
+	// miscompile injection used to prove the oracle catches real
+	// divergence (the mutation self-test).
+	MutateCompiled func(*ir.Loop) *ir.Loop
+}
+
+func (c OracleConfig) withDefaults() OracleConfig {
+	if c.MaxCores <= 0 {
+		c.MaxCores = 4
+	}
+	if c.Specs == nil {
+		c.Specs = []bool{false, true}
+	}
+	if c.Norms == nil {
+		c.Norms = []int{0, 3}
+	}
+	return c
+}
+
+// Mismatch describes one oracle failure: which configuration diverged from
+// the interpreter ground truth (or from a metamorphic invariant) and how.
+type Mismatch struct {
+	Kernel    string
+	Cores     int
+	Spec      bool
+	Norm      int
+	Reference bool
+	Stage     string // "compile", "run", "memory", "liveout", "invariant"
+	Detail    string
+}
+
+func (m *Mismatch) Error() string {
+	eng := "burst"
+	if m.Reference {
+		eng = "reference"
+	}
+	return fmt.Sprintf("fuzz: %s: cores=%d spec=%v norm=%d engine=%s: %s: %s",
+		m.Kernel, m.Cores, m.Spec, m.Norm, eng, m.Stage, m.Detail)
+}
+
+// isTrap reports whether err is a semantic trap (division by zero or an
+// out-of-bounds access) as opposed to an infrastructure failure such as a
+// deadlock or FIFO mismatch. Traps are legitimate program outcomes the
+// compiled code must reproduce; anything else failing is always a bug.
+func isTrap(err error) bool {
+	return errors.Is(err, interp.ErrDivByZero) ||
+		errors.Is(err, interp.ErrOutOfBounds) ||
+		errors.Is(err, mem.ErrOutOfBounds)
+}
+
+// Check runs the differential oracle for one loop. It returns nil when
+// every configuration in the matrix reproduces the interpreter bit-exactly
+// and all metamorphic invariants hold, and a *Mismatch otherwise.
+func Check(l *ir.Loop, oc OracleConfig) error {
+	oc = oc.withDefaults()
+	ref, rerr := interp.Run(l)
+	if rerr != nil && !isTrap(rerr) {
+		return &Mismatch{Kernel: l.Name, Stage: "run",
+			Detail: fmt.Sprintf("interpreter failed non-trap: %v", rerr)}
+	}
+
+	compiled := l
+	if oc.MutateCompiled != nil {
+		compiled = oc.MutateCompiled(l)
+	}
+
+	for _, norm := range oc.Norms {
+		for _, spec := range oc.Specs {
+			// The profile depends on the loop and pre-lowering transforms,
+			// not the core count: measure once, reuse across the sweep.
+			popt := core.DefaultOptions(1)
+			popt.Speculate = spec
+			popt.NormalizeOps = norm
+			prof, perr := core.ComputeProfile(compiled, popt)
+			if perr != nil {
+				// A trapping kernel traps during profiling too — that is the
+				// expected outcome, not a mismatch; compile without profile
+				// feedback and still require every simulation to trap.
+				if rerr == nil || !isTrap(perr) {
+					return &Mismatch{Kernel: l.Name, Cores: 1, Spec: spec, Norm: norm,
+						Stage: "compile", Detail: fmt.Sprintf("profiling run: %v", perr)}
+				}
+				prof = nil
+			}
+			for cores := 1; cores <= oc.MaxCores; cores++ {
+				opt := core.DefaultOptions(cores)
+				opt.Speculate = spec
+				opt.NormalizeOps = norm
+				if prof != nil {
+					opt.Profile = prof
+				} else {
+					opt.UseProfile = false
+				}
+				art, cerr := core.Compile(compiled, opt)
+				if cerr != nil {
+					return &Mismatch{Kernel: l.Name, Cores: cores, Spec: spec, Norm: norm,
+						Stage: "compile", Detail: cerr.Error()}
+				}
+				var burstRes, refRes *sim.Result
+				for _, refEngine := range []bool{false, true} {
+					res, err := checkRun(l, art, ref, rerr, refEngine)
+					if err != nil {
+						m := err.(*Mismatch)
+						m.Cores, m.Spec, m.Norm, m.Reference = cores, spec, norm, refEngine
+						return m
+					}
+					if refEngine {
+						refRes = res
+					} else {
+						burstRes = res
+					}
+				}
+				// Invariant: the burst engine is bit-identical to the
+				// reference scheduler, including timing.
+				if burstRes != nil && refRes != nil {
+					if burstRes.Cycles != refRes.Cycles || burstRes.Transfers != refRes.Transfers {
+						return &Mismatch{Kernel: l.Name, Cores: cores, Spec: spec, Norm: norm,
+							Stage: "invariant",
+							Detail: fmt.Sprintf("burst (cycles=%d transfers=%d) != reference (cycles=%d transfers=%d)",
+								burstRes.Cycles, burstRes.Transfers, refRes.Cycles, refRes.Transfers)}
+					}
+				}
+				// Invariant: one core needs no communication at all.
+				if cores == 1 && burstRes != nil && (burstRes.Transfers != 0 || burstRes.QueuesUsed != 0) {
+					return &Mismatch{Kernel: l.Name, Cores: cores, Spec: spec, Norm: norm,
+						Stage:  "invariant",
+						Detail: fmt.Sprintf("queue traffic on 1 core: transfers=%d queues=%d", burstRes.Transfers, burstRes.QueuesUsed)}
+				}
+				// Invariant: repeat runs are cycle-deterministic. One
+				// configuration per kernel keeps the cost bounded.
+				if !oc.SkipRepeat && cores == oc.MaxCores && !spec && norm == 0 && burstRes != nil {
+					res2, err := checkRun(l, art, ref, rerr, false)
+					if err != nil {
+						m := err.(*Mismatch)
+						m.Cores, m.Spec, m.Norm = cores, spec, norm
+						m.Stage = "invariant"
+						m.Detail = "repeat run: " + m.Detail
+						return m
+					}
+					if res2.Cycles != burstRes.Cycles || res2.Transfers != burstRes.Transfers {
+						return &Mismatch{Kernel: l.Name, Cores: cores, Spec: spec, Norm: norm,
+							Stage:  "invariant",
+							Detail: fmt.Sprintf("nondeterministic repeat: cycles %d then %d", burstRes.Cycles, res2.Cycles)}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkRun simulates the artifact on one engine and compares the final
+// memory image and live-outs against the interpreter result. When the
+// interpreter trapped (rerr != nil), the simulation must also trap and the
+// value comparison is skipped. The returned error is always a *Mismatch.
+func checkRun(src *ir.Loop, art *core.Artifact, ref *interp.Result, rerr error, refEngine bool) (*sim.Result, error) {
+	cfg := art.MachineConfig()
+	cfg.DebugEdges = true
+	cfg.Reference = refEngine
+	img := outline.BuildMemory(art.Loop)
+	m, err := sim.New(art.Compiled.Programs, img, cfg)
+	if err != nil {
+		return nil, &Mismatch{Kernel: src.Name, Stage: "run", Detail: err.Error()}
+	}
+	res, err := m.Run()
+	if rerr != nil {
+		// Ground truth trapped: the compiled code must trap too.
+		if err == nil {
+			return nil, &Mismatch{Kernel: src.Name, Stage: "run",
+				Detail: fmt.Sprintf("interpreter trapped (%v) but simulation completed", rerr)}
+		}
+		if !isTrap(err) {
+			return nil, &Mismatch{Kernel: src.Name, Stage: "run",
+				Detail: fmt.Sprintf("interpreter trapped (%v) but simulation failed differently: %v", rerr, err)}
+		}
+		return nil, nil
+	}
+	if err != nil {
+		return nil, &Mismatch{Kernel: src.Name, Stage: "run", Detail: err.Error()}
+	}
+	for _, arr := range src.Arrays {
+		if arr.K == ir.F64 {
+			got, want := img.SnapshotF(arr.Name), ref.ArraysF[arr.Name]
+			for i := range want {
+				if !sameF64(got[i], want[i]) {
+					return nil, &Mismatch{Kernel: src.Name, Stage: "memory",
+						Detail: fmt.Sprintf("%s[%d] = %v, want %v", arr.Name, i, got[i], want[i])}
+				}
+			}
+		} else {
+			got, want := img.SnapshotI(arr.Name), ref.ArraysI[arr.Name]
+			for i := range want {
+				if got[i] != want[i] {
+					return nil, &Mismatch{Kernel: src.Name, Stage: "memory",
+						Detail: fmt.Sprintf("%s[%d] = %d, want %d", arr.Name, i, got[i], want[i])}
+				}
+			}
+		}
+	}
+	for _, name := range src.LiveOut {
+		got, ok := res.LiveOut[name]
+		if !ok {
+			return nil, &Mismatch{Kernel: src.Name, Stage: "liveout",
+				Detail: fmt.Sprintf("%q missing from simulation result", name)}
+		}
+		want, ok := ref.Temps[name]
+		if !ok {
+			return nil, &Mismatch{Kernel: src.Name, Stage: "liveout",
+				Detail: fmt.Sprintf("%q missing from interpreter result", name)}
+		}
+		if !sameValue(got, want) {
+			return nil, &Mismatch{Kernel: src.Name, Stage: "liveout",
+				Detail: fmt.Sprintf("%q = %+v, want %+v", name, got, want)}
+		}
+	}
+	return res, nil
+}
+
+// sameF64 is bit-exact float equality except that any NaN matches any NaN:
+// both paths execute the identical Go arithmetic, so payloads agree in
+// practice, but the oracle does not depend on NaN bit patterns.
+func sameF64(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func sameValue(a, b interp.Value) bool {
+	if a.K != b.K {
+		return false
+	}
+	if a.K == ir.F64 {
+		return sameF64(a.F, b.F)
+	}
+	return a.I == b.I
+}
+
+// InjectMiscompile returns a copy of the loop with the first additive
+// binary operator flipped (add<->sub) — a minimal, observable miscompile.
+// ok is false when the loop has no eligible operator. The fuzz self-test
+// feeds the result to OracleConfig.MutateCompiled to prove a real
+// divergence is caught and minimized.
+func InjectMiscompile(l *ir.Loop) (out *ir.Loop, ok bool) {
+	c := l.Clone()
+	flipped := false
+	var flipExpr func(e ir.Expr) ir.Expr
+	flipExpr = func(e ir.Expr) ir.Expr {
+		if flipped {
+			return e
+		}
+		switch x := e.(type) {
+		case *ir.Bin:
+			if x.Op == ir.Add || x.Op == ir.Sub {
+				flipped = true
+				op := ir.Add
+				if x.Op == ir.Add {
+					op = ir.Sub
+				}
+				return &ir.Bin{Op: op, L: x.L, R: x.R}
+			}
+			nl := flipExpr(x.L)
+			nr := flipExpr(x.R)
+			if nl != x.L || nr != x.R {
+				return &ir.Bin{Op: x.Op, L: nl, R: nr}
+			}
+		case *ir.Un:
+			nx := flipExpr(x.X)
+			if nx != x.X {
+				return &ir.Un{Op: x.Op, X: nx}
+			}
+		}
+		return e
+	}
+	var flipStmts func(stmts []ir.Stmt) []ir.Stmt
+	flipStmts = func(stmts []ir.Stmt) []ir.Stmt {
+		out := make([]ir.Stmt, len(stmts))
+		for i, s := range stmts {
+			if flipped {
+				out[i] = s
+				continue
+			}
+			switch x := s.(type) {
+			case *ir.Assign:
+				out[i] = &ir.Assign{Src: x.Src, Dest: x.Dest, X: flipExpr(x.X)}
+			case *ir.If:
+				out[i] = &ir.If{Src: x.Src, Cond: x.Cond,
+					Then: flipStmts(x.Then), Else: flipStmts(x.Else)}
+			default:
+				out[i] = s
+			}
+		}
+		return out
+	}
+	c.Body = flipStmts(c.Body)
+	return c, flipped
+}

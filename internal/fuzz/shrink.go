@@ -1,0 +1,352 @@
+package fuzz
+
+import (
+	"fgp/internal/ir"
+)
+
+// Shrink minimizes a failing loop. fails must return true for the original
+// loop (and for any candidate that still reproduces the failure); Shrink
+// greedily applies size-reducing transformations — statement deletion
+// (recursing into branches), conditional flattening, trip-count halving,
+// live-out dropping, expression subtree replacement — keeping a candidate
+// only when it still validates and still fails, until a fixpoint or until
+// maxChecks oracle invocations have been spent. Unreferenced array and
+// scalar declarations are pruned from the final result.
+func Shrink(l *ir.Loop, fails func(*ir.Loop) bool, maxChecks int) *ir.Loop {
+	if maxChecks <= 0 {
+		maxChecks = 2000
+	}
+	s := &shrinker{fails: fails, budget: maxChecks}
+	cur := l
+	for {
+		next, improved := s.pass(cur)
+		if !improved || s.budget <= 0 {
+			break
+		}
+		cur = next
+	}
+	return pruneDecls(cur)
+}
+
+type shrinker struct {
+	fails  func(*ir.Loop) bool
+	budget int
+}
+
+// try reports whether the candidate still validates and still fails.
+func (s *shrinker) try(cand *ir.Loop) bool {
+	if s.budget <= 0 {
+		return false
+	}
+	if ir.Validate(cand) != nil {
+		return false
+	}
+	s.budget--
+	return s.fails(cand)
+}
+
+// pass applies each transformation family once; improved reports whether
+// anything was reduced.
+func (s *shrinker) pass(l *ir.Loop) (*ir.Loop, bool) {
+	improved := false
+
+	// Statement deletion, largest index first so branch interiors shrink
+	// before the conditionals that own them are considered.
+	for i := ir.CountStmts(l.Body) - 1; i >= 0; i-- {
+		c := l.Clone()
+		counter := 0
+		c.Body = removeStmt(l.Body, i, &counter)
+		if ir.CountStmts(c.Body) < ir.CountStmts(l.Body) && s.try(c) {
+			l, improved = c, true
+		}
+	}
+
+	// Conditional flattening: replace an If by one of its branches.
+	for i := ir.CountStmts(l.Body) - 1; i >= 0; i-- {
+		for _, takeThen := range []bool{true, false} {
+			c := l.Clone()
+			counter := 0
+			body, changed := flattenIf(l.Body, i, takeThen, &counter)
+			if !changed {
+				continue
+			}
+			c.Body = body
+			if s.try(c) {
+				l, improved = c, true
+				break
+			}
+		}
+	}
+
+	// Trip-count halving.
+	for {
+		trips := (l.End - l.Start) / l.Step
+		if trips <= 1 {
+			break
+		}
+		c := l.Clone()
+		c.End = l.Start + (trips/2)*l.Step
+		if !s.try(c) {
+			break
+		}
+		l, improved = c, true
+	}
+
+	// Live-out dropping.
+	for i := len(l.LiveOut) - 1; i >= 0; i-- {
+		if len(l.LiveOut) == 0 {
+			break
+		}
+		c := l.Clone()
+		c.LiveOut = append(append([]string(nil), l.LiveOut[:i]...), l.LiveOut[i+1:]...)
+		if s.try(c) {
+			l, improved = c, true
+		}
+	}
+
+	// Expression simplification: for every statement expression slot, try
+	// replacing the tree with a same-kind subtree or a constant leaf.
+	for i := ir.CountStmts(l.Body) - 1; i >= 0; i-- {
+		for {
+			reduced := false
+			counter := 0
+			orig := stmtAt(l.Body, i, &counter)
+			if orig == nil {
+				break
+			}
+			for slot := 0; slot < stmtSlots(orig); slot++ {
+				cands := exprCandidates(stmtSlotExpr(orig, slot))
+				for _, repl := range cands {
+					c := l.Clone()
+					counter = 0
+					c.Body = replaceSlot(l.Body, i, slot, repl, &counter)
+					if s.try(c) {
+						l, improved, reduced = c, true, true
+						break
+					}
+				}
+				if reduced {
+					break
+				}
+			}
+			if !reduced {
+				break
+			}
+		}
+	}
+	return l, improved
+}
+
+// removeStmt rebuilds stmts with the statement at pre-order index target
+// removed (counting into branches).
+func removeStmt(stmts []ir.Stmt, target int, counter *int) []ir.Stmt {
+	var out []ir.Stmt
+	for _, st := range stmts {
+		idx := *counter
+		*counter++
+		if iff, ok := st.(*ir.If); ok {
+			nt := removeStmt(iff.Then, target, counter)
+			ne := removeStmt(iff.Else, target, counter)
+			if idx == target {
+				continue
+			}
+			out = append(out, &ir.If{Src: iff.Src, Cond: iff.Cond, Then: nt, Else: ne})
+			continue
+		}
+		if idx == target {
+			continue
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// flattenIf replaces the If at pre-order index target with its then- or
+// else-branch contents.
+func flattenIf(stmts []ir.Stmt, target int, takeThen bool, counter *int) ([]ir.Stmt, bool) {
+	var out []ir.Stmt
+	changed := false
+	for _, st := range stmts {
+		idx := *counter
+		*counter++
+		if iff, ok := st.(*ir.If); ok {
+			if idx == target {
+				// Skip child indices of the removed conditional.
+				*counter += ir.CountStmts(iff.Then) + ir.CountStmts(iff.Else)
+				if takeThen {
+					out = append(out, iff.Then...)
+				} else {
+					out = append(out, iff.Else...)
+				}
+				changed = true
+				continue
+			}
+			nt, ct := flattenIf(iff.Then, target, takeThen, counter)
+			ne, ce := flattenIf(iff.Else, target, takeThen, counter)
+			changed = changed || ct || ce
+			out = append(out, &ir.If{Src: iff.Src, Cond: iff.Cond, Then: nt, Else: ne})
+			continue
+		}
+		out = append(out, st)
+	}
+	return out, changed
+}
+
+// stmtAt returns the statement at pre-order index target, or nil.
+func stmtAt(stmts []ir.Stmt, target int, counter *int) ir.Stmt {
+	for _, st := range stmts {
+		idx := *counter
+		*counter++
+		if idx == target {
+			return st
+		}
+		if iff, ok := st.(*ir.If); ok {
+			if f := stmtAt(iff.Then, target, counter); f != nil {
+				return f
+			}
+			if f := stmtAt(iff.Else, target, counter); f != nil {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// Statement expression slots: 0 = RHS / condition, 1 = store index.
+func stmtSlots(s ir.Stmt) int {
+	if a, ok := s.(*ir.Assign); ok {
+		if _, isElem := a.Dest.(*ir.ElemDest); isElem {
+			return 2
+		}
+	}
+	return 1
+}
+
+func stmtSlotExpr(s ir.Stmt, slot int) ir.Expr {
+	switch x := s.(type) {
+	case *ir.Assign:
+		if slot == 1 {
+			return x.Dest.(*ir.ElemDest).Index
+		}
+		return x.X
+	case *ir.If:
+		return x.Cond
+	}
+	return nil
+}
+
+func withSlotExpr(s ir.Stmt, slot int, e ir.Expr) ir.Stmt {
+	switch x := s.(type) {
+	case *ir.Assign:
+		if slot == 1 {
+			d := x.Dest.(*ir.ElemDest)
+			return &ir.Assign{Src: x.Src, Dest: &ir.ElemDest{Array: d.Array, K: d.K, Index: e}, X: x.X}
+		}
+		return &ir.Assign{Src: x.Src, Dest: x.Dest, X: e}
+	case *ir.If:
+		return &ir.If{Src: x.Src, Cond: e, Then: x.Then, Else: x.Else}
+	}
+	return s
+}
+
+// replaceSlot rebuilds stmts with expression slot `slot` of the statement
+// at pre-order index target replaced by repl.
+func replaceSlot(stmts []ir.Stmt, target, slot int, repl ir.Expr, counter *int) []ir.Stmt {
+	out := make([]ir.Stmt, 0, len(stmts))
+	for _, st := range stmts {
+		idx := *counter
+		*counter++
+		if idx == target {
+			out = append(out, withSlotExpr(st, slot, repl))
+			if iff, ok := st.(*ir.If); ok {
+				*counter += ir.CountStmts(iff.Then) + ir.CountStmts(iff.Else)
+			}
+			continue
+		}
+		if iff, ok := st.(*ir.If); ok {
+			nt := replaceSlot(iff.Then, target, slot, repl, counter)
+			ne := replaceSlot(iff.Else, target, slot, repl, counter)
+			out = append(out, &ir.If{Src: iff.Src, Cond: iff.Cond, Then: nt, Else: ne})
+			continue
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// exprCandidates lists smaller same-kind replacements for an expression:
+// every strict subtree of matching kind (largest first), then a constant
+// leaf. Candidates are capped to keep each shrink pass bounded.
+func exprCandidates(e ir.Expr) []ir.Expr {
+	if e == nil {
+		return nil
+	}
+	k := e.Kind()
+	var subs []ir.Expr
+	ir.WalkExpr(e, func(n ir.Expr) {
+		if n != e && n.Kind() == k && ir.CountOps(n) < ir.CountOps(e) {
+			subs = append(subs, n)
+		}
+	})
+	// Largest subtrees first: fewer, bigger deletions reach the fixpoint
+	// faster than leaf-at-a-time nibbling.
+	for i, j := 0, len(subs)-1; i < j; i, j = i+1, j-1 {
+		subs[i], subs[j] = subs[j], subs[i]
+	}
+	if len(subs) > 24 {
+		subs = subs[:24]
+	}
+	if _, isConst := e.(ir.ConstF); !isConst {
+		if _, isConstI := e.(ir.ConstI); !isConstI {
+			if k == ir.F64 {
+				subs = append(subs, ir.F(1))
+			} else {
+				subs = append(subs, ir.I(1))
+			}
+		}
+	}
+	return subs
+}
+
+// pruneDecls drops array and scalar declarations (and nothing else) that
+// the shrunken body no longer references.
+func pruneDecls(l *ir.Loop) *ir.Loop {
+	usedArr := map[string]bool{}
+	usedTmp := map[string]ir.Kind{}
+	scan := func(e ir.Expr) {
+		ir.WalkExpr(e, func(n ir.Expr) {
+			if ld, ok := n.(*ir.Load); ok {
+				usedArr[ld.Array] = true
+			}
+		})
+		ir.TempUses(e, usedTmp)
+	}
+	ir.WalkStmts(l.Body, func(s ir.Stmt) {
+		ir.StmtExprs(s, scan)
+		if a, ok := s.(*ir.Assign); ok {
+			if d, ok := a.Dest.(*ir.ElemDest); ok {
+				usedArr[d.Array] = true
+			}
+		}
+	})
+	for _, name := range l.LiveOut {
+		usedTmp[name] = 0
+	}
+	c := l.Clone()
+	c.Arrays = nil
+	for _, a := range l.Arrays {
+		if usedArr[a.Name] {
+			c.Arrays = append(c.Arrays, a)
+		}
+	}
+	c.Scalars = nil
+	for _, sc := range l.Scalars {
+		if _, ok := usedTmp[sc.Name]; ok {
+			c.Scalars = append(c.Scalars, sc)
+		}
+	}
+	if ir.Validate(c) != nil {
+		return l
+	}
+	return c
+}

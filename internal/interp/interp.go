@@ -6,11 +6,43 @@
 package interp
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"fgp/internal/ir"
 )
+
+// Trap sentinels. The interpreter is the differential-testing ground truth,
+// so the conditions under which execution aborts are part of its specified
+// semantics: the fuzz oracle classifies an error that wraps one of these as
+// a semantic trap (which the compiled path must reproduce) rather than an
+// infrastructure failure (deadlock, FIFO mismatch), which it must not.
+var (
+	// ErrDivByZero is wrapped by integer division/remainder by zero.
+	ErrDivByZero = errors.New("integer division by zero")
+	// ErrOutOfBounds is wrapped by array accesses outside the declared
+	// length.
+	ErrOutOfBounds = errors.New("array index out of bounds")
+)
+
+// TruncFI is the deterministic F64 -> I64 truncation used by CvtFI. Go's
+// built-in conversion is implementation-specific for NaN and out-of-range
+// values, so the oracle pins saturating semantics: NaN converts to 0 and
+// out-of-range values clamp to the nearest representable int64. In-range
+// values truncate toward zero as before. Shared with the simulator's burst
+// engine so both execution paths stay bit-identical.
+func TruncFI(f float64) int64 {
+	switch {
+	case math.IsNaN(f):
+		return 0
+	case f >= math.MaxInt64: // 2^63 is the smallest float64 >= MaxInt64
+		return math.MaxInt64
+	case f <= math.MinInt64:
+		return math.MinInt64
+	}
+	return int64(f)
+}
 
 // Value is a dynamically-kinded IR value.
 type Value struct {
@@ -128,14 +160,14 @@ func (e *env) store(array string, k ir.Kind, idx int64, v Value) error {
 	if k == ir.F64 {
 		a := e.arraysF[array]
 		if idx < 0 || idx >= int64(len(a)) {
-			return fmt.Errorf("store %s[%d] out of bounds (len %d)", array, idx, len(a))
+			return fmt.Errorf("store %s[%d] %w (len %d)", array, idx, ErrOutOfBounds, len(a))
 		}
 		a[idx] = v.F
 		return nil
 	}
 	a := e.arraysI[array]
 	if idx < 0 || idx >= int64(len(a)) {
-		return fmt.Errorf("store %s[%d] out of bounds (len %d)", array, idx, len(a))
+		return fmt.Errorf("store %s[%d] %w (len %d)", array, idx, ErrOutOfBounds, len(a))
 	}
 	a[idx] = v.I
 	return nil
@@ -161,13 +193,13 @@ func (e *env) eval(x ir.Expr) (Value, error) {
 		if n.K == ir.F64 {
 			a := e.arraysF[n.Array]
 			if idx.I < 0 || idx.I >= int64(len(a)) {
-				return Value{}, fmt.Errorf("load %s[%d] out of bounds (len %d)", n.Array, idx.I, len(a))
+				return Value{}, fmt.Errorf("load %s[%d] %w (len %d)", n.Array, idx.I, ErrOutOfBounds, len(a))
 			}
 			return VF(a[idx.I]), nil
 		}
 		a := e.arraysI[n.Array]
 		if idx.I < 0 || idx.I >= int64(len(a)) {
-			return Value{}, fmt.Errorf("load %s[%d] out of bounds (len %d)", n.Array, idx.I, len(a))
+			return Value{}, fmt.Errorf("load %s[%d] %w (len %d)", n.Array, idx.I, ErrOutOfBounds, len(a))
 		}
 		return VI(a[idx.I]), nil
 	case *ir.Bin:
@@ -234,12 +266,12 @@ func EvalBin(op ir.BinOp, l, r Value) (Value, error) {
 		return VI(l.I * r.I), nil
 	case ir.Div:
 		if r.I == 0 {
-			return Value{}, fmt.Errorf("integer division by zero")
+			return Value{}, fmt.Errorf("%w (div)", ErrDivByZero)
 		}
 		return VI(l.I / r.I), nil
 	case ir.Rem:
 		if r.I == 0 {
-			return Value{}, fmt.Errorf("integer remainder by zero")
+			return Value{}, fmt.Errorf("%w (rem)", ErrDivByZero)
 		}
 		return VI(l.I % r.I), nil
 	case ir.Min:
@@ -307,7 +339,7 @@ func EvalUn(op ir.UnOp, v Value) (Value, error) {
 	case ir.CvtIF:
 		return VF(float64(v.I)), nil
 	case ir.CvtFI:
-		return VI(int64(v.F)), nil
+		return VI(TruncFI(v.F)), nil
 	}
 	return Value{}, fmt.Errorf("unknown unary op %s", op)
 }

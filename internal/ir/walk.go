@@ -52,6 +52,25 @@ func TempUses(e Expr, into map[string]Kind) {
 	})
 }
 
+// CountStmts returns the number of statements in the list, recursing into
+// conditional branches. The fuzz shrinker uses it as the size metric a
+// minimization step must strictly decrease.
+func CountStmts(stmts []Stmt) int {
+	n := 0
+	WalkStmts(stmts, func(Stmt) { n++ })
+	return n
+}
+
+// CountLoopOps returns the total number of compute operations across every
+// expression of the loop body (RHSes, store indices, branch conditions).
+func CountLoopOps(l *Loop) int {
+	n := 0
+	WalkStmts(l.Body, func(s Stmt) {
+		StmtExprs(s, func(e Expr) { n += CountOps(e) })
+	})
+	return n
+}
+
 // CountOps returns the number of compute operations (internal nodes,
 // excluding loads) in the expression tree.
 func CountOps(e Expr) int {

@@ -7,10 +7,17 @@
 package mem
 
 import (
+	"errors"
 	"fmt"
 
 	"fgp/internal/ir"
 )
+
+// ErrOutOfBounds is wrapped by loads and stores whose index falls outside
+// the target array. The fuzz oracle classifies errors wrapping it as
+// semantic traps (mirroring interp.ErrOutOfBounds on the interpreter side)
+// rather than simulator-infrastructure failures.
+var ErrOutOfBounds = errors.New("out of bounds")
 
 // ArrayID indexes a registered array.
 type ArrayID = int32
@@ -136,7 +143,7 @@ func (m *Memory) LoadF(arr ArrayID, idx int64) (float64, error) {
 		return 0, err
 	}
 	if idx < 0 || idx >= int64(len(a.f)) {
-		return 0, fmt.Errorf("mem: load %s[%d] out of bounds (len %d)", a.name, idx, len(a.f))
+		return 0, fmt.Errorf("mem: load %s[%d] %w (len %d)", a.name, idx, ErrOutOfBounds, len(a.f))
 	}
 	return a.f[idx], nil
 }
@@ -148,7 +155,7 @@ func (m *Memory) LoadI(arr ArrayID, idx int64) (int64, error) {
 		return 0, err
 	}
 	if idx < 0 || idx >= int64(len(a.i)) {
-		return 0, fmt.Errorf("mem: load %s[%d] out of bounds (len %d)", a.name, idx, len(a.i))
+		return 0, fmt.Errorf("mem: load %s[%d] %w (len %d)", a.name, idx, ErrOutOfBounds, len(a.i))
 	}
 	return a.i[idx], nil
 }
@@ -160,7 +167,7 @@ func (m *Memory) StoreF(arr ArrayID, idx int64, v float64) error {
 		return err
 	}
 	if idx < 0 || idx >= int64(len(a.f)) {
-		return fmt.Errorf("mem: store %s[%d] out of bounds (len %d)", a.name, idx, len(a.f))
+		return fmt.Errorf("mem: store %s[%d] %w (len %d)", a.name, idx, ErrOutOfBounds, len(a.f))
 	}
 	a.f[idx] = v
 	return nil
@@ -173,7 +180,7 @@ func (m *Memory) StoreI(arr ArrayID, idx int64, v int64) error {
 		return err
 	}
 	if idx < 0 || idx >= int64(len(a.i)) {
-		return fmt.Errorf("mem: store %s[%d] out of bounds (len %d)", a.name, idx, len(a.i))
+		return fmt.Errorf("mem: store %s[%d] %w (len %d)", a.name, idx, ErrOutOfBounds, len(a.i))
 	}
 	a.i[idx] = v
 	return nil

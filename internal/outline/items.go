@@ -239,11 +239,11 @@ func (g *generator) projectSeq(p, region int, key pairKey, sender bool) []seqTok
 	for _, it := range g.items[p][region] {
 		switch it.kind {
 		case itEnq:
-			if sender && g.keyOf(it.tr) == key && !(it.tr.token && it.tr.depth > 0) {
+			if sender && g.keyOf(it.tr) == key {
 				out = append(out, seqTok{edge: it.tr.edge})
 			}
 		case itDeq:
-			if !sender && g.keyOf(it.tr) == key && !(it.tr.token && it.tr.depth > 0) {
+			if !sender && g.keyOf(it.tr) == key {
 				out = append(out, seqTok{edge: it.tr.edge})
 			}
 		case itBranch:
@@ -285,6 +285,13 @@ func (g *generator) subtreeHasKey(p int, b *item, key pairKey, sender bool) bool
 // repairing order differences by hoisting dequeues earlier (always safe:
 // a dequeue may block arbitrarily early, and the guard in buildItems
 // ensures no dequeue needs to move later).
+//
+// Carried tokens complicate the top-level region: their queues are primed
+// with P slack entries before the loop and drained after it, so the
+// dynamic streams are P·S·S·… on the sender and R·R·…·P on the receiver.
+// Those agree for every trip count exactly when P·S == R·P (the standard
+// conjugacy criterion for x·uⁿ == vⁿ·x with |u| == |v|), which
+// degenerates to plain S == R on queues without priming.
 func (g *generator) matchFIFO() error {
 	keys := map[pairKey]bool{}
 	for _, tr := range g.transfers {
@@ -326,20 +333,68 @@ func (g *generator) matchFIFO() error {
 	return nil
 }
 
+// primerSeq returns the queue-priming entries emitted in the preheader for
+// one queue: every carried token's edge, repeated depth times, in transfer
+// order (the order emitBody primes them). Only the top-level region sees
+// primed queues.
+func (g *generator) primerSeq(key pairKey, region int) []seqTok {
+	if region != 0 {
+		return nil
+	}
+	var out []seqTok
+	for _, tr := range g.transfers {
+		if tr.token && tr.depth > 0 && g.keyOf(tr) == key {
+			for k := 0; k < tr.depth; k++ {
+				out = append(out, seqTok{edge: tr.edge})
+			}
+		}
+	}
+	return out
+}
+
+// conjugate reports whether the primed enqueue stream matches the dequeue
+// stream for every trip count: p·s·s·… == r·r·…·p, equivalent to the
+// finite check p·s == r·p (plain s == r when nothing is primed).
+func conjugate(p, s, r []seqTok) bool {
+	if len(s) != len(r) {
+		return false
+	}
+	if len(p) == 0 {
+		return seqEqual(s, r)
+	}
+	ps := append(append([]seqTok{}, p...), s...)
+	rp := append(append([]seqTok{}, r...), p...)
+	return seqEqual(ps, rp)
+}
+
 func (g *generator) matchRegion(key pairKey, region int) error {
 	se := g.projectSeq(key.src, region, key, true)
 	re := g.projectSeq(key.dst, region, key, false)
-	if seqEqual(se, re) {
+	primers := g.primerSeq(key, region)
+	if conjugate(primers, se, re) {
 		return nil
 	}
-	// Multisets must match even when order differs.
+	// Multisets must match even when order differs (primers cancel).
 	if !seqSameMultiset(se, re) {
 		return fmt.Errorf("outline: queue %d->%d class %d region %d: enqueue tokens %v != dequeue tokens %v",
 			key.src, key.dst, key.class, region, se, re)
 	}
-	// Rebuild the receiver's dequeue placement to the sender's order with
+	// The only receiver order satisfying P·S == R·P is the first |S|
+	// tokens of P·S — well-defined only when P·S ends with P (guaranteed
+	// by depth-1 clamping plus end-of-iteration carried enqueues; anything
+	// else is statically uncompilable on a shared FIFO).
+	required := se
+	if len(primers) > 0 {
+		ps := append(append([]seqTok{}, primers...), se...)
+		if !seqEqual(ps[len(se):], primers) {
+			return fmt.Errorf("outline: queue %d->%d class %d region %d: primed tokens %v cannot interleave with traffic %v on one FIFO",
+				key.src, key.dst, key.class, region, primers, se)
+		}
+		required = ps[:len(se)]
+	}
+	// Rebuild the receiver's dequeue placement to the required order with
 	// an as-late-as-possible sweep: each dequeue's deadline is its current
-	// (before-first-consumer) position; walking the sender sequence in
+	// (before-first-consumer) position; walking the required sequence in
 	// reverse, every dequeue lands at the minimum of its own deadline and
 	// the slot of its successor. Dequeues only move earlier, each by the
 	// least amount that restores FIFO order — placing them any earlier
@@ -350,7 +405,7 @@ func (g *generator) matchRegion(key pairKey, region int) error {
 	deqOf := map[int32]*item{}
 	origSlot := map[int32]int{} // edge -> index into kept where the deq sat
 	for _, it := range its {
-		if it.kind == itDeq && g.keyOf(it.tr) == key && !(it.tr.token && it.tr.depth > 0) {
+		if it.kind == itDeq && g.keyOf(it.tr) == key {
 			deqOf[it.tr.edge] = it
 			origSlot[it.tr.edge] = len(kept)
 			continue
@@ -369,7 +424,7 @@ func (g *generator) matchRegion(key pairKey, region int) error {
 	var senderEdges []int32
 	var nextMarker []int // markers already passed when each edge is sent
 	seenMarkers := 0
-	for _, tok := range se {
+	for _, tok := range required {
 		if tok.edge < 0 {
 			seenMarkers++
 			continue
@@ -406,9 +461,9 @@ func (g *generator) matchRegion(key pairKey, region int) error {
 	// Re-verify.
 	se2 := g.projectSeq(key.src, region, key, true)
 	re2 := g.projectSeq(key.dst, region, key, false)
-	if !seqEqual(se2, re2) {
-		return fmt.Errorf("outline: queue %d->%d class %d region %d: FIFO repair failed (%v vs %v)",
-			key.src, key.dst, key.class, region, se2, re2)
+	if !conjugate(primers, se2, re2) {
+		return fmt.Errorf("outline: queue %d->%d class %d region %d: FIFO repair failed (%v vs %v, primed %v)",
+			key.src, key.dst, key.class, region, se2, re2, primers)
 	}
 	return nil
 }

@@ -71,7 +71,11 @@ type Compiled struct {
 func Generate(fn *tac.Fn, info *deps.Info, parts *codegraph.Result, opt Options) (*Compiled, error) {
 	np := len(parts.Parts)
 	if np == 0 {
-		return nil, fmt.Errorf("outline: no partitions")
+		// A loop with an empty body has no fibers and therefore no
+		// partitions, but it is still valid IR: compile it as one core
+		// running the bare loop skeleton.
+		parts = &codegraph.Result{Parts: [][]int32{nil}, PartOf: parts.PartOf}
+		np = 1
 	}
 	if opt.MachineCores < np {
 		return nil, fmt.Errorf("outline: %d partitions exceed %d machine cores", np, opt.MachineCores)

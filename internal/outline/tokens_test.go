@@ -170,6 +170,64 @@ func TestSweptRecurrenceSplit(t *testing.T) {
 	}
 }
 
+// TestSharedQueueCarriedDepthTwo is the regression test for a miscompile
+// found by the differential fuzzer (internal/fuzz/testdata/crashers/
+// fuzz-a8c80032281a475d.bin): a distance-2 carried memory dependence and a
+// same-iteration dependence between the same core pair share one hardware
+// queue. The carried token used to be primed to its full depth (2) and was
+// excluded from FIFO matching, so the primed stream E·E·(e0·E)* could never
+// line up with the receiver's (E·e0)* dequeue order — worse, the receiver's
+// same-iteration dequeue was satisfied by a preheader primer, silently
+// dropping the store→load ordering it was meant to enforce. Shared carried
+// tokens must be clamped to one primed entry and verified by the matcher's
+// conjugacy check (P·S == R·P).
+func TestSharedQueueCarriedDepthTwo(t *testing.T) {
+	b := ir.NewBuilder("carried2", "i", 1, 18, 1)
+	src := make([]float64, 20)
+	for i := range src {
+		src[i] = float64(i%7)*0.75 + 1
+	}
+	b.ArrayF("s", src)
+	b.ArrayF("of", make([]float64, 20))
+	b.ArrayF("o2", make([]float64, 20))
+	i := b.Idx()
+	// Core 0 stores of[i+1]; core 1 reads of[i+1] (same iteration) and
+	// of[i-1] (written two iterations earlier) — one immediate and one
+	// depth-2 carried token on the same 0 -> 1 queue.
+	b.StoreF("of", ir.AddE(i, ir.I(1)), ir.MulE(ir.LDF("s", i), ir.F(2)))
+	b.StoreF("o2", i, ir.AddE(ir.LDF("of", ir.SubE(i, ir.I(1))), ir.LDF("of", ir.AddE(i, ir.I(1)))))
+	l := b.MustBuild()
+
+	fn, _ := tac.Lower(l)
+	set, _ := fiber.Partition(fn)
+	info, _ := deps.Analyze(fn, set)
+	parts := manualSplit(fn, set, 1) // producer statement on core 0, consumer on core 1
+	ic := profile.InstrCost(cost.Default(), nil)
+	c, err := Generate(fn, info, parts, Options{MachineCores: 2, InstrCost: ic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig(2)
+	cfg.DebugEdges = true // fails on any FIFO tag mismatch
+	memImage := BuildMemory(l)
+	m, err := sim.New(c.Programs, memImage, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := interp.Run(l)
+	for _, arr := range []string{"of", "o2"} {
+		got := memImage.SnapshotF(arr)
+		for i, want := range ref.ArraysF[arr] {
+			if got[i] != want {
+				t.Fatalf("%s[%d] = %v, want %v", arr, i, got[i], want)
+			}
+		}
+	}
+}
+
 // TestFIFORepairPath forces a receiver whose natural dequeue order differs
 // from the sender's enqueue order: two values flow 0 -> 1 but the second
 // value's consumer comes before the first value's consumer on the receiver.

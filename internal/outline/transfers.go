@@ -152,6 +152,21 @@ func (g *generator) planTransfers() error {
 		}
 		return a.enqAfter.stmt < b.enqAfter.stmt
 	})
+	// A carried token that shares its hardware queue with any other traffic
+	// must be primed to exactly one entry: with the enqueue closing the
+	// sender's iteration and the dequeue opening the receiver's, the primed
+	// stream P·S matches the dequeue stream R·P only for |P| = 1 (the
+	// conjugacy matchFIFO verifies). Deeper priming is pure slack, so
+	// clamping is always sound; a lone token on its queue keeps full depth.
+	keyCount := map[pairKey]int{}
+	for _, tr := range g.transfers {
+		keyCount[g.keyOf(tr)]++
+	}
+	for _, tr := range g.transfers {
+		if tr.token && tr.depth > 1 && keyCount[g.keyOf(tr)] > 1 {
+			tr.depth = 1
+		}
+	}
 	for _, tr := range g.transfers {
 		tr.edge = g.newEdge()
 		if tr.token {

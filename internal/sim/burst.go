@@ -657,7 +657,7 @@ loop:
 			regs[in.dst] = interp.Value{K: ir.F64, F: float64(regs[in.a].I)}
 			time += in.lat
 		case uCvtFI:
-			regs[in.dst] = interp.Value{K: ir.I64, I: int64(regs[in.a].F)}
+			regs[in.dst] = interp.Value{K: ir.I64, I: interp.TruncFI(regs[in.a].F)}
 			time += in.lat
 		case uUnGen:
 			var v interp.Value

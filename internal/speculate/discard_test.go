@@ -1,0 +1,154 @@
+package speculate
+
+import (
+	"math"
+	"testing"
+
+	"fgp/internal/interp"
+	"fgp/internal/ir"
+)
+
+// TestDiscardWrongPathPoison pins the misspeculation-discard semantics: both
+// branch bodies execute ahead of the condition, so the wrong path really is
+// evaluated — its result must be discarded by the selection moves without
+// ever contaminating outputs. The wrong path here computes log of a negative
+// number (NaN) and a huge overflow product, the nastiest values a discarded
+// computation can produce.
+func TestDiscardWrongPathPoison(t *testing.T) {
+	b := ir.NewBuilder("poison", "i", 0, 16, 1)
+	data := make([]float64, 16)
+	for i := range data {
+		data[i] = float64(i%4) - 1.5 // mix of negative and positive
+	}
+	b.ArrayF("a", data)
+	b.ArrayF("o", make([]float64, 16))
+	i := b.Idx()
+	cnd := b.Def("cnd", ir.GtE(ir.LDF("a", i), ir.F(0)))
+	b.If(cnd, func() {
+		// Taken only for positive a[i]: log is well-defined.
+		b.Def("v", ir.LogE(ir.LDF("a", i)))
+	}, func() {
+		// Taken only for non-positive a[i]; when NOT taken this computes
+		// log(negative) = NaN and an overflowing product.
+		b.Def("v", ir.AddE(ir.LogE(ir.LDF("a", i)), ir.MulE(ir.F(1e300), ir.F(1e300))))
+	})
+	b.StoreF("o", i, b.T("v"))
+	l := b.MustBuild()
+
+	spec, res := Apply(l)
+	if res.Transformed != 1 {
+		t.Fatalf("expected the conditional to speculate, got %+v", res)
+	}
+
+	ro, err := interp.Run(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := interp.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ro.ArraysF["o"] {
+		want, got := ro.ArraysF["o"][i], rs.ArraysF["o"][i]
+		if math.Float64bits(want) != math.Float64bits(got) &&
+			!(math.IsNaN(want) && math.IsNaN(got)) {
+			t.Fatalf("o[%d] = %v, want %v (wrong-path value leaked)", i, got, want)
+		}
+	}
+}
+
+// TestDiscardStructure pins the rewrite shape the discard semantics rely
+// on: every speculated branch statement is hoisted above the conditional
+// into a renamed temporary, and the residual branches contain nothing but
+// selection moves (temp = renamed-temp). If real work stayed inside the
+// branches, "both paths execute ahead" would be false; if a hoisted
+// statement kept its original name, the wrong path would clobber the right
+// one instead of being discarded.
+func TestDiscardStructure(t *testing.T) {
+	l := dataLoop(func(b *ir.Builder) {
+		i := b.Idx()
+		cnd := b.Def("cnd", ir.GtE(ir.LDF("a", i), ir.F(0)))
+		b.If(cnd, func() {
+			b.Def("u", ir.MulE(ir.LDF("a", i), ir.F(2)))
+			b.Def("v", ir.AddE(b.T("u"), ir.F(1)))
+		}, func() {
+			b.Def("v", ir.NegE(ir.LDF("a", i)))
+		})
+		b.StoreF("o", i, b.T("v"))
+	})
+	spec, res := Apply(l)
+	if res.Transformed != 1 {
+		t.Fatalf("expected 1 transform, got %+v", res)
+	}
+
+	var iff *ir.If
+	hoistedDefs := map[string]bool{}
+	for _, st := range spec.Body {
+		switch x := st.(type) {
+		case *ir.If:
+			if iff != nil {
+				t.Fatal("more than one conditional survived speculation")
+			}
+			iff = x
+		case *ir.Assign:
+			if d, ok := x.Dest.(ir.TempDest); ok {
+				hoistedDefs[d.Name] = true
+			}
+		}
+	}
+	if iff == nil {
+		t.Fatal("conditional disappeared entirely")
+	}
+	// Three speculative temps must be hoisted: u and v from then, v from else.
+	renamed := 0
+	for name := range hoistedDefs {
+		if len(name) > 1 && name != "cnd" {
+			renamed++
+		}
+	}
+	if renamed < 3 {
+		t.Fatalf("expected >= 3 hoisted speculative defs, got %v", hoistedDefs)
+	}
+	// Residual branches: only selection moves of the original names.
+	for _, branch := range [][]ir.Stmt{iff.Then, iff.Else} {
+		for _, st := range branch {
+			a, ok := st.(*ir.Assign)
+			if !ok {
+				t.Fatalf("non-assign survived in branch: %T", st)
+			}
+			if _, ok := a.X.(ir.Temp); !ok {
+				t.Fatalf("branch statement is not a selection move: %v", ir.Print(spec))
+			}
+		}
+	}
+	equivalent(t, l, spec)
+}
+
+// TestDiscardAlternatingPaths drives the selection through both branches on
+// interleaved iterations, with each branch reading the value the other
+// branch's previous selection produced via memory — any stale speculative
+// temp surviving a discarded path shows up as a wrong array value.
+func TestDiscardAlternatingPaths(t *testing.T) {
+	b := ir.NewBuilder("alt", "i", 1, 24, 1)
+	data := make([]float64, 24)
+	for i := range data {
+		data[i] = float64(i)*0.25 - 2
+	}
+	b.ArrayF("a", data)
+	b.ArrayF("o", make([]float64, 24))
+	i := b.Idx()
+	cnd := b.Def("cnd", ir.GtE(ir.LDF("a", i), ir.F(0)))
+	b.If(cnd, func() {
+		b.Def("w", ir.AddE(ir.LDF("o", ir.SubE(i, ir.I(1))), ir.LDF("a", i)))
+	}, func() {
+		b.Def("w", ir.SubE(ir.LDF("o", ir.SubE(i, ir.I(1))), ir.F(1)))
+	})
+	b.StoreF("o", i, b.T("w"))
+	l := b.MustBuild()
+
+	spec, res := Apply(l)
+	if res.Transformed != 1 {
+		t.Fatalf("expected 1 transform, got %+v", res)
+	}
+	equivalent(t, l, spec)
+}
