@@ -9,7 +9,15 @@
 //	fgpexp -exp fig13 -lat 5,20,50,100
 //
 // Experiments: table1, fig12, table2, table3, fig13, fig14, throughput,
-// multipair, schedule, queuelen, all.
+// multipair, schedule, queuelen, attribution, all.
+//
+// The attribution experiment records the full observability event stream
+// of one kernel (-trace-kernel) across core counts (-trace-cores) and
+// prints the per-core stall-attribution report: cycles decomposed by cause
+// (queue waits, L1 misses, memory-port serialization), queue occupancy
+// high-water marks, and the load-imbalance index. -trace-out additionally
+// writes the highest-core-count recording to a file in -trace-format
+// (text, perfetto, or report).
 //
 // Host-performance knobs: -workers bounds the sweep's worker pool,
 // -reference forces the retained per-instruction simulator engine
@@ -28,12 +36,17 @@ import (
 	"strings"
 
 	"fgp/internal/experiments"
+	"fgp/internal/obs"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1, fig12, table2, table3, fig13, fig14, throughput, multipair, schedule, normalize, simd, queuelen, all)")
+	exp := flag.String("exp", "all", "experiment to run (table1, fig12, table2, table3, fig13, fig14, throughput, multipair, schedule, normalize, simd, queuelen, attribution, all)")
 	lats := flag.String("lat", "5,20,50,100", "comma-separated transfer latencies for fig13")
 	qlens := flag.String("qlen", "2,4,8,20,64", "comma-separated queue lengths for queuelen")
+	traceKernel := flag.String("trace-kernel", "sphot-1", "kernel for the attribution experiment")
+	traceCores := flag.String("trace-cores", "1,2,4", "comma-separated core counts for the attribution experiment")
+	traceOut := flag.String("trace-out", "", "write the attribution recording (highest core count) to this file")
+	traceFormat := flag.String("trace-format", "perfetto", "format for -trace-out: "+obs.TraceFormats)
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
 	workers := flag.Int("workers", 0, "worker pool size for experiment sweeps (0 = one per CPU, 1 = serial)")
 	reference := flag.Bool("reference", false, "simulate on the reference per-instruction engine instead of the burst engine")
@@ -190,6 +203,31 @@ func main() {
 		}
 		collect("queuelen", rows)
 		return experiments.FormatQueueLen(rows, lengths), nil
+	})
+	run("attribution", func() (string, error) {
+		cc, err := parseInts(*traceCores)
+		if err != nil {
+			return "", err
+		}
+		rows, err := experiments.Attribution(r, *traceKernel, cc)
+		if err != nil {
+			return "", err
+		}
+		collect("attribution", rows)
+		out := experiments.FormatAttribution(rows)
+		if *traceOut != "" && len(rows) > 0 {
+			last := &rows[len(rows)-1]
+			data, err := obs.RenderTrace(*traceFormat, last.Meta, last.Events)
+			if err != nil {
+				return "", err
+			}
+			if err := os.WriteFile(*traceOut, data, 0o644); err != nil {
+				return "", err
+			}
+			out += fmt.Sprintf("trace written: %s (%s, %d cores, %d events)\n",
+				*traceOut, *traceFormat, last.Cores, len(last.Events))
+		}
+		return out, nil
 	})
 
 	if *asJSON {

@@ -6,6 +6,14 @@
 //
 //	fgprun -kernel irs-1 -cores 4
 //	fgprun -kernel umt2k-6 -cores 4 -latency 50 -queue 20
+//	fgprun -kernel sphot-1 -cores 3 -trace-out trace.json -trace-format perfetto
+//	fgprun -kernel sphot-1 -cores 3 -trace-out report.txt -trace-format report
+//
+// -trace-out records the run's full observability event stream and writes
+// it in the chosen -trace-format: "text" (one line per retired
+// instruction), "perfetto" (Chrome trace-event JSON for ui.perfetto.dev,
+// schema-validated before the file is reported written), or "report" (the
+// per-core stall-attribution table).
 package main
 
 import (
@@ -15,6 +23,7 @@ import (
 
 	"fgp/internal/core"
 	"fgp/internal/kernels"
+	"fgp/internal/obs"
 )
 
 func main() {
@@ -25,6 +34,8 @@ func main() {
 	spec := flag.Bool("speculate", false, "enable control-flow speculation")
 	verify := flag.Bool("verify", true, "check results against the reference interpreter")
 	trace := flag.Int("trace", 0, "print the first N simulated instructions as a timeline")
+	traceOut := flag.String("trace-out", "", "record the run's event stream and write it to this file")
+	traceFormat := flag.String("trace-format", "text", "format for -trace-out: "+obs.TraceFormats)
 	flag.Parse()
 
 	if *kernel == "" {
@@ -57,6 +68,22 @@ func main() {
 	}
 
 	cfg := par.MachineConfig()
+	if *traceOut != "" {
+		rec := obs.NewRecorder()
+		tcfg := cfg
+		tcfg.Sink = rec
+		if _, err := par.Run(tcfg); err != nil {
+			fatal(err)
+		}
+		data, err := obs.RenderTrace(*traceFormat, rec.Meta, rec.Events)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*traceOut, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace             %s (%s, %d events)\n", *traceOut, *traceFormat, len(rec.Events))
+	}
 	if *trace > 0 {
 		tw := &truncWriter{w: os.Stdout, limit: *trace}
 		tcfg := cfg

@@ -9,6 +9,7 @@ import (
 	"fgp/internal/interp"
 	"fgp/internal/ir"
 	"fgp/internal/mem"
+	"fgp/internal/obs"
 	"fgp/internal/outline"
 	"fgp/internal/sim"
 )
@@ -126,17 +127,18 @@ func Check(l *ir.Loop, oc OracleConfig) error {
 						Stage: "compile", Detail: cerr.Error()}
 				}
 				var burstRes, refRes *sim.Result
+				var burstRec, refRec *obs.Recorder
 				for _, refEngine := range []bool{false, true} {
-					res, err := checkRun(l, art, ref, rerr, refEngine)
+					res, rec, err := checkRun(l, art, ref, rerr, refEngine)
 					if err != nil {
 						m := err.(*Mismatch)
 						m.Cores, m.Spec, m.Norm, m.Reference = cores, spec, norm, refEngine
 						return m
 					}
 					if refEngine {
-						refRes = res
+						refRes, refRec = res, rec
 					} else {
-						burstRes = res
+						burstRes, burstRec = res, rec
 					}
 				}
 				// Invariant: the burst engine is bit-identical to the
@@ -149,6 +151,15 @@ func Check(l *ir.Loop, oc OracleConfig) error {
 								burstRes.Cycles, burstRes.Transfers, refRes.Cycles, refRes.Transfers)}
 					}
 				}
+				// Invariant: both engines deliver the identical canonical
+				// event stream, and the per-cause stall windows sum exactly
+				// to the aggregate queue-stall counters.
+				if burstRec != nil && refRec != nil {
+					if m := checkEvents(l.Name, burstRes, burstRec, refRec); m != nil {
+						m.Cores, m.Spec, m.Norm = cores, spec, norm
+						return m
+					}
+				}
 				// Invariant: one core needs no communication at all.
 				if cores == 1 && burstRes != nil && (burstRes.Transfers != 0 || burstRes.QueuesUsed != 0) {
 					return &Mismatch{Kernel: l.Name, Cores: cores, Spec: spec, Norm: norm,
@@ -158,7 +169,7 @@ func Check(l *ir.Loop, oc OracleConfig) error {
 				// Invariant: repeat runs are cycle-deterministic. One
 				// configuration per kernel keeps the cost bounded.
 				if !oc.SkipRepeat && cores == oc.MaxCores && !spec && norm == 0 && burstRes != nil {
-					res2, err := checkRun(l, art, ref, rerr, false)
+					res2, _, err := checkRun(l, art, ref, rerr, false)
 					if err != nil {
 						m := err.(*Mismatch)
 						m.Cores, m.Spec, m.Norm = cores, spec, norm
@@ -178,41 +189,77 @@ func Check(l *ir.Loop, oc OracleConfig) error {
 	return nil
 }
 
-// checkRun simulates the artifact on one engine and compares the final
-// memory image and live-outs against the interpreter result. When the
-// interpreter trapped (rerr != nil), the simulation must also trap and the
-// value comparison is skipped. The returned error is always a *Mismatch.
-func checkRun(src *ir.Loop, art *core.Artifact, ref *interp.Result, rerr error, refEngine bool) (*sim.Result, error) {
+// checkEvents enforces the observability invariants between one kernel's
+// burst and reference recordings: bit-identical canonical event streams,
+// and per-cause stall-window sums equal to the aggregate EnqStalls and
+// DeqStalls counters (the metamorphic link between the typed stream and
+// the counters both engines already agree on).
+func checkEvents(kernel string, res *sim.Result, burst, ref *obs.Recorder) *Mismatch {
+	if len(burst.Events) != len(ref.Events) {
+		return &Mismatch{Kernel: kernel, Stage: "invariant",
+			Detail: fmt.Sprintf("event streams diverge: burst %d events, reference %d", len(burst.Events), len(ref.Events))}
+	}
+	for i := range burst.Events {
+		if burst.Events[i] != ref.Events[i] {
+			return &Mismatch{Kernel: kernel, Stage: "invariant",
+				Detail: fmt.Sprintf("event %d diverges: burst %+v, reference %+v", i, burst.Events[i], ref.Events[i])}
+		}
+	}
+	sums := obs.SumStalls(burst.Events)
+	var enq, deq int64
+	for i := range res.EnqStalls {
+		enq += res.EnqStalls[i]
+		deq += res.DeqStalls[i]
+	}
+	if sums[obs.CauseEnqFull] != enq {
+		return &Mismatch{Kernel: kernel, Stage: "invariant",
+			Detail: fmt.Sprintf("enq-full stall windows sum to %d, EnqStalls total %d", sums[obs.CauseEnqFull], enq)}
+	}
+	if sums[obs.CauseDeqEmpty] != deq {
+		return &Mismatch{Kernel: kernel, Stage: "invariant",
+			Detail: fmt.Sprintf("deq-empty stall windows sum to %d, DeqStalls total %d", sums[obs.CauseDeqEmpty], deq)}
+	}
+	return nil
+}
+
+// checkRun simulates the artifact on one engine — recording the full event
+// stream — and compares the final memory image and live-outs against the
+// interpreter result. When the interpreter trapped (rerr != nil), the
+// simulation must also trap and the value comparison is skipped. The
+// returned error is always a *Mismatch.
+func checkRun(src *ir.Loop, art *core.Artifact, ref *interp.Result, rerr error, refEngine bool) (*sim.Result, *obs.Recorder, error) {
 	cfg := art.MachineConfig()
 	cfg.DebugEdges = true
 	cfg.Reference = refEngine
+	rec := obs.NewRecorder()
+	cfg.Sink = rec
 	img := outline.BuildMemory(art.Loop)
 	m, err := sim.New(art.Compiled.Programs, img, cfg)
 	if err != nil {
-		return nil, &Mismatch{Kernel: src.Name, Stage: "run", Detail: err.Error()}
+		return nil, nil, &Mismatch{Kernel: src.Name, Stage: "run", Detail: err.Error()}
 	}
 	res, err := m.Run()
 	if rerr != nil {
 		// Ground truth trapped: the compiled code must trap too.
 		if err == nil {
-			return nil, &Mismatch{Kernel: src.Name, Stage: "run",
+			return nil, nil, &Mismatch{Kernel: src.Name, Stage: "run",
 				Detail: fmt.Sprintf("interpreter trapped (%v) but simulation completed", rerr)}
 		}
 		if !isTrap(err) {
-			return nil, &Mismatch{Kernel: src.Name, Stage: "run",
+			return nil, nil, &Mismatch{Kernel: src.Name, Stage: "run",
 				Detail: fmt.Sprintf("interpreter trapped (%v) but simulation failed differently: %v", rerr, err)}
 		}
-		return nil, nil
+		return nil, nil, nil
 	}
 	if err != nil {
-		return nil, &Mismatch{Kernel: src.Name, Stage: "run", Detail: err.Error()}
+		return nil, nil, &Mismatch{Kernel: src.Name, Stage: "run", Detail: err.Error()}
 	}
 	for _, arr := range src.Arrays {
 		if arr.K == ir.F64 {
 			got, want := img.SnapshotF(arr.Name), ref.ArraysF[arr.Name]
 			for i := range want {
 				if !sameF64(got[i], want[i]) {
-					return nil, &Mismatch{Kernel: src.Name, Stage: "memory",
+					return nil, nil, &Mismatch{Kernel: src.Name, Stage: "memory",
 						Detail: fmt.Sprintf("%s[%d] = %v, want %v", arr.Name, i, got[i], want[i])}
 				}
 			}
@@ -220,7 +267,7 @@ func checkRun(src *ir.Loop, art *core.Artifact, ref *interp.Result, rerr error, 
 			got, want := img.SnapshotI(arr.Name), ref.ArraysI[arr.Name]
 			for i := range want {
 				if got[i] != want[i] {
-					return nil, &Mismatch{Kernel: src.Name, Stage: "memory",
+					return nil, nil, &Mismatch{Kernel: src.Name, Stage: "memory",
 						Detail: fmt.Sprintf("%s[%d] = %d, want %d", arr.Name, i, got[i], want[i])}
 				}
 			}
@@ -229,20 +276,20 @@ func checkRun(src *ir.Loop, art *core.Artifact, ref *interp.Result, rerr error, 
 	for _, name := range src.LiveOut {
 		got, ok := res.LiveOut[name]
 		if !ok {
-			return nil, &Mismatch{Kernel: src.Name, Stage: "liveout",
+			return nil, nil, &Mismatch{Kernel: src.Name, Stage: "liveout",
 				Detail: fmt.Sprintf("%q missing from simulation result", name)}
 		}
 		want, ok := ref.Temps[name]
 		if !ok {
-			return nil, &Mismatch{Kernel: src.Name, Stage: "liveout",
+			return nil, nil, &Mismatch{Kernel: src.Name, Stage: "liveout",
 				Detail: fmt.Sprintf("%q missing from interpreter result", name)}
 		}
 		if !sameValue(got, want) {
-			return nil, &Mismatch{Kernel: src.Name, Stage: "liveout",
+			return nil, nil, &Mismatch{Kernel: src.Name, Stage: "liveout",
 				Detail: fmt.Sprintf("%q = %+v, want %+v", name, got, want)}
 		}
 	}
-	return res, nil
+	return res, rec, nil
 }
 
 // sameF64 is bit-exact float equality except that any NaN matches any NaN:

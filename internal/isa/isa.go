@@ -82,6 +82,20 @@ type Instr struct {
 	Tac   int32 // originating TAC instruction id (-1 none); profile mapping
 }
 
+// Mark annotates an instruction index with a region boundary for the
+// observability layer (internal/obs). An Enter mark fires when the
+// instruction at PC completes, opening region Region at that instruction's
+// start time; an Exit mark closes it. Exit marks placed on shared merge
+// points only fire when their region is actually open (the simulator keeps
+// a per-core region stack), so a then-region exit sitting on a join
+// instruction is ignored when control arrived via the else path.
+type Mark struct {
+	PC     int
+	Region int32
+	Enter  bool
+	Name   string
+}
+
 // Program is the code image for one core.
 type Program struct {
 	Core   int
@@ -92,6 +106,9 @@ type Program struct {
 	// RegName maps registers to temp names for disassembly and live-out
 	// extraction.
 	RegName map[Reg]string
+	// Marks lists region boundaries for observability, in the order they
+	// should fire when several share one PC.
+	Marks []Mark
 }
 
 // IsComm reports whether the opcode interacts with the hardware queues.
@@ -118,6 +135,12 @@ func (p *Program) CommPoints() []int {
 func (p *Program) Append(in Instr) int {
 	p.Instrs = append(p.Instrs, in)
 	return len(p.Instrs) - 1
+}
+
+// AddMark records a region boundary at an instruction index. Marks sharing
+// a PC fire in the order they were added.
+func (p *Program) AddMark(pc int, region int32, enter bool, name string) {
+	p.Marks = append(p.Marks, Mark{PC: pc, Region: region, Enter: enter, Name: name})
 }
 
 // Label annotates the next emitted instruction index with a name.

@@ -1,0 +1,295 @@
+// Package obs is the cycle-attribution observability subsystem: a typed,
+// allocation-conscious event stream emitted by both simulator engines, plus
+// the consumers that turn one simulation's stream into the paper's
+// evaluation artifacts — a per-core/per-queue stall-attribution report
+// (the analysis behind Figures 13–16), a Chrome trace-event / Perfetto
+// JSON export, and the legacy text trace.
+//
+// The simulator buffers events per core while it runs and delivers them to
+// the Sink in canonical order after the run: a stable sort by (Time, Core)
+// that preserves per-core emission order among ties. Because each core's
+// execution — and therefore its emission sequence — is bit-identical across
+// the burst and reference engines, the canonical stream is identical too,
+// which the determinism tests and the fuzz oracle enforce. A nil sink is
+// never consulted: the hot paths guard every emission behind one
+// predictable branch, so tracing costs nothing when off.
+package obs
+
+import (
+	"sort"
+
+	"fgp/internal/isa"
+)
+
+// Kind enumerates event types.
+type Kind uint8
+
+const (
+	// KRetire is one completed instruction: [Time, End) on core Core at PC.
+	KRetire Kind = iota
+	// KEnq is a value entering queue Queue at Time; Occ is the occupancy
+	// after the push and Seq the 0-based transfer sequence number.
+	KEnq
+	// KDeq is a value leaving queue Queue at Time (the moment the receiver
+	// obtains it); Occ is the occupancy after the pop, Seq the sequence
+	// number of the transfer (pairing it with its KEnq).
+	KDeq
+	// KStallBegin opens a stall window [Time, End) with cause Cause.
+	KStallBegin
+	// KStallEnd closes the most recent stall window of Cause on Core; its
+	// Time equals the matching KStallBegin's End.
+	KStallEnd
+	// KRegionEnter marks control entering outlined region Region at Time.
+	KRegionEnter
+	// KRegionExit marks control leaving outlined region Region at Time.
+	KRegionExit
+)
+
+var kindNames = [...]string{
+	KRetire: "retire", KEnq: "enq", KDeq: "deq",
+	KStallBegin: "stall-begin", KStallEnd: "stall-end",
+	KRegionEnter: "region-enter", KRegionExit: "region-exit",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "kind?"
+}
+
+// StallCause attributes a stall window to the hardware resource responsible.
+type StallCause uint8
+
+const (
+	// CauseNone marks non-stall events.
+	CauseNone StallCause = iota
+	// CauseDeqEmpty: a dequeue waiting on an empty queue or on the transfer
+	// latency of an in-flight value. Sums exactly to Result.DeqStalls.
+	CauseDeqEmpty
+	// CauseEnqFull: an enqueue blocked on a full queue until the receiver
+	// freed a slot. Sums exactly to Result.EnqStalls.
+	CauseEnqFull
+	// CauseL1Miss: the excess latency of an L1 load miss over an L1 hit
+	// (the raw memory penalty, after any port wait).
+	CauseL1Miss
+	// CauseMemPort: cycles a missing load waited for the shared memory
+	// port to accept it (miss-bandwidth serialization below the L1s).
+	CauseMemPort
+
+	// NumCauses bounds arrays indexed by StallCause.
+	NumCauses
+)
+
+var causeNames = [...]string{
+	CauseNone: "none", CauseDeqEmpty: "deq-empty", CauseEnqFull: "enq-full",
+	CauseL1Miss: "l1-miss", CauseMemPort: "mem-port",
+}
+
+func (c StallCause) String() string {
+	if int(c) < len(causeNames) {
+		return causeNames[c]
+	}
+	return "cause?"
+}
+
+// Event is one typed trace event. It is a flat value — no pointers, no
+// per-event allocation — so recording is a slice append.
+type Event struct {
+	Kind   Kind
+	Cause  StallCause
+	Op     uint8 // isa.Op of the retiring instruction (KRetire only)
+	Core   int16
+	PC     int32
+	Queue  int32 // queue id for KEnq/KDeq, else -1
+	Occ    int32 // queue occupancy after the operation (KEnq/KDeq)
+	Seq    int32 // transfer sequence number within the queue (KEnq/KDeq)
+	Region int32 // region id (KRegionEnter/KRegionExit)
+	Time   int64 // event time / window start
+	End    int64 // window end for KRetire and KStallBegin; == Time otherwise
+}
+
+// Mask declares which event kinds a sink consumes; producers may skip
+// emitting (and buffering) kinds outside the mask.
+type Mask uint8
+
+const (
+	MRetire Mask = 1 << iota
+	MQueue
+	MStall
+	MRegion
+
+	MAll = MRetire | MQueue | MStall | MRegion
+)
+
+// QueueMeta describes one hardware queue for consumers.
+type QueueMeta struct {
+	ID       int32
+	Src, Dst int
+	Class    string
+	Cap      int
+}
+
+// Meta is the machine context delivered to a sink before any event.
+type Meta struct {
+	Cores           int
+	TransferLatency int64
+	Queues          []QueueMeta
+	// RegionNames maps region ids appearing in KRegionEnter/KRegionExit
+	// events to display names.
+	RegionNames map[int32]string
+}
+
+// QueueByID returns the metadata for one queue id, or nil.
+func (m *Meta) QueueByID(id int32) *QueueMeta {
+	for i := range m.Queues {
+		if m.Queues[i].ID == id {
+			return &m.Queues[i]
+		}
+	}
+	return nil
+}
+
+// RegionName returns the display name of a region id.
+func (m *Meta) RegionName(r int32) string {
+	if n, ok := m.RegionNames[r]; ok {
+		return n
+	}
+	return "region " + itoa(int64(r))
+}
+
+// Sink receives one simulation's event stream.
+type Sink interface {
+	// Mask declares the event kinds this sink consumes.
+	Mask() Mask
+	// Begin delivers the machine metadata before the first event.
+	Begin(Meta)
+	// Emit delivers events in canonical order.
+	Emit(Event)
+	// Close flushes the sink after the last event and reports the first
+	// write error, if any.
+	Close() error
+}
+
+// Recorder is a Sink that retains the full stream in memory for the
+// report and Perfetto consumers.
+type Recorder struct {
+	Meta   Meta
+	Events []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Mask implements Sink: a recorder keeps everything.
+func (r *Recorder) Mask() Mask { return MAll }
+
+// Begin implements Sink.
+func (r *Recorder) Begin(m Meta) { r.Meta = m }
+
+// Emit implements Sink.
+func (r *Recorder) Emit(e Event) { r.Events = append(r.Events, e) }
+
+// Close implements Sink.
+func (r *Recorder) Close() error { return nil }
+
+// tee fans one stream out to several sinks.
+type tee struct{ sinks []Sink }
+
+// Tee returns a sink that forwards to every given sink; its mask is the
+// union, and each sink only receives the kinds it asked for.
+func Tee(sinks ...Sink) Sink { return &tee{sinks} }
+
+func (t *tee) Mask() Mask {
+	var m Mask
+	for _, s := range t.sinks {
+		m |= s.Mask()
+	}
+	return m
+}
+
+func (t *tee) Begin(m Meta) {
+	for _, s := range t.sinks {
+		s.Begin(m)
+	}
+}
+
+var kindMask = [...]Mask{
+	KRetire: MRetire, KEnq: MQueue, KDeq: MQueue,
+	KStallBegin: MStall, KStallEnd: MStall,
+	KRegionEnter: MRegion, KRegionExit: MRegion,
+}
+
+// KindMask returns the mask bit covering one event kind.
+func KindMask(k Kind) Mask { return kindMask[k] }
+
+func (t *tee) Emit(e Event) {
+	bit := KindMask(e.Kind)
+	for _, s := range t.sinks {
+		if s.Mask()&bit != 0 {
+			s.Emit(e)
+		}
+	}
+}
+
+func (t *tee) Close() error {
+	var first error
+	for _, s := range t.sinks {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Canonicalize stable-sorts events into the canonical delivery order:
+// by Time, then core id, preserving per-core emission order among ties.
+// The simulator calls it on the concatenated per-core buffers; consumers
+// that re-derive ordering from raw recordings can reuse it.
+func Canonicalize(events []Event) {
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Time != events[j].Time {
+			return events[i].Time < events[j].Time
+		}
+		return events[i].Core < events[j].Core
+	})
+}
+
+// SumStalls totals the stall windows per cause across all KStallBegin
+// events (windows carry their end, so KStallEnd events add nothing).
+func SumStalls(events []Event) [NumCauses]int64 {
+	var sums [NumCauses]int64
+	for i := range events {
+		if events[i].Kind == KStallBegin {
+			sums[events[i].Cause] += events[i].End - events[i].Time
+		}
+	}
+	return sums
+}
+
+// OpName renders an isa opcode byte.
+func OpName(op uint8) string { return isa.Op(op).String() }
+
+// itoa is a minimal integer formatter (avoids strconv in the hot-adjacent
+// paths; consumers needing full formatting use fmt).
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

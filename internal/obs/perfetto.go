@@ -1,0 +1,194 @@
+// Chrome trace-event / Perfetto export: one simulation's event stream as a
+// JSON trace loadable in ui.perfetto.dev (or chrome://tracing), with one
+// track per core, slices for instructions, stall windows and outlined
+// regions, flow arrows for every queue transfer (enqueue on the sender's
+// track to dequeue on the receiver's), and a counter track per queue's
+// occupancy. Timestamps are simulated cycles reported in the trace's
+// microsecond field — 1 cycle renders as 1 µs.
+
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// traceEvent is one entry of the trace-event JSON schema. Only the fields
+// a given phase uses are populated; the rest are omitted.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  *int64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+func dur(d int64) *int64 { return &d }
+
+// WritePerfetto renders the stream as trace-event JSON. Events must be in
+// canonical order (Recorder streams qualify).
+func WritePerfetto(w io.Writer, meta Meta, events []Event) error {
+	tf := traceFile{DisplayTimeUnit: "ms"}
+	add := func(e traceEvent) { tf.TraceEvents = append(tf.TraceEvents, e) }
+
+	add(traceEvent{Name: "process_name", Ph: "M", Pid: 0,
+		Args: map[string]any{"name": "fgp simulation"}})
+	for c := 0; c < meta.Cores; c++ {
+		add(traceEvent{Name: "thread_name", Ph: "M", Pid: 0, Tid: c,
+			Args: map[string]any{"name": fmt.Sprintf("core %d", c)}})
+		add(traceEvent{Name: "thread_sort_index", Ph: "M", Pid: 0, Tid: c,
+			Args: map[string]any{"sort_index": c}})
+	}
+
+	// Open region stack per core; unmatched enters close at the end of
+	// the trace.
+	type openRegion struct {
+		region int32
+		ts     int64
+	}
+	regions := make([][]openRegion, meta.Cores)
+	var last int64
+
+	for i := range events {
+		e := &events[i]
+		if e.End > last {
+			last = e.End
+		}
+		if e.Time > last {
+			last = e.Time
+		}
+		switch e.Kind {
+		case KRetire:
+			add(traceEvent{Name: OpName(e.Op), Cat: "instr", Ph: "X",
+				Ts: e.Time, Dur: dur(e.End - e.Time), Pid: 0, Tid: int(e.Core),
+				Args: map[string]any{"pc": e.PC}})
+		case KStallBegin:
+			add(traceEvent{Name: "stall: " + e.Cause.String(), Cat: "stall", Ph: "X",
+				Ts: e.Time, Dur: dur(e.End - e.Time), Pid: 0, Tid: int(e.Core)})
+		case KEnq:
+			qn := fmt.Sprintf("q%d", e.Queue)
+			id := fmt.Sprintf("q%d.%d", e.Queue, e.Seq)
+			add(traceEvent{Name: qn, Cat: "queue", Ph: "s",
+				Ts: e.Time, Pid: 0, Tid: int(e.Core), ID: id})
+			add(traceEvent{Name: qn + " occupancy", Cat: "queue", Ph: "C",
+				Ts: e.Time, Pid: 0, Args: map[string]any{"occ": e.Occ}})
+		case KDeq:
+			qn := fmt.Sprintf("q%d", e.Queue)
+			id := fmt.Sprintf("q%d.%d", e.Queue, e.Seq)
+			add(traceEvent{Name: qn, Cat: "queue", Ph: "f", BP: "e",
+				Ts: e.Time, Pid: 0, Tid: int(e.Core), ID: id})
+			add(traceEvent{Name: qn + " occupancy", Cat: "queue", Ph: "C",
+				Ts: e.Time, Pid: 0, Args: map[string]any{"occ": e.Occ}})
+		case KRegionEnter:
+			regions[e.Core] = append(regions[e.Core], openRegion{e.Region, e.Time})
+		case KRegionExit:
+			st := regions[e.Core]
+			if n := len(st); n > 0 && st[n-1].region == e.Region {
+				add(traceEvent{Name: meta.RegionName(e.Region), Cat: "region", Ph: "X",
+					Ts: st[n-1].ts, Dur: dur(e.Time - st[n-1].ts), Pid: 0, Tid: int(e.Core)})
+				regions[e.Core] = st[:n-1]
+			}
+		}
+	}
+	for core, st := range regions {
+		for _, o := range st {
+			add(traceEvent{Name: meta.RegionName(o.region), Cat: "region", Ph: "X",
+				Ts: o.ts, Dur: dur(last - o.ts), Pid: 0, Tid: core})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(&tf)
+}
+
+// ValidatePerfetto checks serialized trace JSON against the trace-event
+// schema: a non-empty traceEvents array whose entries carry the fields
+// their phase requires, with every queue-transfer flow 's' paired to
+// exactly one 'f'. The CLIs run it on every Perfetto export before the
+// file is reported written.
+func ValidatePerfetto(data []byte) error {
+	var tf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return fmt.Errorf("obs: trace is not valid JSON: %w", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		return fmt.Errorf("obs: trace has no traceEvents")
+	}
+	flows := map[string][2]int{} // id -> {starts, finishes}
+	for i, e := range tf.TraceEvents {
+		ph, _ := e["ph"].(string)
+		name, hasName := e["name"].(string)
+		if ph == "" {
+			return fmt.Errorf("obs: traceEvents[%d]: missing ph", i)
+		}
+		if !hasName || name == "" {
+			return fmt.Errorf("obs: traceEvents[%d]: missing name", i)
+		}
+		needNum := func(field string) error {
+			if _, ok := e[field].(float64); !ok {
+				return fmt.Errorf("obs: traceEvents[%d] (%s %q): missing numeric %s", i, ph, name, field)
+			}
+			return nil
+		}
+		switch ph {
+		case "M":
+			if _, ok := e["args"].(map[string]any); !ok {
+				return fmt.Errorf("obs: traceEvents[%d]: metadata event without args", i)
+			}
+		case "X":
+			for _, f := range []string{"ts", "dur", "pid", "tid"} {
+				if err := needNum(f); err != nil {
+					return err
+				}
+			}
+			if d := e["dur"].(float64); d < 0 {
+				return fmt.Errorf("obs: traceEvents[%d] (%q): negative dur %v", i, name, d)
+			}
+		case "C":
+			if err := needNum("ts"); err != nil {
+				return err
+			}
+			if _, ok := e["args"].(map[string]any); !ok {
+				return fmt.Errorf("obs: traceEvents[%d]: counter event without args", i)
+			}
+		case "s", "f":
+			for _, f := range []string{"ts", "pid", "tid"} {
+				if err := needNum(f); err != nil {
+					return err
+				}
+			}
+			id, ok := e["id"].(string)
+			if !ok || id == "" {
+				return fmt.Errorf("obs: traceEvents[%d]: flow event without id", i)
+			}
+			c := flows[id]
+			if ph == "s" {
+				c[0]++
+			} else {
+				c[1]++
+			}
+			flows[id] = c
+		default:
+			return fmt.Errorf("obs: traceEvents[%d]: unknown phase %q", i, ph)
+		}
+	}
+	for id, c := range flows {
+		if c[0] != 1 || c[1] != 1 {
+			return fmt.Errorf("obs: flow %s has %d starts and %d finishes (want 1 and 1)", id, c[0], c[1])
+		}
+	}
+	return nil
+}

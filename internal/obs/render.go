@@ -1,0 +1,42 @@
+// RenderTrace: the one switch behind every CLI's -trace-format flag.
+
+package obs
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// TraceFormats lists the formats RenderTrace accepts, for flag help text.
+const TraceFormats = "text, perfetto, report"
+
+// RenderTrace renders one recorded stream in a named format: "text" (the
+// legacy per-retire line format), "perfetto" (Chrome trace-event JSON,
+// validated against the schema before being returned), or "report" (the
+// stall-attribution table). Events must be in canonical order.
+func RenderTrace(format string, meta Meta, events []Event) ([]byte, error) {
+	var buf bytes.Buffer
+	switch format {
+	case "text":
+		t := NewText(&buf)
+		t.Begin(meta)
+		for _, e := range events {
+			t.Emit(e)
+		}
+		if err := t.Close(); err != nil {
+			return nil, err
+		}
+	case "perfetto":
+		if err := WritePerfetto(&buf, meta, events); err != nil {
+			return nil, err
+		}
+		if err := ValidatePerfetto(buf.Bytes()); err != nil {
+			return nil, fmt.Errorf("obs: perfetto export failed self-validation: %w", err)
+		}
+	case "report":
+		buf.WriteString(BuildReport(meta, events).Format())
+	default:
+		return nil, fmt.Errorf("obs: unknown trace format %q (want one of: %s)", format, TraceFormats)
+	}
+	return buf.Bytes(), nil
+}

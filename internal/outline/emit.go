@@ -294,12 +294,20 @@ func (e *emitter) emitBody() {
 	e.prog.Append(isa.Instr{Op: isa.Bin, BinOp: ir.Lt, K: ir.I64, Dst: cmpReg, A: iReg, B: endReg, Edge: -1, Tac: -1})
 	exitFjp := e.prog.Append(isa.Instr{Op: isa.Fjp, A: cmpReg, B: isa.NoReg, Dst: isa.NoReg, Edge: -1, Tac: -1})
 
+	// Region marks for the observability layer: each iteration of this
+	// partition's fiber is region 0 ("iter"), spanning the loop body and
+	// the latch. The exit mark on the loop head closes the previous
+	// iteration (a no-op on the first pass — the region stack is empty);
+	// the one on the loop exit closes the final iteration.
+	e.prog.AddMark(head, 0, false, "iter")
+	e.prog.AddMark(len(e.prog.Instrs), 0, true, "iter")
 	e.emitRegion(0)
 
 	e.prog.Append(isa.Instr{Op: isa.Bin, BinOp: ir.Add, K: ir.I64, Dst: iReg, A: iReg, B: stepReg, Edge: -1, Tac: -1})
 	e.prog.Append(isa.Instr{Op: isa.Jp, Tgt: int32(head), Dst: isa.NoReg, A: isa.NoReg, B: isa.NoReg, Edge: -1, Tac: -1})
 	e.prog.Instrs[exitFjp].Tgt = int32(len(e.prog.Instrs))
 	e.prog.Label("exit")
+	e.prog.AddMark(len(e.prog.Instrs), 0, false, "iter")
 
 	// Drain leftover primed tokens so the queues are clean for the
 	// epilogue protocol traffic.
@@ -339,18 +347,36 @@ func (e *emitter) emitRegion(region int) {
 			condReg := e.reg(it.cond)
 			fjp := e.prog.Append(isa.Instr{Op: isa.Fjp, A: condReg, B: isa.NoReg, Dst: isa.NoReg, Edge: -1, Tac: -1})
 			if it.thenRegion >= 0 {
-				e.emitRegion(it.thenRegion)
+				e.markedRegion(it.thenRegion, "then")
 			}
 			if it.elseRegion >= 0 {
 				jp := e.prog.Append(isa.Instr{Op: isa.Jp, Dst: isa.NoReg, A: isa.NoReg, B: isa.NoReg, Edge: -1, Tac: -1})
 				e.prog.Instrs[fjp].Tgt = int32(len(e.prog.Instrs))
-				e.emitRegion(it.elseRegion)
+				e.markedRegion(it.elseRegion, "else")
 				e.prog.Instrs[jp].Tgt = int32(len(e.prog.Instrs))
 			} else {
 				e.prog.Instrs[fjp].Tgt = int32(len(e.prog.Instrs))
 			}
 		}
 	}
+}
+
+// markedRegion emits a guarded region bracketed by observability marks.
+// The enter mark sits on the region's first instruction, the exit mark on
+// the first instruction after it — which for a then-without-else or an
+// else region is the branch's merge point, shared with the other path.
+// The simulator's region stack makes the exit fire only when this region
+// actually opened, so the mark is inert on the other path. Regions that
+// emit no instructions on this partition get no marks.
+func (e *emitter) markedRegion(region int, kind string) {
+	start := len(e.prog.Instrs)
+	e.emitRegion(region)
+	if len(e.prog.Instrs) == start {
+		return
+	}
+	name := fmt.Sprintf("%s#%d", kind, region)
+	e.prog.AddMark(start, int32(region), true, name)
+	e.prog.AddMark(len(e.prog.Instrs), int32(region), false, name)
 }
 
 func (e *emitter) emitInstr(in *tac.Instr) {

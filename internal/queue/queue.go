@@ -34,8 +34,13 @@ type Queue struct {
 	used bool
 
 	// Peak occupancy and transfer counts, for the evaluation's
-	// "queues actually used" metric and general stats.
+	// "queues actually used" metric and general stats. Transfers counts
+	// pushes and Pops counts pops, so Transfers-1 / Pops-1 are the
+	// sequence numbers of the most recent push / pop — the observability
+	// layer uses them to pair every dequeue with its enqueue (FIFO order
+	// makes the k-th pop receive the k-th push).
 	Transfers int64
+	Pops      int64
 	Peak      int
 }
 
@@ -96,6 +101,7 @@ func (q *Queue) Pop() Entry {
 		q.head = 0
 	}
 	q.n--
+	q.Pops++
 	return e
 }
 

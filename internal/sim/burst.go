@@ -300,6 +300,7 @@ func (m *Machine) runBurst() (*Result, error) {
 	if m.code == nil {
 		m.decode()
 	}
+	obsOn := m.sink != nil
 	var steps int64
 	for {
 		c := m.pickCore()
@@ -313,7 +314,11 @@ func (m *Machine) runBurst() (*Result, error) {
 		if c.pc < 0 || c.pc >= len(code) {
 			return nil, fmt.Errorf("sim: core %d pc %d t=%d: pc out of program (len %d)", c.id, c.pc, c.time, len(code))
 		}
-		if u := code[c.pc].u; u == uEnq || u == uDeq {
+		// With a sink attached every instruction takes the shared step
+		// path: retire, queue and stall events are emitted from one place,
+		// the streams match the reference engine by construction, and the
+		// burst fast path below stays free of instrumentation.
+		if u := code[c.pc].u; obsOn || u == uEnq || u == uDeq {
 			if err := m.step(c); err != nil {
 				return nil, fmt.Errorf("sim: core %d pc %d t=%d: %w", c.id, c.pc, c.time, err)
 			}
@@ -693,6 +698,7 @@ loop:
 						start = portFree
 					}
 					portFree = start + portCycles
+					m.portBusy += portCycles
 				}
 				lat = start - time + l1Miss
 			}
@@ -724,6 +730,7 @@ loop:
 						start = portFree
 					}
 					portFree = start + portCycles
+					m.portBusy += portCycles
 				}
 				lat = start - time + l1Miss
 			}

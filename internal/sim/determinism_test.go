@@ -16,6 +16,7 @@ import (
 
 	"fgp/internal/core"
 	"fgp/internal/kernels"
+	"fgp/internal/obs"
 	"fgp/internal/sim"
 )
 
@@ -55,6 +56,8 @@ func diffResults(t *testing.T, label string, burst, ref *sim.Result) {
 		{"LoadHits", burst.LoadHits, ref.LoadHits},
 		{"LoadMisses", burst.LoadMisses, ref.LoadMisses},
 		{"LiveOut", burst.LiveOut, ref.LiveOut},
+		{"QueueHighWater", burst.QueueHighWater, ref.QueueHighWater},
+		{"MemPortBusyCycles", burst.MemPortBusyCycles, ref.MemPortBusyCycles},
 	}
 	for _, c := range checks {
 		if !reflect.DeepEqual(c.got, c.want) {
@@ -134,6 +137,100 @@ func TestBurstMatchesReferenceConfigSweep(t *testing.T) {
 			burst, ref := runEngines(t, a, cfg)
 			diffResults(t, name, burst, ref)
 		})
+	}
+}
+
+// TestEventStreamMatchesAcrossEngines asserts the tentpole observability
+// guarantee: with a sink attached, the burst and reference engines deliver
+// the identical canonical event stream — every retire, queue operation,
+// stall window and region boundary, bit for bit — and still produce
+// identical Results.
+func TestEventStreamMatchesAcrossEngines(t *testing.T) {
+	for _, name := range []string{"sphot-1", "irs-1", "lammps-1", "umt2k-3"} {
+		for _, cores := range []int{2, 3, 4} {
+			name, cores := name, cores
+			t.Run(fmt.Sprintf("%s/%dcore", name, cores), func(t *testing.T) {
+				t.Parallel()
+				k, err := kernels.ByName(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				a, err := core.Compile(k.Build(), core.DefaultOptions(cores))
+				if err != nil {
+					t.Fatalf("compile: %v", err)
+				}
+				cfg := a.MachineConfig()
+				bRec, rRec := obs.NewRecorder(), obs.NewRecorder()
+
+				cfg.Reference = false
+				cfg.Sink = bRec
+				burst, err := a.Run(cfg)
+				if err != nil {
+					t.Fatalf("burst run: %v", err)
+				}
+				cfg.Reference = true
+				cfg.Sink = rRec
+				ref, err := a.Run(cfg)
+				if err != nil {
+					t.Fatalf("reference run: %v", err)
+				}
+				diffResults(t, name, burst, ref)
+
+				if !reflect.DeepEqual(bRec.Meta, rRec.Meta) {
+					t.Errorf("sink metadata diverges: burst %+v, reference %+v", bRec.Meta, rRec.Meta)
+				}
+				if len(bRec.Events) != len(rRec.Events) {
+					t.Fatalf("event counts diverge: burst %d, reference %d", len(bRec.Events), len(rRec.Events))
+				}
+				for i := range bRec.Events {
+					if bRec.Events[i] != rRec.Events[i] {
+						t.Fatalf("event %d diverges:\n  burst     %+v\n  reference %+v", i, bRec.Events[i], rRec.Events[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestStallAttributionSumsToAggregates asserts the metamorphic invariant
+// behind the stall report: per-cause stall windows, summed per core, equal
+// the simulator's aggregate EnqStalls/DeqStalls counters exactly, and the
+// mem-port windows sum to MemPortBusyCycles' wait share observed per core.
+func TestStallAttributionSumsToAggregates(t *testing.T) {
+	k, err := kernels.ByName("sphot-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Compile(k.Build(), core.DefaultOptions(3))
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	cfg := a.MachineConfig()
+	rec := obs.NewRecorder()
+	cfg.Sink = rec
+	res, err := a.Run(cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	perCore := make([][obs.NumCauses]int64, len(res.PerCoreCycles))
+	for _, e := range rec.Events {
+		if e.Kind == obs.KStallBegin {
+			perCore[e.Core][e.Cause] += e.End - e.Time
+		}
+	}
+	var enqTot, deqTot int64
+	for i := range perCore {
+		if got, want := perCore[i][obs.CauseDeqEmpty], res.DeqStalls[i]; got != want {
+			t.Errorf("core %d: deq-empty stall windows sum to %d, DeqStalls says %d", i, got, want)
+		}
+		if got, want := perCore[i][obs.CauseEnqFull], res.EnqStalls[i]; got != want {
+			t.Errorf("core %d: enq-full stall windows sum to %d, EnqStalls says %d", i, got, want)
+		}
+		enqTot += res.EnqStalls[i]
+		deqTot += res.DeqStalls[i]
+	}
+	if enqTot+deqTot == 0 {
+		t.Fatalf("degenerate test: sphot-1 at 3 cores has no queue stalls at all")
 	}
 }
 

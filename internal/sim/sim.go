@@ -25,6 +25,7 @@ import (
 	"fgp/internal/ir"
 	"fgp/internal/isa"
 	"fgp/internal/mem"
+	"fgp/internal/obs"
 	"fgp/internal/queue"
 )
 
@@ -55,12 +56,17 @@ type Config struct {
 	// MaxSteps bounds total executed instructions (runaway guard).
 	MaxSteps int64
 	// Trace, when non-nil, receives one line per completed instruction in
-	// deterministic execution order: "t=<start>..<end> core=<id> pc=<pc>
-	// <op>". Queue stalls show up as gaps between end and the next start.
-	// Tracing implies the reference engine (only the per-instruction
-	// scheduler has a global per-instruction order to report); the writes
-	// are buffered and flushed before Run returns.
+	// canonical event order: "t=<start>..<end> core=<id> pc=<pc> <op>".
+	// Queue stalls show up as gaps between end and the next start. It is a
+	// thin adapter over Sink (obs.NewText works under either engine); the
+	// writes are buffered and flushed before Run returns.
 	Trace io.Writer
+	// Sink, when non-nil, receives the typed observability event stream —
+	// instruction retires, queue operations, stall windows with causes,
+	// region markers — in canonical order after the run, identical between
+	// the burst and reference engines. A nil sink costs nothing: every
+	// emission hides behind one predictable branch.
+	Sink obs.Sink
 	// Reference forces the retained per-instruction scheduler: one global
 	// scheduling decision per executed instruction, exactly the seed
 	// implementation. The default engine executes each picked core in
@@ -112,6 +118,12 @@ type Result struct {
 	// LoadProfile maps TAC instruction id -> (total latency, count), when
 	// CollectProfile is set.
 	LoadProfile map[int32][2]int64
+	// QueueHighWater is each queue's peak occupancy, indexed by queue id
+	// (zero for absent or never-used queues).
+	QueueHighWater []int
+	// MemPortBusyCycles totals the cycles the shared memory port spent
+	// occupied serializing L1 misses (Config.MemPortCycles per miss).
+	MemPortBusyCycles int64
 }
 
 // ErrDeadlock is wrapped by the error returned when all unfinished cores
@@ -155,11 +167,25 @@ type Machine struct {
 	// Config.CollectProfile is set; dense because TAC ids are. result()
 	// converts it to the sparse LoadProfile map.
 	prof [][2]int64
-	// trace is the (buffered) destination for Config.Trace output.
-	trace io.Writer
+	// portBusy totals the cycles the memory port spent occupied.
+	portBusy int64
 	// code holds the predecoded programs the burst engine executes; built
 	// lazily on the first burst-mode Run.
 	code [][]dinstr
+
+	// Observability state (see internal/obs); all nil/false when no sink is
+	// attached, so the hot paths pay one branch. sink is the effective sink
+	// (Config.Sink plus the legacy Config.Trace adapter); obsBuf collects
+	// events per core in emission order, merged into canonical order and
+	// delivered after the run.
+	sink                                     obs.Sink
+	obsRetire, obsQueue, obsStall, obsRegion bool
+	obsBuf                                   [][]obs.Event
+	// marks indexes each core's region marks by pc; regionStack tracks the
+	// regions currently open on each core so an exit mark on a shared merge
+	// point only fires for the path that actually opened its region.
+	marks       []map[int][]isa.Mark
+	regionStack [][]int32
 }
 
 // New builds a machine for the given per-core programs. progs[i] runs on
@@ -215,25 +241,48 @@ func New(progs []*isa.Program, memory *mem.Memory, cfg Config) (*Machine, error)
 // burst engine (runBurst) executes each picked core in uninterrupted runs
 // of non-communicating instructions, and the reference engine
 // (runReference) re-enters the global scheduler after every instruction.
-// Config.Reference or a non-nil Config.Trace selects the latter.
+// Config.Reference selects the latter. Both engines feed Config.Sink and
+// Config.Trace, and produce the identical canonical event stream.
+//
+// On error (deadlock, runaway), the events emitted so far still reach the
+// sink, so a partial trace of the failing run survives.
 func (m *Machine) Run() (*Result, error) {
+	sink := m.cfg.Sink
+	var bw *bufio.Writer
 	if m.cfg.Trace != nil {
-		// The trace is defined as one line per instruction in global
-		// scheduler order, which only the reference engine materializes.
-		// Buffer the per-instruction writes; the seed wrote every line
-		// straight to the writer.
-		bw := bufio.NewWriterSize(m.cfg.Trace, 1<<16)
-		m.trace = bw
-		res, err := m.runReference()
-		if ferr := bw.Flush(); ferr != nil && err == nil {
-			return nil, fmt.Errorf("sim: flushing trace: %w", ferr)
+		// The legacy text trace is an adapter over the event stream. Buffer
+		// the per-line writes; the seed wrote every line straight through.
+		bw = bufio.NewWriterSize(m.cfg.Trace, 1<<16)
+		if text := obs.NewText(bw); sink != nil {
+			sink = obs.Tee(text, sink)
+		} else {
+			sink = text
 		}
-		return res, err
 	}
+	if sink != nil {
+		m.attachObs(sink)
+	}
+	var res *Result
+	var err error
 	if m.cfg.Reference {
-		return m.runReference()
+		res, err = m.runReference()
+	} else {
+		res, err = m.runBurst()
 	}
-	return m.runBurst()
+	if sink != nil {
+		if serr := m.drainObs(sink); serr != nil && err == nil {
+			err = fmt.Errorf("sim: event sink: %w", serr)
+		}
+		if bw != nil {
+			if ferr := bw.Flush(); ferr != nil && err == nil {
+				err = fmt.Errorf("sim: flushing trace: %w", ferr)
+			}
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // runReference is the retained per-instruction scheduler: the seed
@@ -248,13 +297,8 @@ func (m *Machine) runReference() (*Result, error) {
 			}
 			return nil, fmt.Errorf("%w\n%s", ErrDeadlock, m.dump())
 		}
-		prePC, preT := c.pc, c.time
 		if err := m.step(c); err != nil {
 			return nil, fmt.Errorf("sim: core %d pc %d t=%d: %w", c.id, c.pc, c.time, err)
-		}
-		if m.trace != nil && c.blocked == notBlocked && (c.pc != prePC || c.halted) {
-			in := &c.prog.Instrs[prePC]
-			fmt.Fprintf(m.trace, "t=%d..%d core=%d pc=%d %s\n", preT, c.time, c.id, prePC, in.Op)
 		}
 		steps++
 		if steps > m.cfg.MaxSteps {
@@ -293,7 +337,32 @@ func (m *Machine) coreByID(id int) *coreState {
 	return nil
 }
 
+// step executes one instruction on c, emitting the completion's
+// observability events when a sink is attached. The scheduler and the burst
+// engine's communication path both come through here, so queue, stall and
+// retire emission lives in one place. The wrapper is small enough to
+// inline, so the nil-sink path costs one predictable branch over calling
+// stepExec directly.
 func (m *Machine) step(c *coreState) error {
+	if m.sink != nil {
+		return m.stepObs(c)
+	}
+	return m.stepExec(c)
+}
+
+// stepObs is step's instrumented slow path: it brackets stepExec with the
+// retire-event bookkeeping.
+func (m *Machine) stepObs(c *coreState) error {
+	prePC, preT := c.pc, c.time
+	err := m.stepExec(c)
+	if err == nil && c.blocked == notBlocked && (c.pc != prePC || c.halted) {
+		m.evComplete(c.id, prePC, c.prog.Instrs[prePC].Op, preT, c.time)
+	}
+	return err
+}
+
+// stepExec executes one instruction on c.
+func (m *Machine) stepExec(c *coreState) error {
 	if c.pc < 0 || c.pc >= len(c.prog.Instrs) {
 		return fmt.Errorf("pc out of program (len %d)", len(c.prog.Instrs))
 	}
@@ -352,6 +421,11 @@ func (m *Machine) step(c *coreState) error {
 					start = m.memPortFree
 				}
 				m.memPortFree = start + m.cfg.MemPortCycles
+				m.portBusy += m.cfg.MemPortCycles
+			}
+			if m.obsStall {
+				m.evStall(c.id, obs.CauseMemPort, c.time, start)
+				m.evStall(c.id, obs.CauseL1Miss, start+t.L1Hit, start+t.L1Miss)
 			}
 			lat = start - c.time + t.L1Miss
 		}
@@ -385,6 +459,9 @@ func (m *Machine) step(c *coreState) error {
 			return nil // pc unchanged; retried after a dequeue frees a slot
 		}
 		q.Push(c.regs[in.A], c.time+m.cfg.TransferLatency, in.Edge)
+		if m.obsQueue {
+			m.evQueue(obs.KEnq, c.id, q, c.time)
+		}
 		c.time += t.Enq
 		// Wake the receiver if it is blocked waiting for this queue.
 		if dst := m.coreByID(q.Dst); dst != nil && dst.blocked == blockedEmpty && dst.blockQ == q {
@@ -411,8 +488,14 @@ func (m *Machine) step(c *coreState) error {
 			start = e.AvailAt
 		}
 		c.deqSt += start - c.time
-		if c.blockAt > 0 && c.blockAt < c.time {
-			// accounted through blockAt below
+		if m.obsStall {
+			// The deq-empty window covers both the blocked-on-empty wait and
+			// the visibility wait on the transfer latency — exactly what the
+			// deqSt counter accumulates.
+			m.evStall(c.id, obs.CauseDeqEmpty, c.time, start)
+		}
+		if m.obsQueue {
+			m.evQueue(obs.KDeq, c.id, q, start)
 		}
 		c.regs[in.Dst] = e.V
 		c.time = start + t.Deq
@@ -421,6 +504,12 @@ func (m *Machine) step(c *coreState) error {
 			src.blocked = notBlocked
 			src.blockQ = nil
 			src.enqSt += start - src.blockAt
+			if m.obsStall {
+				// The sender's enq-full window is known only now, at the
+				// wake; emit it into the sender's buffer (the canonical merge
+				// re-orders it by start time), matching enqSt exactly.
+				m.evStall(src.id, obs.CauseEnqFull, src.blockAt, start)
+			}
 			if src.time < start {
 				src.time = start
 			}
@@ -476,14 +565,17 @@ func (m *Machine) result() *Result {
 		r.LoadMisses += c.cache.Misses
 	}
 	pairs := map[[2]int]bool{}
-	for _, q := range m.queues {
+	r.QueueHighWater = make([]int, len(m.queues))
+	for i, q := range m.queues {
 		if q != nil && q.Used() {
 			r.QueuesUsed++
 			r.Transfers += q.Transfers
+			r.QueueHighWater[i] = q.Peak
 			pairs[[2]int{q.Src, q.Dst}] = true
 		}
 	}
 	r.PairsUsed = len(pairs)
+	r.MemPortBusyCycles = m.portBusy
 	// Extract live-out values from the primary core's named registers.
 	primary := m.cores[0]
 	if len(primary.prog.RegName) > 0 {
