@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -21,28 +22,42 @@ import (
 )
 
 func main() {
-	kernel := flag.String("kernel", "", "kernel name (see -list)")
-	cores := flag.Int("cores", 4, "number of cores to partition for")
-	dump := flag.String("dump", "report", "comma-separated dumps: ir, tac, fibers, parts, report, asm")
-	spec := flag.Bool("speculate", false, "enable control-flow speculation")
-	throughput := flag.Bool("throughput", false, "enable the DAG merge heuristic")
-	schedule := flag.Bool("schedule", false, "enable within-region scheduling")
-	list := flag.Bool("list", false, "list available kernels")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment made explicit, so tests can pin the
+// output of whole invocations against golden files.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fgpc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	kernel := fs.String("kernel", "", "kernel name (see -list)")
+	cores := fs.Int("cores", 4, "number of cores to partition for")
+	dump := fs.String("dump", "report", "comma-separated dumps: ir, tac, fibers, parts, report, asm")
+	spec := fs.Bool("speculate", false, "enable control-flow speculation")
+	throughput := fs.Bool("throughput", false, "enable the DAG merge heuristic")
+	schedule := fs.Bool("schedule", false, "enable within-region scheduling")
+	list := fs.Bool("list", false, "list available kernels")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "fgpc:", err)
+		return 1
+	}
 
 	if *list {
 		for _, k := range kernels.All() {
-			fmt.Printf("%-10s %-8s %5.1f%% of app time; paper 4-core speedup %.2f\n",
+			fmt.Fprintf(stdout, "%-10s %-8s %5.1f%% of app time; paper 4-core speedup %.2f\n",
 				k.Name, k.App, k.PctTime, k.PaperSpeedup)
 		}
-		return
+		return 0
 	}
 	if *kernel == "" {
-		fatal(fmt.Errorf("missing -kernel (use -list to see options)"))
+		return fail(fmt.Errorf("missing -kernel (use -list to see options)"))
 	}
 	k, err := kernels.ByName(*kernel)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	opt := core.DefaultOptions(*cores)
 	opt.Speculate = *spec
@@ -50,7 +65,7 @@ func main() {
 	opt.Schedule = *schedule
 	a, err := core.Compile(k.Build(), opt)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	wants := map[string]bool{}
@@ -58,40 +73,36 @@ func main() {
 		wants[strings.TrimSpace(d)] = true
 	}
 	if wants["ir"] {
-		fmt.Println(ir.Print(a.Loop))
+		fmt.Fprintln(stdout, ir.Print(a.Loop))
 	}
 	if wants["tac"] || wants["fibers"] {
-		fmt.Println(a.Fn.Dump())
+		fmt.Fprintln(stdout, a.Fn.Dump())
 	}
 	if wants["parts"] {
 		for pi, fibers := range a.Parts.Parts {
-			fmt.Printf("partition %d (cost %d): fibers %v\n", pi, a.Parts.Cost[pi], fibers)
+			fmt.Fprintf(stdout, "partition %d (cost %d): fibers %v\n", pi, a.Parts.Cost[pi], fibers)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	if wants["report"] {
 		r := a.Report
-		fmt.Printf("kernel         %s\n", r.Kernel)
-		fmt.Printf("cores          %d\n", r.Cores)
-		fmt.Printf("initial fibers %d\n", r.InitialFibers)
-		fmt.Printf("data deps      %d\n", r.DataDeps)
-		fmt.Printf("load balance   %.2f (compute ops per partition: %v)\n", r.LoadBalance, r.ComputeOps)
-		fmt.Printf("comm ops       %d (%d transfers/iteration)\n", r.CommOps, r.Transfers)
-		fmt.Printf("static queues  %d core pairs\n", r.StaticQueues)
-		fmt.Printf("merge steps    %d\n", r.MergeSteps)
+		fmt.Fprintf(stdout, "kernel         %s\n", r.Kernel)
+		fmt.Fprintf(stdout, "cores          %d\n", r.Cores)
+		fmt.Fprintf(stdout, "initial fibers %d\n", r.InitialFibers)
+		fmt.Fprintf(stdout, "data deps      %d\n", r.DataDeps)
+		fmt.Fprintf(stdout, "load balance   %.2f (compute ops per partition: %v)\n", r.LoadBalance, r.ComputeOps)
+		fmt.Fprintf(stdout, "comm ops       %d (%d transfers/iteration)\n", r.CommOps, r.Transfers)
+		fmt.Fprintf(stdout, "static queues  %d core pairs\n", r.StaticQueues)
+		fmt.Fprintf(stdout, "merge steps    %d\n", r.MergeSteps)
 		if r.SpeculatedIfs > 0 {
-			fmt.Printf("speculated ifs %d\n", r.SpeculatedIfs)
+			fmt.Fprintf(stdout, "speculated ifs %d\n", r.SpeculatedIfs)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	if wants["asm"] {
 		for _, p := range a.Compiled.Programs {
-			fmt.Println(p.Disasm())
+			fmt.Fprintln(stdout, p.Disasm())
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "fgpc:", err)
-	os.Exit(1)
+	return 0
 }

@@ -1,0 +1,94 @@
+// Command fgpd is the resident compile-and-simulate daemon: an HTTP/JSON
+// service that accepts IR kernels (or names of the built-in evaluation
+// kernels), compiles them through the full pipeline with a content-addressed
+// artifact cache, simulates them under admission control with per-request
+// deadlines, and reports cycles, speedup, stall attribution and traces.
+//
+// Usage:
+//
+//	fgpd -addr 127.0.0.1:8095
+//	curl -s localhost:8095/v1/run -d '{"kernel":"sphot-1","cores":3}'
+//	curl -s 'localhost:8095/v1/attribution?kernel=sphot-1&cores=1,3'
+//	curl -s localhost:8095/metrics
+//
+// SIGINT/SIGTERM drain the server gracefully: /healthz flips to 503, new
+// work is refused, and in-flight requests run to completion (bounded by
+// -drain-timeout).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fgp/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment made explicit for testing.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fgpd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8095", "listen address")
+	workers := fs.Int("workers", 0, "max concurrent compile/simulate requests (0 = one per CPU)")
+	queueDepth := fs.Int("queue-depth", 0, "max requests waiting for a worker before 429 (0 = 64)")
+	timeout := fs.Duration("timeout", 0, "per-request wall-clock budget (0 = 60s)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "fgpd:", err)
+		return 1
+	}
+
+	svc := service.New(service.Config{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		Timeout:    *timeout,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fail(err)
+	}
+	srv := &http.Server{
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Fprintf(stdout, "fgpd listening on http://%s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return fail(err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of draining
+	fmt.Fprintln(stdout, "fgpd: signal received, draining")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := svc.Drain(dctx); err != nil {
+		_ = srv.Close()
+		return fail(err)
+	}
+	if err := srv.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fail(err)
+	}
+	fmt.Fprintln(stdout, "fgpd: drained cleanly")
+	return 0
+}

@@ -17,8 +17,10 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"fgp/internal/core"
@@ -27,32 +29,46 @@ import (
 )
 
 func main() {
-	kernel := flag.String("kernel", "", "kernel name (fgpc -list shows options)")
-	cores := flag.Int("cores", 4, "number of cores")
-	latency := flag.Int64("latency", 5, "queue transfer latency in cycles")
-	queueLen := flag.Int("queue", 20, "queue length in slots")
-	spec := flag.Bool("speculate", false, "enable control-flow speculation")
-	verify := flag.Bool("verify", true, "check results against the reference interpreter")
-	trace := flag.Int("trace", 0, "print the first N simulated instructions as a timeline")
-	traceOut := flag.String("trace-out", "", "record the run's event stream and write it to this file")
-	traceFormat := flag.String("trace-format", "text", "format for -trace-out: "+obs.TraceFormats)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment made explicit, so tests can pin the
+// output of whole invocations against golden files.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fgprun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	kernel := fs.String("kernel", "", "kernel name (fgpc -list shows options)")
+	cores := fs.Int("cores", 4, "number of cores")
+	latency := fs.Int64("latency", 5, "queue transfer latency in cycles")
+	queueLen := fs.Int("queue", 20, "queue length in slots")
+	spec := fs.Bool("speculate", false, "enable control-flow speculation")
+	verify := fs.Bool("verify", true, "check results against the reference interpreter")
+	trace := fs.Int("trace", 0, "print the first N simulated instructions as a timeline")
+	traceOut := fs.String("trace-out", "", "record the run's event stream and write it to this file")
+	traceFormat := fs.String("trace-format", "text", "format for -trace-out: "+obs.TraceFormats)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "fgprun:", err)
+		return 1
+	}
 
 	if *kernel == "" {
-		fatal(fmt.Errorf("missing -kernel"))
+		return fail(fmt.Errorf("missing -kernel"))
 	}
 	k, err := kernels.ByName(*kernel)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	seq, err := core.CompileSequential(k.Build())
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	sres, err := seq.RunDefault()
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	opt := core.DefaultOptions(*cores)
@@ -64,7 +80,7 @@ func main() {
 	opt.Machine = &mc
 	par, err := core.Compile(k.Build(), opt)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	cfg := par.MachineConfig()
@@ -73,25 +89,25 @@ func main() {
 		tcfg := cfg
 		tcfg.Sink = rec
 		if _, err := par.Run(tcfg); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		data, err := obs.RenderTrace(*traceFormat, rec.Meta, rec.Events)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if err := os.WriteFile(*traceOut, data, 0o644); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Printf("trace             %s (%s, %d events)\n", *traceOut, *traceFormat, len(rec.Events))
+		fmt.Fprintf(stdout, "trace             %s (%s, %d events)\n", *traceOut, *traceFormat, len(rec.Events))
 	}
 	if *trace > 0 {
-		tw := &truncWriter{w: os.Stdout, limit: *trace}
+		tw := &truncWriter{w: stdout, limit: *trace}
 		tcfg := cfg
 		tcfg.Trace = tw
 		if _, err := par.Run(tcfg); err != nil && !tw.done() {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Println("--- end of trace ---")
+		fmt.Fprintln(stdout, "--- end of trace ---")
 	}
 	var pres = new(struct {
 		cycles    int64
@@ -104,37 +120,38 @@ func main() {
 	if *verify {
 		res, err := par.Verify(cfg)
 		if err != nil {
-			fatal(fmt.Errorf("verification failed: %w", err))
+			return fail(fmt.Errorf("verification failed: %w", err))
 		}
 		pres.cycles, pres.queues, pres.transfers = res.Cycles, res.PairsUsed, res.Transfers
 		pres.perCore, pres.enqStalls, pres.deqStalls = res.PerCoreCycles, res.EnqStalls, res.DeqStalls
-		fmt.Println("verification: parallel result bit-identical to the reference interpreter")
+		fmt.Fprintln(stdout, "verification: parallel result bit-identical to the reference interpreter")
 	} else {
 		res, err := par.Run(cfg)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		pres.cycles, pres.queues, pres.transfers = res.Cycles, res.PairsUsed, res.Transfers
 		pres.perCore, pres.enqStalls, pres.deqStalls = res.PerCoreCycles, res.EnqStalls, res.DeqStalls
 	}
 
-	fmt.Printf("kernel            %s (%s, %.1f%% of app time)\n", k.Name, k.App, k.PctTime)
-	fmt.Printf("machine           %d cores, queue length %d, transfer latency %d\n", *cores, *queueLen, *latency)
-	fmt.Printf("sequential        %d cycles\n", sres.Cycles)
-	fmt.Printf("parallel          %d cycles\n", pres.cycles)
-	fmt.Printf("speedup           %.2f (paper, 4 cores @ L=5: %.2f)\n",
+	fmt.Fprintf(stdout, "kernel            %s (%s, %.1f%% of app time)\n", k.Name, k.App, k.PctTime)
+	fmt.Fprintf(stdout, "machine           %d cores, queue length %d, transfer latency %d\n", *cores, *queueLen, *latency)
+	fmt.Fprintf(stdout, "sequential        %d cycles\n", sres.Cycles)
+	fmt.Fprintf(stdout, "parallel          %d cycles\n", pres.cycles)
+	fmt.Fprintf(stdout, "speedup           %.2f (paper, 4 cores @ L=5: %.2f)\n",
 		float64(sres.Cycles)/float64(pres.cycles), k.PaperSpeedup)
-	fmt.Printf("queue pairs used  %d\n", pres.queues)
-	fmt.Printf("queue transfers   %d\n", pres.transfers)
-	fmt.Printf("comm ops in loop  %d (%d transfers/iteration)\n", par.Report.CommOps, par.Report.Transfers)
-	fmt.Printf("load balance      %.2f\n", par.Report.LoadBalance)
-	fmt.Println("per-core timeline:")
+	fmt.Fprintf(stdout, "queue pairs used  %d\n", pres.queues)
+	fmt.Fprintf(stdout, "queue transfers   %d\n", pres.transfers)
+	fmt.Fprintf(stdout, "comm ops in loop  %d (%d transfers/iteration)\n", par.Report.CommOps, par.Report.Transfers)
+	fmt.Fprintf(stdout, "load balance      %.2f\n", par.Report.LoadBalance)
+	fmt.Fprintln(stdout, "per-core timeline:")
 	for c := range pres.perCore {
 		stalls := pres.enqStalls[c] + pres.deqStalls[c]
 		busy := pres.perCore[c] - stalls
-		fmt.Printf("  core %d: %8d cycles = %8d busy + %7d queue stall (%.0f%% utilized)\n",
+		fmt.Fprintf(stdout, "  core %d: %8d cycles = %8d busy + %7d queue stall (%.0f%% utilized)\n",
 			c, pres.perCore[c], busy, stalls, 100*float64(busy)/float64(max64(pres.perCore[c], 1)))
 	}
+	return 0
 }
 
 func max64(a, b int64) int64 {
@@ -144,27 +161,36 @@ func max64(a, b int64) int64 {
 	return b
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "fgprun:", err)
-	os.Exit(1)
-}
-
 // truncWriter forwards whole lines until the limit is reached, then drops
-// the rest (the simulation still runs to completion).
+// the rest (the simulation still runs to completion). The simulator hands
+// it buffered multi-line chunks, so it counts newlines, not Write calls.
 type truncWriter struct {
-	w     *os.File
+	w     io.Writer
 	limit int
 	lines int
 }
 
 func (t *truncWriter) Write(p []byte) (int, error) {
-	if t.lines < t.limit {
+	n := len(p)
+	for t.lines < t.limit && len(p) > 0 {
+		i := bytes.IndexByte(p, '\n')
+		if i < 0 {
+			// An unterminated tail: forward it, count it when its newline
+			// arrives in the next chunk... which never happens with the
+			// line-oriented trace writer, so just count it now.
+			t.lines++
+			if _, err := t.w.Write(p); err != nil {
+				return 0, err
+			}
+			return n, nil
+		}
 		t.lines++
-		if _, err := t.w.Write(p); err != nil {
+		if _, err := t.w.Write(p[:i+1]); err != nil {
 			return 0, err
 		}
+		p = p[i+1:]
 	}
-	return len(p), nil
+	return n, nil
 }
 
 func (t *truncWriter) done() bool { return t.lines >= t.limit }

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden pins got against testdata/name; -update rewrites the file.
+// The simulator and compiler are fully deterministic, so whole-invocation
+// output is stable byte-for-byte.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/... -update` to create golden files)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (re-run with -update if the change is intended)\n--- got ---\n%s--- want ---\n%s",
+			path, got, want)
+	}
+}
+
+// TestRunGolden pins the full fgprun output for one kernel per application
+// suite, verification enabled — so each run also re-checks the compiled
+// kernel against the reference interpreter.
+func TestRunGolden(t *testing.T) {
+	for _, kernel := range []string{"lammps-1", "irs-1", "umt2k-1", "sphot-1"} {
+		kernel := kernel
+		t.Run(kernel, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run([]string{"-kernel", kernel, "-cores", "4"}, &out, &errb); code != 0 {
+				t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+			}
+			if errb.Len() != 0 {
+				t.Errorf("unexpected stderr: %s", errb.String())
+			}
+			checkGolden(t, "golden_"+kernel+".txt", out.Bytes())
+		})
+	}
+}
+
+func TestRunBadInvocations(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // stderr substring
+		code int
+	}{
+		{"no kernel", nil, "missing -kernel", 1},
+		{"unknown kernel", []string{"-kernel", "nope-1"}, "nope-1", 1},
+		{"bad flag", []string{"-no-such-flag"}, "flag provided but not defined", 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(c.args, &out, &errb); code != c.code {
+				t.Fatalf("exit %d, want %d (stderr: %s)", code, c.code, errb.String())
+			}
+			if !strings.Contains(errb.String(), c.want) {
+				t.Errorf("stderr %q does not mention %q", errb.String(), c.want)
+			}
+		})
+	}
+}
+
+// TestRunTraceTruncation checks the -trace timeline respects its line limit.
+func TestRunTraceTruncation(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-kernel", "sphot-1", "-cores", "2", "-trace", "5", "-verify=false"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	s := out.String()
+	head := s[:strings.Index(s, "--- end of trace ---")]
+	if got := strings.Count(head, "\n"); got != 5 {
+		t.Errorf("trace printed %d lines, want 5", got)
+	}
+}

@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -122,6 +123,13 @@ type Artifact struct {
 
 // Compile runs the pipeline.
 func Compile(l *ir.Loop, opt Options) (*Artifact, error) {
+	return CompileContext(context.Background(), l, opt)
+}
+
+// CompileContext is Compile with cooperative cancellation: the profiling
+// simulation (the only unbounded-cost stage of the pipeline) aborts within
+// one burst horizon when ctx is cancelled, returning ctx.Err().
+func CompileContext(ctx context.Context, l *ir.Loop, opt Options) (*Artifact, error) {
 	if opt.Cores < 1 {
 		return nil, fmt.Errorf("core: cores must be >= 1")
 	}
@@ -175,7 +183,7 @@ func Compile(l *ir.Loop, opt Options) (*Artifact, error) {
 		if opt.Profile != nil {
 			prof = opt.Profile
 		} else {
-			prof, err = profileRun(fn, info, set, mc)
+			prof, err = profileRun(ctx, fn, info, set, mc)
 			if err != nil {
 				return nil, fmt.Errorf("core: profiling run failed: %w", err)
 			}
@@ -252,12 +260,12 @@ func ComputeProfile(l *ir.Loop, opt Options) (profile.Profile, error) {
 	if err != nil {
 		return nil, err
 	}
-	return profileRun(fn, info, set, mc)
+	return profileRun(context.Background(), fn, info, set, mc)
 }
 
 // profileRun compiles the loop for one core and simulates it collecting
 // per-load latencies.
-func profileRun(fn *tac.Fn, info *deps.Info, set *fiber.Set, mc sim.Config) (profile.Profile, error) {
+func profileRun(ctx context.Context, fn *tac.Fn, info *deps.Info, set *fiber.Set, mc sim.Config) (profile.Profile, error) {
 	parts := singlePartition(set)
 	compiled, err := outline.Generate(fn, info, parts, outline.Options{MachineCores: 1})
 	if err != nil {
@@ -270,7 +278,7 @@ func profileRun(fn *tac.Fn, info *deps.Info, set *fiber.Set, mc sim.Config) (pro
 	if err != nil {
 		return nil, err
 	}
-	res, err := m.Run()
+	res, err := m.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -337,11 +345,17 @@ func CompileSequential(l *ir.Loop) (*Artifact, error) {
 
 // Run simulates the artifact on a fresh memory image.
 func (a *Artifact) Run(cfg sim.Config) (*sim.Result, error) {
+	return a.RunContext(context.Background(), cfg)
+}
+
+// RunContext simulates the artifact on a fresh memory image, aborting
+// within one burst horizon with ctx.Err() when ctx is cancelled.
+func (a *Artifact) RunContext(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
 	m, err := sim.New(a.Compiled.Programs, outline.BuildMemory(a.Loop), cfg)
 	if err != nil {
 		return nil, err
 	}
-	return m.Run()
+	return m.RunContext(ctx)
 }
 
 // RunDefault simulates with the configuration captured at compile time.

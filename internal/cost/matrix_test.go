@@ -1,0 +1,154 @@
+// Exhaustive coverage of the latency table: every operator × kind
+// combination reachable from the IR constructors is pinned to its table
+// entry, and a reflection guard fails the build of any future Table field
+// that is not added to the coverage ledger below.
+
+package cost
+
+import (
+	"reflect"
+	"testing"
+
+	"fgp/internal/ir"
+)
+
+// allBinOps and allUnOps must track the enums in internal/ir/kind.go; the
+// String() fallback check below catches a drifted list.
+var allBinOps = []ir.BinOp{
+	ir.Add, ir.Sub, ir.Mul, ir.Div, ir.Rem, ir.Min, ir.Max,
+	ir.And, ir.Or, ir.Xor, ir.Shl, ir.Shr,
+	ir.Eq, ir.Ne, ir.Lt, ir.Le, ir.Gt, ir.Ge,
+}
+
+var allUnOps = []ir.UnOp{
+	ir.Neg, ir.Not, ir.Sqrt, ir.Exp, ir.Log, ir.Abs, ir.Floor, ir.CvtIF, ir.CvtFI,
+}
+
+func TestOpListsComplete(t *testing.T) {
+	// One past the last named constant must be unnamed in both enums.
+	if got := ir.BinOp(len(allBinOps)).String(); got != "bin(18)" {
+		t.Errorf("binary operator list out of date: op 18 prints %q", got)
+	}
+	if got := ir.UnOp(len(allUnOps)).String(); got != "un(9)" {
+		t.Errorf("unary operator list out of date: op 9 prints %q", got)
+	}
+	for i, op := range allBinOps {
+		if int(op) != i {
+			t.Fatalf("allBinOps[%d] = %s, not in enum order", i, op)
+		}
+	}
+	for i, op := range allUnOps {
+		if int(op) != i {
+			t.Fatalf("allUnOps[%d] = %s, not in enum order", i, op)
+		}
+	}
+}
+
+// TestBinMatrix pins Table.Bin for every operator on every kind the IR
+// constructors can produce (IntOnly operators reject F64 operands at
+// construction, so that corner is unreachable).
+func TestBinMatrix(t *testing.T) {
+	tab := Default()
+	intWant := func(op ir.BinOp) int64 {
+		switch op {
+		case ir.Mul:
+			return tab.IntMul
+		case ir.Div, ir.Rem:
+			return tab.IntDiv
+		default:
+			return tab.IntALU
+		}
+	}
+	floatWant := func(op ir.BinOp) int64 {
+		switch op {
+		case ir.Mul:
+			return tab.FMul
+		case ir.Div:
+			return tab.FDiv
+		default: // add/sub/min/max and all comparisons share the FP adder
+			return tab.FAdd
+		}
+	}
+	for _, op := range allBinOps {
+		if got, want := tab.Bin(op, ir.I64), intWant(op); got != want {
+			t.Errorf("Bin(%s, i64) = %d, want %d", op, got, want)
+		}
+		if op.IntOnly() {
+			continue
+		}
+		if got, want := tab.Bin(op, ir.F64), floatWant(op); got != want {
+			t.Errorf("Bin(%s, f64) = %d, want %d", op, got, want)
+		}
+	}
+}
+
+// TestUnMatrix pins Table.Un for every unary operator on its legal kinds.
+func TestUnMatrix(t *testing.T) {
+	tab := Default()
+	cases := []struct {
+		op   ir.UnOp
+		k    ir.Kind
+		want int64
+	}{
+		{ir.Neg, ir.F64, tab.FAdd},
+		{ir.Neg, ir.I64, tab.IntALU},
+		{ir.Not, ir.I64, tab.IntALU},
+		{ir.Sqrt, ir.F64, tab.FSqrt},
+		{ir.Exp, ir.F64, tab.FMath},
+		{ir.Log, ir.F64, tab.FMath},
+		{ir.Abs, ir.F64, tab.FAdd},
+		{ir.Abs, ir.I64, tab.IntALU},
+		{ir.Floor, ir.F64, tab.FAdd},
+		{ir.CvtIF, ir.I64, tab.Cvt},
+		{ir.CvtFI, ir.F64, tab.Cvt},
+	}
+	seen := map[ir.UnOp]bool{}
+	for _, c := range cases {
+		seen[c.op] = true
+		if got := tab.Un(c.op, c.k); got != c.want {
+			t.Errorf("Un(%s, %s) = %d, want %d", c.op, c.k, got, c.want)
+		}
+	}
+	for _, op := range allUnOps {
+		if !seen[op] {
+			t.Errorf("unary operator %s has no latency case", op)
+		}
+	}
+}
+
+// TestEveryTableEntryAccounted is the ledger: each field of Table must be
+// claimed either by the operator matrices above or by the simulator's
+// per-instruction charge test (internal/sim, TestChargesEveryTableEntry).
+// Adding a Table field without extending one of those tests fails here.
+func TestEveryTableEntryAccounted(t *testing.T) {
+	covered := map[string]string{
+		"IntALU": "cost.TestBinMatrix/TestUnMatrix",
+		"IntMul": "cost.TestBinMatrix",
+		"IntDiv": "cost.TestBinMatrix",
+		"FAdd":   "cost.TestBinMatrix/TestUnMatrix",
+		"FMul":   "cost.TestBinMatrix",
+		"FDiv":   "cost.TestBinMatrix",
+		"FSqrt":  "cost.TestUnMatrix",
+		"FMath":  "cost.TestUnMatrix",
+		"Cvt":    "cost.TestUnMatrix",
+		"Mov":    "sim.TestChargesEveryTableEntry",
+		"Const":  "sim.TestChargesEveryTableEntry",
+		"Branch": "sim.TestChargesEveryTableEntry",
+		"Store":  "sim.TestChargesEveryTableEntry",
+		"L1Hit":  "sim.TestChargesEveryTableEntry",
+		"L1Miss": "sim.TestChargesEveryTableEntry",
+		"Enq":    "sim.TestChargesEveryTableEntry",
+		"Deq":    "sim.TestChargesEveryTableEntry",
+	}
+	rt := reflect.TypeOf(Table{})
+	for i := 0; i < rt.NumField(); i++ {
+		name := rt.Field(i).Name
+		if covered[name] == "" {
+			t.Errorf("Table.%s has no latency coverage; extend the matrices or the sim charge test", name)
+		}
+		delete(covered, name)
+	}
+	for name := range covered {
+		t.Errorf("coverage ledger names %s, which is not a Table field", name)
+	}
+}

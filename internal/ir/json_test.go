@@ -1,0 +1,134 @@
+package ir
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// jsonTestLoop builds a loop exercising every node type the codec handles:
+// both array kinds, both scalar kinds, temp and element destinations,
+// conditionals with and without else, every expression form, and live-outs.
+func jsonTestLoop() *Loop {
+	b := NewBuilder("codec", "i", 0, 16, 2)
+	b.ArrayF("a", []float64{1, 2.5, -3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	b.ArrayI("idx", []int64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	b.ArrayF("o", make([]float64, 16))
+	s := b.ScalarF("scale", 1.5)
+	n := b.ScalarI("n", 16)
+	i := b.Idx()
+	x := b.Def("x", MulE(LDF("a", LDI("idx", i)), s))
+	c := b.Def("c", AndE(LtE(i, n), GtE(x, F(0))))
+	b.If(c, func() {
+		b.Def("y", SqrtE(AbsE(ExpE(NegE(b.T("x"))))))
+	}, func() {
+		b.Def("y", IToF(FToI(FloorE(LogE(AddE(AbsE(b.T("x")), F(1)))))))
+	})
+	b.If(NotE(b.T("c")), func() {
+		b.StoreI("idx", i, RemE(ShlE(i, I(1)), MaxE(n, I(1))))
+	}, nil)
+	b.Def("acc", MinE(b.T("y"), MaxE(b.T("y"), SubE(b.T("x"), DivE(b.T("y"), F(2))))))
+	b.Def("sel", EqE(NeE(i, I(3)), LeE(ShrE(i, I(1)), XorE(OrE(i, I(1)), I(2)))))
+	b.If(b.T("sel"), func() {
+		b.StoreF("o", i, b.T("acc"))
+	}, nil)
+	b.LiveOut("acc")
+	return b.MustBuild()
+}
+
+func TestLoopJSONRoundTrip(t *testing.T) {
+	l := jsonTestLoop()
+	data, err := MarshalLoop(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalLoop(data)
+	if err != nil {
+		t.Fatalf("decode: %v\n%s", err, data)
+	}
+	if got, want := Print(back), Print(l); got != want {
+		t.Errorf("round-trip changed the loop:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// The decoded loop must re-encode to the identical bytes: the encoding
+	// is the content-address of the service's compile cache.
+	data2, err := MarshalLoop(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Error("re-encoding a decoded loop changed the bytes; the encoding is not canonical")
+	}
+	// Array and scalar data must survive exactly.
+	if back.Arrays[0].InitF[1] != 2.5 || back.Arrays[1].InitI[3] != 3 {
+		t.Error("array init data corrupted")
+	}
+	sc, ok := back.Scalar("scale")
+	if !ok || sc.F != 1.5 {
+		t.Errorf("scalar scale = %+v, want 1.5", sc)
+	}
+}
+
+func TestLoopJSONDeterministic(t *testing.T) {
+	a, err := MarshalLoop(jsonTestLoop())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MarshalLoop(jsonTestLoop())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("two marshals of the same loop differ")
+	}
+}
+
+func TestLoopJSONRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{"not json", `{`, "decoding"},
+		{"no name", `{"index":"i","start":0,"end":4,"step":1,"body":[]}`, "no name"},
+		{"no index", `{"name":"x","start":0,"end":4,"step":1,"body":[]}`, "no index"},
+		{"bad step", `{"name":"x","index":"i","start":0,"end":4,"step":0,"body":[]}`, "step"},
+		{"bad kind", `{"name":"x","index":"i","start":0,"end":4,"step":1,
+			"arrays":[{"name":"a","kind":"f32","f64":[1]}],"body":[]}`, "unknown kind"},
+		{"kind/data mismatch", `{"name":"x","index":"i","start":0,"end":4,"step":1,
+			"arrays":[{"name":"a","kind":"i64","f64":[1]}],"body":[]}`, "no i64 data"},
+		{"empty expr", `{"name":"x","index":"i","start":0,"end":4,"step":1,
+			"body":[{"line":1,"assign":{"temp":"t","kind":"f64","expr":{}}}]}`, "exactly one"},
+		{"double-tag expr", `{"name":"x","index":"i","start":0,"end":4,"step":1,
+			"body":[{"line":1,"assign":{"temp":"t","kind":"f64","expr":{"f64":1,"i64":2}}}]}`, "exactly one"},
+		{"bad binop", `{"name":"x","index":"i","start":0,"end":4,"step":1,
+			"body":[{"line":1,"assign":{"temp":"t","kind":"i64","expr":{"bin":{"op":"pow","l":{"i64":1},"r":{"i64":2}}}}}]}`, "unknown binary"},
+		{"bin kind mismatch", `{"name":"x","index":"i","start":0,"end":4,"step":1,
+			"body":[{"line":1,"assign":{"temp":"t","kind":"f64","expr":{"bin":{"op":"add","l":{"f64":1},"r":{"i64":2}}}}}]}`, "kinds differ"},
+		{"int-only op on floats", `{"name":"x","index":"i","start":0,"end":4,"step":1,
+			"body":[{"line":1,"assign":{"temp":"t","kind":"f64","expr":{"bin":{"op":"xor","l":{"f64":1},"r":{"f64":2}}}}}]}`, "requires i64"},
+		{"sqrt of int", `{"name":"x","index":"i","start":0,"end":4,"step":1,
+			"body":[{"line":1,"assign":{"temp":"t","kind":"f64","expr":{"un":{"op":"sqrt","x":{"i64":2}}}}}]}`, "requires an f64"},
+		{"assign kind mismatch", `{"name":"x","index":"i","start":0,"end":4,"step":1,
+			"body":[{"line":1,"assign":{"temp":"t","kind":"i64","expr":{"f64":1}}}]}`, "kind"},
+		{"float load index", `{"name":"x","index":"i","start":0,"end":4,"step":1,
+			"arrays":[{"name":"a","kind":"f64","f64":[1,2,3,4]}],
+			"body":[{"line":1,"assign":{"temp":"t","kind":"f64","expr":{"load":{"array":"a","kind":"f64","index":{"f64":0}}}}}]}`, "want i64"},
+		{"stmt with both forms", `{"name":"x","index":"i","start":0,"end":4,"step":1,
+			"body":[{"line":1,"assign":{"temp":"t","kind":"i64","expr":{"i64":1}},"if":{"cond":{"i64":1}}}]}`, "exactly one"},
+		{"use before def", `{"name":"x","index":"i","start":0,"end":4,"step":1,
+			"body":[{"line":1,"assign":{"temp":"t","kind":"f64","expr":{"temp":"u","kind":"f64"}}}]}`, "before definition"},
+		{"undeclared array", `{"name":"x","index":"i","start":0,"end":4,"step":1,
+			"body":[{"line":1,"assign":{"array":"o","kind":"f64","index":{"temp":"i","kind":"i64"},"expr":{"f64":1}}}]}`, "undeclared array"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := UnmarshalLoop([]byte(c.body))
+			if err == nil {
+				t.Fatalf("decode accepted bad input %q", c.name)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}

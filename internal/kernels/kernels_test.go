@@ -62,6 +62,38 @@ func TestKernelsDeterministicBuild(t *testing.T) {
 	}
 }
 
+// TestKernelsJSONRoundTrip pushes every built-in kernel through the JSON
+// wire codec (the fgpd request format and compile-cache content-address):
+// decode(encode(k)) must print identically, and re-encoding the decoded
+// loop must reproduce the exact bytes (the canonical-encoding property the
+// cache key depends on).
+func TestKernelsJSONRoundTrip(t *testing.T) {
+	for _, k := range All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			l := k.Build()
+			data, err := ir.MarshalLoop(l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := ir.UnmarshalLoop(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ir.Print(back) != ir.Print(l) {
+				t.Fatal("round-trip changed the loop")
+			}
+			data2, err := ir.MarshalLoop(back)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(data) != string(data2) {
+				t.Fatal("re-encoding a decoded kernel changed the bytes")
+			}
+		})
+	}
+}
+
 // TestKernelsCompileAndVerify is the central correctness gate: every kernel
 // compiled for 1, 2 and 4 cores must produce a memory image and live-outs
 // bit-identical to the reference interpreter, with queue-edge verification

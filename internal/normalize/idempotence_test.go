@@ -1,0 +1,35 @@
+package normalize
+
+import (
+	"testing"
+
+	"fgp/internal/ir"
+	"fgp/internal/kernels"
+)
+
+// TestNormalizeIdempotent: a second application of the tree-splitting pass
+// at the same bound must be the identity, on every built-in kernel and at
+// every bound the ablations use. A non-idempotent normalizer would make
+// the service's content-addressed cache key unstable for pre-normalized
+// inputs and re-split already-minimal statements.
+func TestNormalizeIdempotent(t *testing.T) {
+	for _, k := range kernels.All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			for _, maxOps := range []int{1, 2, 3, 5, 8} {
+				once, _ := Apply(k.Build(), maxOps)
+				if err := ir.Validate(once); err != nil {
+					t.Fatalf("maxOps=%d: first pass produced invalid IR: %v", maxOps, err)
+				}
+				twice, res := Apply(once, maxOps)
+				if res.Extracted != 0 {
+					t.Errorf("maxOps=%d: second pass extracted %d statements, want 0", maxOps, res.Extracted)
+				}
+				if got, want := ir.Print(twice), ir.Print(once); got != want {
+					t.Errorf("maxOps=%d: normalize(normalize(l)) != normalize(l)\n--- twice ---\n%s--- once ---\n%s",
+						maxOps, got, want)
+				}
+			}
+		})
+	}
+}

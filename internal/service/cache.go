@@ -1,0 +1,129 @@
+// The compile cache: compiled artifacts and sequential baselines are
+// content-addressed by sha256 of the kernel's canonical JSON encoding plus
+// the pipeline configuration, with singleflight de-duplication so N
+// concurrent requests for one (kernel, pipeline) pair compile it once and
+// share the artifact. Artifacts are immutable after compilation (every
+// simulation builds a fresh memory image), so sharing is safe.
+
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+)
+
+// pipelineKey is the part of the content address that is not the kernel
+// itself: every compiler and machine option that changes the artifact.
+// Simulation-engine selection (burst vs reference) is deliberately absent —
+// the engines are bit-identical, so both serve from one artifact.
+type pipelineKey struct {
+	Cores           int   `json:"cores"`
+	QueueLen        int   `json:"queue_len"`
+	TransferLatency int64 `json:"transfer_latency"`
+	Speculate       bool  `json:"speculate"`
+	NormalizeOps    int   `json:"normalize_ops"`
+	Schedule        bool  `json:"schedule"`
+	Sequential      bool  `json:"sequential"`
+}
+
+// contentAddress hashes the canonical loop bytes together with the pipeline
+// configuration. Loops that print differently but encode identically are
+// the same kernel; loops authored identically always encode identically
+// (MarshalLoop is canonical — pinned by the codec round-trip tests).
+func contentAddress(loopBytes []byte, pk pipelineKey) string {
+	h := sha256.New()
+	cfg, _ := json.Marshal(pk) // fixed struct, cannot fail
+	h.Write(cfg)
+	h.Write([]byte{0})
+	h.Write(loopBytes)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+const cacheShards = 16
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	done chan struct{} // closed once val/err are set
+	val  any
+	err  error
+}
+
+// compileCache is the singleflight content-addressed store. The first
+// requester of a key runs fill; everyone else blocks on the entry (or their
+// own context) and shares the outcome. Entries whose fill failed with a
+// context error are evicted rather than cached, so a timeout never poisons
+// the key for later, luckier requests.
+type compileCache struct {
+	shards       [cacheShards]cacheShard
+	hits, misses atomic.Int64
+}
+
+func newCompileCache() *compileCache {
+	c := &compileCache{}
+	for i := range c.shards {
+		c.shards[i].m = map[string]*cacheEntry{}
+	}
+	return c
+}
+
+func (c *compileCache) shardOf(key string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum32()%cacheShards]
+}
+
+// do returns the cached value for key, filling it via fill on first use.
+// hit reports whether an entry already existed (i.e. this request did not
+// pay for the fill itself). Waiters give up when ctx expires without
+// disturbing the fill in progress.
+func (c *compileCache) do(ctx context.Context, key string, fill func() (any, error)) (val any, hit bool, err error) {
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	e, ok := sh.m[key]
+	if !ok {
+		e = &cacheEntry{done: make(chan struct{})}
+		sh.m[key] = e
+		sh.mu.Unlock()
+		c.misses.Add(1)
+		e.val, e.err = fill()
+		if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+			sh.mu.Lock()
+			if sh.m[key] == e {
+				delete(sh.m, key)
+			}
+			sh.mu.Unlock()
+		}
+		close(e.done)
+		return e.val, false, e.err
+	}
+	sh.mu.Unlock()
+	c.hits.Add(1)
+	select {
+	case <-e.done:
+		return e.val, true, e.err
+	case <-ctx.Done():
+		return nil, true, fmt.Errorf("service: abandoned wait for in-flight compile: %w", ctx.Err())
+	}
+}
+
+func (c *compileCache) entries() int64 {
+	var n int64
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += int64(len(sh.m))
+		sh.mu.Unlock()
+	}
+	return n
+}

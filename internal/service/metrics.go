@@ -1,0 +1,70 @@
+// Request counters and the latency reservoir behind /metrics.
+
+package service
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type metrics struct {
+	requests atomic.Int64 // everything that passed the draining gate
+	rejected atomic.Int64 // shed with 429 (queue full)
+	canceled atomic.Int64 // client gone or deadline passed mid-request
+	errors   atomic.Int64 // 4xx/5xx from validation, compile, or simulate
+	lat      latencyReservoir
+}
+
+// latencyWindow is how many recent request durations the p50/p99 estimates
+// are computed over.
+const latencyWindow = 1024
+
+// latencyReservoir keeps the last latencyWindow request durations in a
+// ring. Quantiles are computed on demand from a sorted copy — /metrics is
+// low-rate, requests are not, so the observe path stays O(1).
+type latencyReservoir struct {
+	mu    sync.Mutex
+	buf   [latencyWindow]time.Duration
+	next  int
+	total int64
+}
+
+func (r *latencyReservoir) observe(d time.Duration) {
+	r.mu.Lock()
+	r.buf[r.next] = d
+	r.next = (r.next + 1) % latencyWindow
+	r.total++
+	r.mu.Unlock()
+}
+
+// quantiles returns p50 and p99 over the current window, the lifetime
+// observation count, and the window size.
+func (r *latencyReservoir) quantiles() (p50, p99 time.Duration, count int64, window int) {
+	r.mu.Lock()
+	n := int(r.total)
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	sorted := make([]time.Duration, n)
+	copy(sorted, r.buf[:n])
+	count = r.total
+	r.mu.Unlock()
+	if n == 0 {
+		return 0, 0, count, latencyWindow
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	// Nearest-rank on the window.
+	rank := func(q float64) time.Duration {
+		i := int(q*float64(n)+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		return sorted[i]
+	}
+	return rank(0.50), rank(0.99), count, latencyWindow
+}

@@ -1,0 +1,355 @@
+// The request handlers: /v1/run (compile + simulate one kernel),
+// /v1/kernels (the built-in catalog), and /v1/attribution (the stall
+// report, byte-identical to the fgprun golden text).
+
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"fgp/internal/core"
+	"fgp/internal/experiments"
+	"fgp/internal/ir"
+	"fgp/internal/kernels"
+	"fgp/internal/obs"
+	"fgp/internal/sim"
+)
+
+// RunRequest is the /v1/run body. Exactly one of Kernel (a built-in
+// evaluation kernel name, see /v1/kernels) or IR (a loop in the
+// ir.MarshalLoop wire encoding) selects what to compile.
+type RunRequest struct {
+	Kernel string          `json:"kernel,omitempty"`
+	IR     json.RawMessage `json:"ir,omitempty"`
+
+	// Pipeline and machine configuration (zero = paper defaults).
+	Cores           int   `json:"cores,omitempty"`
+	QueueLen        int   `json:"queue_len,omitempty"`
+	TransferLatency int64 `json:"transfer_latency,omitempty"`
+	Speculate       bool  `json:"speculate,omitempty"`
+	NormalizeOps    int   `json:"normalize_ops,omitempty"`
+	Schedule        bool  `json:"schedule,omitempty"`
+
+	// Reference routes the simulation through the retained per-instruction
+	// engine instead of the burst engine (bit-identical results).
+	Reference bool `json:"reference,omitempty"`
+	// Attribution includes the stall-attribution report text.
+	Attribution bool `json:"attribution,omitempty"`
+	// Trace includes a rendered trace: "perfetto", "text", or "report".
+	Trace string `json:"trace,omitempty"`
+	// TimeoutMs tightens (never extends) the server's per-request budget.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// RunResponse is the /v1/run result.
+type RunResponse struct {
+	Kernel    string  `json:"kernel"`
+	Cores     int     `json:"cores"`
+	Cycles    int64   `json:"cycles"`
+	SeqCycles int64   `json:"seq_cycles"`
+	Speedup   float64 `json:"speedup"`
+
+	PerCoreCycles     []int64 `json:"per_core_cycles"`
+	EnqStalls         []int64 `json:"enq_stalls"`
+	DeqStalls         []int64 `json:"deq_stalls"`
+	Transfers         int64   `json:"transfers"`
+	PairsUsed         int     `json:"pairs_used"`
+	LoadHits          int64   `json:"load_hits"`
+	LoadMisses        int64   `json:"load_misses"`
+	MemPortBusyCycles int64   `json:"mem_port_busy_cycles"`
+
+	// CachedArtifact reports whether the compiled artifact was served from
+	// the content-addressed cache (the simulation always runs fresh).
+	CachedArtifact bool    `json:"cached_artifact"`
+	CompileMs      float64 `json:"compile_ms"`
+	SimMs          float64 `json:"sim_ms"`
+
+	Attribution string          `json:"attribution,omitempty"`
+	Trace       json.RawMessage `json:"trace,omitempty"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req RunRequest
+	if err := dec.Decode(&req); err != nil {
+		s.met.errors.Add(1)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		httpError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return
+	}
+	s.admit(w, r, time.Duration(req.TimeoutMs)*time.Millisecond, func(ctx context.Context) {
+		s.run(ctx, w, &req)
+	})
+}
+
+// run executes one admitted request: resolve the kernel, fetch or fill the
+// cached sequential baseline and artifact, simulate under the request
+// context, and render the response.
+func (s *Server) run(ctx context.Context, w http.ResponseWriter, req *RunRequest) {
+	fail := func(status int, msg string) {
+		s.met.errors.Add(1)
+		httpError(w, status, msg)
+	}
+
+	// Resolve the loop.
+	var loop *ir.Loop
+	switch {
+	case req.Kernel != "" && len(req.IR) > 0:
+		fail(http.StatusBadRequest, "request names a kernel and carries inline ir; send exactly one")
+		return
+	case req.Kernel != "":
+		k, err := kernels.ByName(req.Kernel)
+		if err != nil {
+			fail(http.StatusNotFound, err.Error())
+			return
+		}
+		loop = k.Build()
+	case len(req.IR) > 0:
+		var err error
+		loop, err = ir.UnmarshalLoop(req.IR)
+		if err != nil {
+			fail(http.StatusBadRequest, "ir: "+err.Error())
+			return
+		}
+	default:
+		fail(http.StatusBadRequest, "request must name a kernel or carry inline ir")
+		return
+	}
+
+	// Bound the machine parameters.
+	cores := req.Cores
+	if cores == 0 {
+		cores = 4
+	}
+	if cores < 1 || cores > s.cfg.MaxCores {
+		fail(http.StatusBadRequest, fmt.Sprintf("cores must be in [1, %d]", s.cfg.MaxCores))
+		return
+	}
+	if req.QueueLen < 0 || req.QueueLen > 1<<12 {
+		fail(http.StatusBadRequest, "queue_len must be in [1, 4096] (0 = default)")
+		return
+	}
+	if req.TransferLatency < 0 || req.TransferLatency > 1<<20 {
+		fail(http.StatusBadRequest, "transfer_latency must be in [0, 1048576]")
+		return
+	}
+	if req.NormalizeOps < 0 || req.NormalizeOps > 64 {
+		fail(http.StatusBadRequest, "normalize_ops must be in [0, 64]")
+		return
+	}
+
+	loopBytes, err := ir.MarshalLoop(loop)
+	if err != nil {
+		fail(http.StatusInternalServerError, "canonicalizing ir: "+err.Error())
+		return
+	}
+
+	pk := pipelineKey{
+		Cores:           cores,
+		QueueLen:        req.QueueLen,
+		TransferLatency: req.TransferLatency,
+		Speculate:       req.Speculate,
+		NormalizeOps:    req.NormalizeOps,
+		Schedule:        req.Schedule,
+	}
+
+	// Cache fills run on a detached context bounded by the server budget:
+	// other requests may be waiting on the same fill, so one client's
+	// disconnect must not abort (or poison) the shared compile. The
+	// per-request simulation below runs under the request context proper.
+	fillCtx := func() (context.Context, context.CancelFunc) {
+		return context.WithTimeout(context.Background(), s.cfg.Timeout)
+	}
+
+	compileStart := time.Now()
+
+	// Sequential baseline, cached per kernel (configuration-independent).
+	seqVal, _, err := s.cache.do(ctx, "seq:"+contentAddress(loopBytes, pipelineKey{Sequential: true}), func() (any, error) {
+		fctx, cancel := fillCtx()
+		defer cancel()
+		a, err := core.CompileSequential(loop)
+		if err != nil {
+			return nil, err
+		}
+		res, err := a.RunContext(fctx, a.MachineConfig())
+		if err != nil {
+			return nil, err
+		}
+		return res.Cycles, nil
+	})
+	if err != nil {
+		s.failRun(w, "sequential baseline", err)
+		return
+	}
+	seqCycles := seqVal.(int64)
+
+	// The compiled artifact, content-addressed and singleflighted.
+	artVal, hit, err := s.cache.do(ctx, "art:"+contentAddress(loopBytes, pk), func() (any, error) {
+		fctx, cancel := fillCtx()
+		defer cancel()
+		opt := core.DefaultOptions(cores)
+		opt.Speculate = req.Speculate
+		opt.NormalizeOps = req.NormalizeOps
+		opt.Schedule = req.Schedule
+		if req.QueueLen > 0 || req.TransferLatency > 0 {
+			mc := sim.DefaultConfig(cores)
+			if req.QueueLen > 0 {
+				mc.QueueLen = req.QueueLen
+			}
+			if req.TransferLatency > 0 {
+				mc.TransferLatency = req.TransferLatency
+			}
+			opt.Machine = &mc
+		}
+		return core.CompileContext(fctx, loop, opt)
+	})
+	if err != nil {
+		s.failRun(w, "compile", err)
+		return
+	}
+	art := artVal.(*core.Artifact)
+	compileMs := float64(time.Since(compileStart)) / float64(time.Millisecond)
+
+	// Simulate under the request context: a client disconnect or deadline
+	// aborts within one burst horizon (sim.RunContext).
+	cfg := art.MachineConfig()
+	cfg.Reference = req.Reference
+	var rec *obs.Recorder
+	if req.Attribution || req.Trace != "" {
+		rec = obs.NewRecorder()
+		cfg.Sink = rec
+	}
+	simStart := time.Now()
+	res, err := art.RunContext(ctx, cfg)
+	if err != nil {
+		s.failRun(w, "simulate", err)
+		return
+	}
+	simMs := float64(time.Since(simStart)) / float64(time.Millisecond)
+
+	resp := &RunResponse{
+		Kernel:            loop.Name,
+		Cores:             cores,
+		Cycles:            res.Cycles,
+		SeqCycles:         seqCycles,
+		Speedup:           float64(seqCycles) / float64(res.Cycles),
+		PerCoreCycles:     res.PerCoreCycles,
+		EnqStalls:         res.EnqStalls,
+		DeqStalls:         res.DeqStalls,
+		Transfers:         res.Transfers,
+		PairsUsed:         res.PairsUsed,
+		LoadHits:          res.LoadHits,
+		LoadMisses:        res.LoadMisses,
+		MemPortBusyCycles: res.MemPortBusyCycles,
+		CachedArtifact:    hit,
+		CompileMs:         compileMs,
+		SimMs:             simMs,
+	}
+	if rec != nil {
+		obs.Canonicalize(rec.Events)
+		if req.Attribution {
+			resp.Attribution = obs.BuildReport(rec.Meta, rec.Events).Format()
+		}
+		if req.Trace != "" {
+			data, err := obs.RenderTrace(req.Trace, rec.Meta, rec.Events)
+			if err != nil {
+				fail(http.StatusBadRequest, err.Error())
+				return
+			}
+			if req.Trace == "perfetto" {
+				resp.Trace = data // already JSON
+			} else {
+				resp.Trace, _ = json.Marshal(string(data))
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// failRun maps a compile/simulate error to a status: cancellation becomes
+// 499 (the client is gone), a blown deadline 504, anything else 500.
+func (s *Server) failRun(w http.ResponseWriter, stage string, err error) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		s.met.canceled.Add(1)
+		httpError(w, statusClientClosedRequest, stage+": canceled")
+	case errors.Is(err, context.DeadlineExceeded):
+		s.met.canceled.Add(1)
+		httpError(w, http.StatusGatewayTimeout, stage+": deadline exceeded")
+	default:
+		s.met.errors.Add(1)
+		httpError(w, http.StatusInternalServerError, stage+": "+err.Error())
+	}
+}
+
+// KernelInfo is one row of /v1/kernels.
+type KernelInfo struct {
+	Name         string  `json:"name"`
+	App          string  `json:"app"`
+	PctTime      float64 `json:"pct_time"`
+	PaperSpeedup float64 `json:"paper_speedup"`
+}
+
+func (s *Server) handleKernels(w http.ResponseWriter, _ *http.Request) {
+	ks := kernels.All()
+	out := make([]KernelInfo, len(ks))
+	for i, k := range ks {
+		out[i] = KernelInfo{Name: k.Name, App: k.App, PctTime: k.PctTime, PaperSpeedup: k.PaperSpeedup}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleAttribution serves GET /v1/attribution?kernel=NAME&cores=1,3 as
+// text/plain — the exact bytes of experiments.FormatAttribution, i.e. what
+// `fgprun -trace-format report` prints and the golden file pins.
+func (s *Server) handleAttribution(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("kernel")
+	if name == "" {
+		s.met.errors.Add(1)
+		httpError(w, http.StatusBadRequest, "missing kernel parameter")
+		return
+	}
+	coresParam := r.URL.Query().Get("cores")
+	if coresParam == "" {
+		coresParam = "4"
+	}
+	var coreCounts []int
+	for _, f := range strings.Split(coresParam, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 || n > s.cfg.MaxCores {
+			s.met.errors.Add(1)
+			httpError(w, http.StatusBadRequest,
+				fmt.Sprintf("cores must be a comma list of ints in [1, %d]", s.cfg.MaxCores))
+			return
+		}
+		coreCounts = append(coreCounts, n)
+	}
+	s.admit(w, r, 0, func(ctx context.Context) {
+		rows, err := experiments.Attribution(s.exp, name, coreCounts)
+		if err != nil {
+			if _, nf := kernels.ByName(name); nf != nil {
+				s.met.errors.Add(1)
+				httpError(w, http.StatusNotFound, err.Error())
+				return
+			}
+			s.failRun(w, "attribution", err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, experiments.FormatAttribution(rows))
+	})
+}

@@ -1,0 +1,264 @@
+// Package service implements fgpd, the resident compile-and-simulate
+// daemon: the paper's runtime-thread-management component (Section IV.H)
+// grown into a long-lived HTTP/JSON service. Clients submit IR kernels (or
+// name a built-in evaluation kernel); the server runs the full pipeline —
+// normalize, speculate, lower, partition, outline — simulates the result on
+// the requested machine, and returns cycles, speedup over the sequential
+// baseline, stall attribution, and optionally a Perfetto trace.
+//
+// Three production concerns shape the package:
+//
+//   - Caching: compiled artifacts are content-addressed by the hash of the
+//     kernel's canonical JSON encoding plus the pipeline configuration, with
+//     singleflight de-duplication (the pattern of internal/experiments'
+//     Runner), so serving many simulation configurations of one kernel
+//     compiles it once.
+//   - Admission control: a bounded worker pool executes requests, a
+//     queue-depth limit sheds load with 429 before work piles up, every
+//     request carries a deadline, and SIGTERM drains gracefully.
+//   - Cancellation: the request context is threaded through the compile
+//     pipeline into the simulator, which aborts within one burst horizon
+//     when the client disconnects or the deadline passes (sim.RunContext).
+//
+// Endpoints: POST /v1/run, GET /v1/kernels, GET /v1/attribution,
+// GET /healthz, GET /metrics.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fgp/internal/experiments"
+)
+
+// Config parameterizes the server.
+type Config struct {
+	// Workers bounds concurrently executing requests (compiles and
+	// simulations). 0 means one per available CPU.
+	Workers int
+	// QueueDepth bounds requests waiting for a worker slot; beyond it the
+	// server sheds load with 429 immediately. 0 means 64.
+	QueueDepth int
+	// Timeout is the per-request wall-clock budget, compile plus simulate.
+	// Requests may tighten it per call (timeout_ms) but never exceed it.
+	// 0 means 60s.
+	Timeout time.Duration
+	// MaxBodyBytes bounds the request body (IR kernels carry their array
+	// data inline). 0 means 32 MiB.
+	MaxBodyBytes int64
+	// MaxCores bounds the simulated core count a request may ask for (the
+	// queue fabric is O(cores²)). 0 means 16.
+	MaxCores int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 60 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.MaxCores <= 0 {
+		c.MaxCores = 16
+	}
+	return c
+}
+
+// Server is the daemon. Create with New, serve via Handler, stop by
+// draining (Drain) before closing the listener's http.Server.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	cache *compileCache
+	exp   *experiments.Runner // backs /v1/attribution with its own artifact cache
+
+	sem      chan struct{} // worker slots
+	queued   atomic.Int64  // admitted, waiting for a slot
+	inflight atomic.Int64  // holding a slot
+	draining atomic.Bool
+	wg       sync.WaitGroup // every admitted request, for Drain
+
+	met metrics
+}
+
+// New builds a server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: newCompileCache(),
+		exp:   experiments.NewRunner(),
+		sem:   make(chan struct{}, cfg.Workers),
+	}
+	// Attribution already holds a worker slot; don't fan out further.
+	s.exp.SetWorkers(1)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("GET /v1/kernels", s.handleKernels)
+	s.mux.HandleFunc("GET /v1/attribution", s.handleAttribution)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP handler serving all endpoints.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain marks the server draining (healthz flips to 503 so load balancers
+// stop routing) and waits until every admitted request has finished, or ctx
+// expires. New work arriving while draining is refused with 503.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain interrupted with %d request(s) in flight: %w",
+			s.queued.Load()+s.inflight.Load(), ctx.Err())
+	}
+}
+
+// admit applies admission control and runs fn on a worker slot with the
+// request deadline attached. fn must write the response itself. reqTimeout
+// (0 = none) tightens, never extends, the server budget.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, reqTimeout time.Duration, fn func(ctx context.Context)) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	s.met.requests.Add(1)
+	if s.queued.Add(1) > int64(s.cfg.QueueDepth) {
+		s.queued.Add(-1)
+		s.met.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "queue full")
+		return
+	}
+	s.wg.Add(1)
+	defer s.wg.Done()
+	select {
+	case s.sem <- struct{}{}:
+		s.queued.Add(-1)
+	case <-r.Context().Done():
+		s.queued.Add(-1)
+		s.met.canceled.Add(1)
+		// The client is gone; nobody reads this status.
+		httpError(w, statusClientClosedRequest, "client closed request while queued")
+		return
+	}
+	s.inflight.Add(1)
+	defer func() {
+		s.inflight.Add(-1)
+		<-s.sem
+	}()
+
+	budget := s.cfg.Timeout
+	if reqTimeout > 0 && reqTimeout < budget {
+		budget = reqTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), budget)
+	defer cancel()
+
+	start := time.Now()
+	fn(ctx)
+	s.met.lat.observe(time.Since(start))
+}
+
+// statusClientClosedRequest is nginx's conventional code for a client that
+// disconnected before the response; it only shows up in logs and metrics.
+const statusClientClosedRequest = 499
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// Metrics is the /metrics document.
+type Metrics struct {
+	Requests int64 `json:"requests"`
+	Rejected int64 `json:"rejected_429"`
+	Canceled int64 `json:"canceled"`
+	Errors   int64 `json:"errors"`
+	InFlight int64 `json:"inflight"`
+	Queued   int64 `json:"queued"`
+	Draining bool  `json:"draining"`
+	Cache    struct {
+		Entries int64   `json:"entries"`
+		Hits    int64   `json:"hits"`
+		Misses  int64   `json:"misses"`
+		HitRate float64 `json:"hit_rate"`
+	} `json:"cache"`
+	Latency struct {
+		P50Ms  float64 `json:"p50_ms"`
+		P99Ms  float64 `json:"p99_ms"`
+		Count  int64   `json:"count"`
+		Window int     `json:"window"`
+	} `json:"latency"`
+}
+
+// Snapshot returns the current metrics document (the /metrics payload).
+func (s *Server) Snapshot() Metrics {
+	var m Metrics
+	m.Requests = s.met.requests.Load()
+	m.Rejected = s.met.rejected.Load()
+	m.Canceled = s.met.canceled.Load()
+	m.Errors = s.met.errors.Load()
+	m.InFlight = s.inflight.Load()
+	m.Queued = s.queued.Load()
+	m.Draining = s.draining.Load()
+	m.Cache.Entries = s.cache.entries()
+	m.Cache.Hits = s.cache.hits.Load()
+	m.Cache.Misses = s.cache.misses.Load()
+	if total := m.Cache.Hits + m.Cache.Misses; total > 0 {
+		m.Cache.HitRate = float64(m.Cache.Hits) / float64(total)
+	}
+	p50, p99, count, window := s.met.lat.quantiles()
+	m.Latency.P50Ms = float64(p50) / float64(time.Millisecond)
+	m.Latency.P99Ms = float64(p99) / float64(time.Millisecond)
+	m.Latency.Count = count
+	m.Latency.Window = window
+	return m
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the connection is the only failure mode left
+}
+
+// errorBody is the JSON error envelope every non-2xx response carries.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorBody{Error: msg})
+}

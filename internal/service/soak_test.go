@@ -1,0 +1,191 @@
+// The race soak: 64 concurrent clients against one server, mixing cache
+// hits on named kernels, cold compiles of unique inline IR, mid-simulation
+// client cancellations, and a queue small enough to force 429s. CI runs
+// this under -race; locally it doubles as the admission-control and
+// goroutine-hygiene check.
+
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fgp/internal/ir"
+)
+
+func TestSoakConcurrentMixedLoad(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	s := New(Config{Workers: 4, QueueDepth: 6, Timeout: 30 * time.Second})
+	ts := httptest.NewServer(s.Handler())
+	client := ts.Client()
+
+	post := func(ctx context.Context, req RunRequest) (int, error) {
+		body, err := json.Marshal(req)
+		if err != nil {
+			return 0, err
+		}
+		hreq, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/run", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(hreq)
+		if err != nil {
+			return 0, err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+
+	const clients = 64
+	var (
+		wg       sync.WaitGroup
+		ok       atomic.Int64
+		shed     atomic.Int64 // 429s observed by clients
+		aborted  atomic.Int64 // client-side cancellations
+		failures atomic.Int64
+	)
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 3; iter++ {
+				switch (c + iter) % 4 {
+				case 0: // cache hit on a named kernel
+					code, err := post(context.Background(), RunRequest{Kernel: "sphot-1", Cores: 2})
+					switch {
+					case err != nil:
+						failures.Add(1)
+						t.Errorf("client %d: %v", c, err)
+					case code == 200:
+						ok.Add(1)
+					case code == 429:
+						shed.Add(1)
+					default:
+						failures.Add(1)
+						t.Errorf("client %d: named run returned %d", c, code)
+					}
+				case 1: // cold compile of a unique kernel
+					wire, err := ir.MarshalLoop(uniqueLoop(int64(c*31+iter), 64))
+					if err != nil {
+						failures.Add(1)
+						t.Errorf("client %d: %v", c, err)
+						continue
+					}
+					code, err := post(context.Background(), RunRequest{IR: wire, Cores: 2})
+					switch {
+					case err != nil:
+						failures.Add(1)
+						t.Errorf("client %d: %v", c, err)
+					case code == 200:
+						ok.Add(1)
+					case code == 429:
+						shed.Add(1)
+					default:
+						failures.Add(1)
+						t.Errorf("client %d: cold run returned %d", c, code)
+					}
+				case 2: // cancel mid-flight: a long simulation, client gone early
+					wire, err := ir.MarshalLoop(uniqueLoop(int64(c), 2_000_000))
+					if err != nil {
+						failures.Add(1)
+						t.Errorf("client %d: %v", c, err)
+						continue
+					}
+					ctx, cancel := context.WithTimeout(context.Background(), time.Duration(1+c%20)*time.Millisecond)
+					_, err = post(ctx, RunRequest{IR: wire, Cores: 2})
+					cancel()
+					if err != nil {
+						aborted.Add(1) // the expected outcome: request died with the context
+					} else {
+						ok.Add(1) // raced to completion first — also fine
+					}
+				case 3: // burst of cheap catalog reads mixed with named runs
+					resp, err := client.Get(ts.URL + "/v1/kernels")
+					if err != nil {
+						failures.Add(1)
+						t.Errorf("client %d: %v", c, err)
+						continue
+					}
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					code, err := post(context.Background(), RunRequest{Kernel: "irs-1", Cores: 2})
+					switch {
+					case err != nil:
+						failures.Add(1)
+						t.Errorf("client %d: %v", c, err)
+					case code == 200:
+						ok.Add(1)
+					case code == 429:
+						shed.Add(1)
+					default:
+						failures.Add(1)
+						t.Errorf("client %d: run returned %d", c, code)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if ok.Load() == 0 {
+		t.Fatal("no request succeeded")
+	}
+	t.Logf("soak: %d ok, %d shed (429), %d client-aborted, %d failures",
+		ok.Load(), shed.Load(), aborted.Load(), failures.Load())
+
+	// Drain; every admitted request (including abandoned ones whose
+	// handlers are still unwinding) must finish.
+	dctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Drain(dctx); err != nil {
+		t.Fatalf("drain after soak: %v", err)
+	}
+
+	m := s.Snapshot()
+	if m.InFlight != 0 || m.Queued != 0 {
+		t.Errorf("work left behind after drain: inflight=%d queued=%d", m.InFlight, m.Queued)
+	}
+	if m.Cache.Hits == 0 {
+		t.Error("soak produced zero cache hits; the content-addressed cache is not being reused")
+	}
+	if m.Cache.Misses == 0 {
+		t.Error("soak produced zero cache misses; cold compiles never happened")
+	}
+	if m.Cache.HitRate <= 0 || m.Cache.HitRate >= 1 {
+		t.Errorf("hit rate %v outside (0, 1)", m.Cache.HitRate)
+	}
+	if m.Latency.Count == 0 {
+		t.Error("latency reservoir recorded nothing")
+	}
+	if shed.Load() > 0 && m.Rejected == 0 {
+		t.Errorf("clients saw %d 429s but the server counted none rejected", shed.Load())
+	}
+
+	ts.Close()
+	client.CloseIdleConnections()
+
+	// Goroutine hygiene: after the server closes, we must converge back to
+	// (about) the starting count — abandoned handlers must not linger.
+	deadline := time.Now().Add(30 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > baseline+2 {
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutines: %d at start, %d after shutdown\n%s", baseline, now, buf[:n])
+	}
+}

@@ -1,0 +1,38 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+
+	"fgp/internal/ir"
+)
+
+// readGoldenAttribution loads the experiments package's pinned sphot-1
+// stall report — the bytes /v1/attribution must reproduce exactly.
+func readGoldenAttribution() ([]byte, error) {
+	return os.ReadFile(filepath.Join("..", "experiments", "testdata", "golden_attribution.txt"))
+}
+
+// uniqueLoop builds a small kernel whose content address differs per seed:
+// the array data (and so the canonical encoding) depends on it. trips
+// controls how long the simulation runs.
+func uniqueLoop(seed int64, trips int64) *ir.Loop {
+	b := ir.NewBuilder("soak", "i", 0, trips, 1)
+	n := trips
+	if n > 64 {
+		n = 64
+	}
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = float64(seed+int64(i))*0.5 + 1
+	}
+	b.ArrayF("a", data)
+	b.ArrayF("o", make([]float64, n))
+	s := b.ScalarF("scale", float64(seed%7)+0.5)
+	i := b.Idx()
+	idx := b.Def("j", ir.RemE(i, ir.I(n)))
+	x := b.Def("x", ir.MulE(ir.LDF("a", idx), s))
+	b.Def("y", ir.AddE(ir.SqrtE(ir.AbsE(x)), ir.F(1)))
+	b.StoreF("o", idx, b.T("y"))
+	return b.MustBuild()
+}

@@ -28,6 +28,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -296,13 +297,28 @@ func unUop(op ir.UnOp) uop {
 // unsafe memory-port access. Enqueues and dequeues themselves run through
 // the untouched step, so all queue blocking, waking, and stall accounting
 // is shared verbatim with the reference engine.
-func (m *Machine) runBurst() (*Result, error) {
+//
+// A cancellable context is polled once per scheduling decision, and each
+// burst's step budget is clamped to cancelStride so a core that never
+// communicates (a sequential kernel has no horizon at all) still returns to
+// the scheduler — and therefore to the poll — promptly. The clamp changes
+// where bursts pause, never what they compute: the resumed burst continues
+// from identical machine state.
+func (m *Machine) runBurst(ctx context.Context) (*Result, error) {
 	if m.code == nil {
 		m.decode()
 	}
+	done := ctx.Done()
 	obsOn := m.sink != nil
 	var steps int64
 	for {
+		if done != nil {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		c := m.pickCore()
 		if c == nil {
 			if m.allHalted() {
@@ -325,7 +341,11 @@ func (m *Machine) runBurst() (*Result, error) {
 			steps++
 		} else {
 			hTime, hID := m.horizon(c)
-			n, err := m.burst(c, hTime, hID, m.cfg.MaxSteps-steps+1)
+			budget := m.cfg.MaxSteps - steps + 1
+			if done != nil && budget > cancelStride {
+				budget = cancelStride
+			}
+			n, err := m.burst(c, hTime, hID, budget)
 			steps += n
 			if err != nil {
 				return nil, fmt.Errorf("sim: core %d pc %d t=%d: %w", c.id, c.pc, c.time, err)

@@ -15,6 +15,7 @@ package sim
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -246,7 +247,22 @@ func New(progs []*isa.Program, memory *mem.Memory, cfg Config) (*Machine, error)
 //
 // On error (deadlock, runaway), the events emitted so far still reach the
 // sink, so a partial trace of the failing run survives.
-func (m *Machine) Run() (*Result, error) {
+func (m *Machine) Run() (*Result, error) { return m.RunContext(context.Background()) }
+
+// cancelStride is how many executed instructions may pass between context
+// checks: the reference engine polls ctx.Done() every cancelStride steps,
+// and the burst engine caps each uninterrupted burst at cancelStride steps
+// when the context is cancellable (a context.Background() run pays nothing).
+// It bounds cancellation latency to one burst horizon — a few tens of
+// microseconds of host time — while keeping the poll off the per-instruction
+// hot path. Must be a power of two.
+const cancelStride = 1 << 16
+
+// RunContext is Run with cooperative cancellation: when ctx is cancelled or
+// its deadline passes, the simulation aborts within one burst horizon (at
+// most cancelStride instructions) and returns ctx.Err() verbatim. Events
+// emitted before the abort still reach the sink, like any other error path.
+func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
 	sink := m.cfg.Sink
 	var bw *bufio.Writer
 	if m.cfg.Trace != nil {
@@ -265,9 +281,9 @@ func (m *Machine) Run() (*Result, error) {
 	var res *Result
 	var err error
 	if m.cfg.Reference {
-		res, err = m.runReference()
+		res, err = m.runReference(ctx)
 	} else {
-		res, err = m.runBurst()
+		res, err = m.runBurst(ctx)
 	}
 	if sink != nil {
 		if serr := m.drainObs(sink); serr != nil && err == nil {
@@ -286,10 +302,19 @@ func (m *Machine) Run() (*Result, error) {
 }
 
 // runReference is the retained per-instruction scheduler: the seed
-// implementation, kept verbatim as the oracle for the burst engine.
-func (m *Machine) runReference() (*Result, error) {
+// implementation, kept verbatim as the oracle for the burst engine (plus
+// the strided cancellation poll both engines share).
+func (m *Machine) runReference(ctx context.Context) (*Result, error) {
+	done := ctx.Done()
 	var steps int64
 	for {
+		if done != nil && steps&(cancelStride-1) == 0 {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		c := m.pickCore()
 		if c == nil {
 			if m.allHalted() {

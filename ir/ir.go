@@ -60,6 +60,13 @@ func Validate(l *Loop) error { return ir.Validate(l) }
 // Print renders a loop as pseudo-source.
 func Print(l *Loop) string { return ir.Print(l) }
 
+// MarshalLoop encodes a loop as deterministic JSON — the wire format the
+// fgpd service accepts and the bytes its compile cache content-addresses.
+func MarshalLoop(l *Loop) ([]byte, error) { return ir.MarshalLoop(l) }
+
+// UnmarshalLoop decodes and validates a loop from its JSON encoding.
+func UnmarshalLoop(data []byte) (*Loop, error) { return ir.UnmarshalLoop(data) }
+
 // Literal and reference constructors.
 var (
 	F   = ir.F   // float literal
