@@ -32,6 +32,7 @@ import (
 	"fgp/internal/sim"
 	"fgp/internal/speculate"
 	"fgp/internal/tac"
+	"fgp/internal/verify"
 )
 
 // Options selects compiler behavior.
@@ -219,6 +220,17 @@ func CompileContext(ctx context.Context, l *ir.Loop, opt Options) (*Artifact, er
 		if err := prog.Validate(mc.Cores); err != nil {
 			return nil, fmt.Errorf("core: generated program failed validation: %w", err)
 		}
+	}
+
+	if err := verify.Check(verify.Input{
+		Programs: compiled.Programs,
+		Cores:    mc.Cores,
+		QueueLen: mc.QueueLen,
+		Fn:       fn,
+		Deps:     info,
+		Parts:    parts,
+	}); err != nil {
+		return nil, fmt.Errorf("core: compiled program failed static verification: %w", err)
 	}
 
 	a := &Artifact{

@@ -8,6 +8,7 @@ import (
 
 	"fgp/internal/kernels"
 	"fgp/internal/sim"
+	"fgp/internal/verify"
 )
 
 // ThroughputRow compares the default partitioner against the throughput
@@ -142,7 +143,9 @@ func QueueLen(r *Runner, lens []int) ([]QueueLenRow, error) {
 		ki, li := i/len(lens), i%len(lens)
 		sp, _, _, err := r.Speedup(ks[ki], Variant{Cores: 4, QueueLen: lens[li]}, nil)
 		if err != nil {
-			if errors.Is(err, sim.ErrDeadlock) {
+			// The static verifier rejects most deadlocking configurations
+			// at compile time; the simulator catches any remainder.
+			if errors.Is(err, sim.ErrDeadlock) || verify.HasCheck(err, "deadlock") || verify.HasCheck(err, "fifo-depth") {
 				rows[ki].Speedups[li] = 0
 				return nil
 			}

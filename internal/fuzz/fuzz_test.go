@@ -61,6 +61,38 @@ func TestOracleSeeds(t *testing.T) {
 	}
 }
 
+// TestVerifierAcceptImpliesOracleMatch pins the metamorphic invariant
+// linking the static verifier to the differential oracle: every compile
+// inside Check now runs verify.Check first, so an oracle run that reaches
+// the simulation stage is by construction a verifier-accepted program —
+// and it must then match the interpreter. The two failure modes are kept
+// distinct: a "verify" stage mismatch means the verifier rejected the
+// compiler's own output (a verifier false positive or a real miscompile,
+// either way a bug in this repo), while any later stage means a
+// verifier-accepted program diverged (a soundness hole in the verifier).
+func TestVerifierAcceptImpliesOracleMatch(t *testing.T) {
+	n := 40
+	if testing.Short() {
+		n = 8
+	}
+	oc := testOracle()
+	for i := 0; i < n; i++ {
+		seed := uint64(1000 + i) // disjoint from TestOracleSeeds
+		l := Generate(seed, GenConfig{})
+		err := Check(l, oc)
+		if err == nil {
+			continue
+		}
+		m := err.(*Mismatch)
+		if m.Stage == "verify" {
+			t.Fatalf("seed %d: verifier rejected the compiler's own output: %v\n%s",
+				seed, err, ir.Print(l))
+		}
+		t.Fatalf("seed %d: verifier-accepted program diverged (%s stage): %v\n%s",
+			seed, m.Stage, err, ir.Print(l))
+	}
+}
+
 // TestInjectedMiscompileCaught is the mutation self-test demanded by the
 // acceptance criteria: a deliberately miscompiled kernel must be flagged by
 // the oracle and minimized by the shrinker to a strictly smaller kernel

@@ -12,6 +12,7 @@ import (
 	"fgp/internal/obs"
 	"fgp/internal/outline"
 	"fgp/internal/sim"
+	"fgp/internal/verify"
 )
 
 // OracleConfig selects the configuration matrix one kernel is checked
@@ -55,7 +56,7 @@ type Mismatch struct {
 	Spec      bool
 	Norm      int
 	Reference bool
-	Stage     string // "compile", "run", "memory", "liveout", "invariant"
+	Stage     string // "compile", "verify", "run", "memory", "liveout", "invariant"
 	Detail    string
 }
 
@@ -123,8 +124,16 @@ func Check(l *ir.Loop, oc OracleConfig) error {
 				}
 				art, cerr := core.Compile(compiled, opt)
 				if cerr != nil {
+					// A static-verifier rejection gets its own stage so
+					// shrink reports show the structured diagnostics rather
+					// than a generic compile failure.
+					stage := "compile"
+					var ve *verify.Error
+					if errors.As(cerr, &ve) {
+						stage = "verify"
+					}
 					return &Mismatch{Kernel: l.Name, Cores: cores, Spec: spec, Norm: norm,
-						Stage: "compile", Detail: cerr.Error()}
+						Stage: stage, Detail: cerr.Error()}
 				}
 				var burstRes, refRes *sim.Result
 				var burstRec, refRec *obs.Recorder

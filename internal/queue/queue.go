@@ -19,6 +19,7 @@ type Entry struct {
 	V       interp.Value
 	AvailAt int64 // simulation time at which the receiver may observe it
 	Edge    int32 // communication-edge tag for debug verification
+	Seq     int64 // push sequence number (0-based), stamped by Push
 }
 
 // Queue is one directional hardware queue.
@@ -75,7 +76,7 @@ func (q *Queue) Push(v interp.Value, availAt int64, edge int32) {
 	if tail >= q.Cap {
 		tail -= q.Cap
 	}
-	q.buf[tail] = Entry{V: v, AvailAt: availAt, Edge: edge}
+	q.buf[tail] = Entry{V: v, AvailAt: availAt, Edge: edge, Seq: q.Transfers}
 	q.n++
 	q.used = true
 	q.Transfers++
@@ -93,7 +94,13 @@ func (q *Queue) Head() Entry {
 	return q.buf[q.head]
 }
 
-// Pop removes and returns the oldest entry.
+// Pop removes and returns the oldest entry. It enforces the stats pairing
+// invariant the observability layer depends on: the k-th pop must receive
+// the k-th push (entries carry their push sequence number, and FIFO order
+// makes it equal to the pop sequence number). A mismatch means the ring
+// arithmetic and the Transfers/Pops counters have drifted apart — every
+// seq-paired flow arrow in the trace would silently point at the wrong
+// enqueue — so it is a panic, like push-on-full, not an error.
 func (q *Queue) Pop() Entry {
 	e := q.Head()
 	q.head++
@@ -102,7 +109,28 @@ func (q *Queue) Pop() Entry {
 	}
 	q.n--
 	q.Pops++
+	if e.Seq != q.Pops-1 {
+		panic(fmt.Sprintf("queue: %v pairing violated: pop %d received push %d", q, q.Pops-1, e.Seq))
+	}
 	return e
+}
+
+// CheckStats is the debug/test hook validating that the occupancy counters
+// the observability layer pairs transfers with are mutually consistent. It
+// can be called at any quiescent point (between simulator cycles, after a
+// run); the simulator's tests run it after every drained program.
+func (q *Queue) CheckStats() error {
+	if got := q.Transfers - q.Pops; got != int64(q.n) {
+		return fmt.Errorf("queue: %v stats drifted: %d pushes - %d pops = %d but occupancy is %d",
+			q, q.Transfers, q.Pops, got, q.n)
+	}
+	if q.Peak < q.n {
+		return fmt.Errorf("queue: %v peak %d below current occupancy %d", q, q.Peak, q.n)
+	}
+	if q.used != (q.Transfers > 0) {
+		return fmt.Errorf("queue: %v used=%v disagrees with %d transfers", q, q.used, q.Transfers)
+	}
+	return nil
 }
 
 func (q *Queue) String() string {

@@ -84,7 +84,9 @@ func TestPanics(t *testing.T) {
 	}()
 }
 
-// Property: any interleaving of pushes and pops preserves FIFO order.
+// Property: any interleaving of pushes and pops preserves FIFO order, the
+// entry sequence numbers pair the k-th pop with the k-th push, and the
+// stats stay consistent with occupancy at every step.
 func TestQuickFIFO(t *testing.T) {
 	f := func(ops []bool) bool {
 		q := New(0, 0, 1, ir.I64, 16)
@@ -102,15 +104,64 @@ func TestQuickFIFO(t *testing.T) {
 					continue
 				}
 				e := q.Pop()
-				if e.V.I != expect {
+				if e.V.I != expect || e.Seq != expect {
 					return false
 				}
 				expect++
+			}
+			if q.CheckStats() != nil {
+				return false
 			}
 		}
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestPairingViolationDetected corrupts the ring from inside the package
+// (as a head-arithmetic bug would) and checks that Pop refuses to hand out
+// an entry whose push sequence number does not match the pop sequence.
+func TestPairingViolationDetected(t *testing.T) {
+	q := New(0, 0, 1, ir.I64, 4)
+	q.Push(interp.VI(10), 0, 0)
+	q.Push(interp.VI(11), 0, 1)
+	q.buf[q.head].Seq = 1 // the head now claims to be the second push
+	defer func() {
+		if recover() == nil {
+			t.Error("pop of a mispaired entry must panic")
+		}
+	}()
+	q.Pop()
+}
+
+// TestCheckStatsDetectsDrift breaks each counter relation CheckStats
+// guards and confirms it reports the drift.
+func TestCheckStatsDetectsDrift(t *testing.T) {
+	mk := func() *Queue {
+		q := New(0, 0, 1, ir.I64, 4)
+		q.Push(interp.VI(1), 0, 0)
+		q.Push(interp.VI(2), 0, 1)
+		q.Pop()
+		return q
+	}
+	if q := mk(); q.CheckStats() != nil {
+		t.Fatalf("healthy queue flagged: %v", q.CheckStats())
+	}
+	q := mk()
+	q.Transfers++ // a push the ring never saw
+	if q.CheckStats() == nil {
+		t.Error("transfer/occupancy drift not detected")
+	}
+	q = mk()
+	q.Peak = 0 // below current occupancy
+	if q.CheckStats() == nil {
+		t.Error("peak below occupancy not detected")
+	}
+	q = mk()
+	q.used = false // transfers happened but used says otherwise
+	if q.CheckStats() == nil {
+		t.Error("used/transfers disagreement not detected")
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -96,7 +97,7 @@ func (c *compileCache) do(ctx context.Context, key string, fill func() (any, err
 		sh.m[key] = e
 		sh.mu.Unlock()
 		c.misses.Add(1)
-		e.val, e.err = fill()
+		e.val, e.err = safeFill(fill)
 		if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
 			sh.mu.Lock()
 			if sh.m[key] == e {
@@ -126,4 +127,29 @@ func (c *compileCache) entries() int64 {
 		sh.mu.Unlock()
 	}
 	return n
+}
+
+// panicError is a fill panic converted to an error. A panicking compile
+// must not kill the filling goroutine with e.done still open (every later
+// request for the key would block forever) nor poison the entry; safeFill
+// turns it into a value the handlers map to an HTTP 400.
+type panicError struct {
+	val   any
+	stack []byte
+}
+
+func (p *panicError) Error() string {
+	return fmt.Sprintf("internal panic: %v", p.val)
+}
+
+// safeFill runs fill, converting a panic into a *panicError result. The
+// entry is still cached: the same input would panic identically, so
+// re-running the fill for every retry only burns CPU.
+func safeFill(fill func() (any, error)) (val any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &panicError{val: r, stack: debug.Stack()}
+		}
+	}()
+	return fill()
 }

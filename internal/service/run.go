@@ -16,10 +16,13 @@ import (
 
 	"fgp/internal/core"
 	"fgp/internal/experiments"
+	"fgp/internal/interp"
 	"fgp/internal/ir"
 	"fgp/internal/kernels"
+	"fgp/internal/mem"
 	"fgp/internal/obs"
 	"fgp/internal/sim"
+	"fgp/internal/verify"
 )
 
 // RunRequest is the /v1/run body. Exactly one of Kernel (a built-in
@@ -100,6 +103,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 // cached sequential baseline and artifact, simulate under the request
 // context, and render the response.
 func (s *Server) run(ctx context.Context, w http.ResponseWriter, req *RunRequest) {
+	// Recover boundary: compiler and simulator internals assume validated
+	// input and panic otherwise. A malformed request must cost the client a
+	// 400, never the worker goroutine (cache fills have their own boundary
+	// in safeFill; this one covers everything else in the handler).
+	defer func() {
+		if r := recover(); r != nil {
+			s.met.errors.Add(1)
+			httpError(w, http.StatusBadRequest,
+				boundMsg(fmt.Sprintf("internal panic (malformed input reached the pipeline): %v", r)))
+		}
+	}()
 	fail := func(status int, msg string) {
 		s.met.errors.Add(1)
 		httpError(w, status, msg)
@@ -280,9 +294,29 @@ func (s *Server) run(ctx context.Context, w http.ResponseWriter, req *RunRequest
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// maxErrorBytes bounds the detail text of any error response. Simulator
+// deadlock errors carry a full multi-line machine-state dump; the response
+// keeps enough to diagnose and says how much it dropped.
+const maxErrorBytes = 2048
+
+func boundMsg(msg string) string {
+	if len(msg) <= maxErrorBytes {
+		return msg
+	}
+	return fmt.Sprintf("%s... (%d bytes truncated)", msg[:maxErrorBytes], len(msg)-maxErrorBytes)
+}
+
 // failRun maps a compile/simulate error to a status: cancellation becomes
-// 499 (the client is gone), a blown deadline 504, anything else 500.
+// 499 (the client is gone), a blown deadline 504. Rejections that are the
+// kernel's own fault — a static-verifier rejection, a deadlock, a semantic
+// trap like division by zero — are 422 (the request was well-formed, the
+// program is not runnable), with the verifier's structured diagnostics
+// attached when it has them. A panic caught at the recover boundary is a
+// 400 (bad input reached code that assumed validated input). Only genuine
+// infrastructure failures remain 500.
 func (s *Server) failRun(w http.ResponseWriter, stage string, err error) {
+	var ve *verify.Error
+	var pe *panicError
 	switch {
 	case errors.Is(err, context.Canceled):
 		s.met.canceled.Add(1)
@@ -290,9 +324,24 @@ func (s *Server) failRun(w http.ResponseWriter, stage string, err error) {
 	case errors.Is(err, context.DeadlineExceeded):
 		s.met.canceled.Add(1)
 		httpError(w, http.StatusGatewayTimeout, stage+": deadline exceeded")
+	case errors.As(err, &ve):
+		s.met.errors.Add(1)
+		writeJSON(w, http.StatusUnprocessableEntity, errorBody{
+			Error:       boundMsg(stage + ": " + err.Error()),
+			Diagnostics: ve.Diags,
+		})
+	case errors.As(err, &pe):
+		s.met.errors.Add(1)
+		httpError(w, http.StatusBadRequest, boundMsg(stage+": "+pe.Error()))
+	case errors.Is(err, sim.ErrDeadlock),
+		errors.Is(err, interp.ErrDivByZero),
+		errors.Is(err, interp.ErrOutOfBounds),
+		errors.Is(err, mem.ErrOutOfBounds):
+		s.met.errors.Add(1)
+		httpError(w, http.StatusUnprocessableEntity, boundMsg(stage+": "+err.Error()))
 	default:
 		s.met.errors.Add(1)
-		httpError(w, http.StatusInternalServerError, stage+": "+err.Error())
+		httpError(w, http.StatusInternalServerError, boundMsg(stage+": "+err.Error()))
 	}
 }
 

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"fgp/internal/experiments"
+	"fgp/internal/verify"
 )
 
 // Config parameterizes the server.
@@ -255,8 +256,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // errorBody is the JSON error envelope every non-2xx response carries.
+// Diagnostics is populated on 422s produced by the static pipeline
+// verifier: one structured entry per violated invariant (check name, core,
+// instruction index, queue, edge).
 type errorBody struct {
-	Error string `json:"error"`
+	Error       string              `json:"error"`
+	Diagnostics []verify.Diagnostic `json:"diagnostics,omitempty"`
 }
 
 func httpError(w http.ResponseWriter, status int, msg string) {

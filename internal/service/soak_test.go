@@ -1,8 +1,9 @@
 // The race soak: 64 concurrent clients against one server, mixing cache
 // hits on named kernels, cold compiles of unique inline IR, mid-simulation
-// client cancellations, and a queue small enough to force 429s. CI runs
-// this under -race; locally it doubles as the admission-control and
-// goroutine-hygiene check.
+// client cancellations, adversarial inputs (malformed JSON, ill-kinded IR,
+// trapping kernels, verifier-rejected configurations), and a queue small
+// enough to force 429s. CI runs this under -race; locally it doubles as
+// the admission-control and goroutine-hygiene check.
 
 package service
 
@@ -48,13 +49,40 @@ func TestSoakConcurrentMixedLoad(t *testing.T) {
 		return resp.StatusCode, nil
 	}
 
+	// postRaw sends an arbitrary (possibly malformed) body.
+	postBytes := func(body string) (int, error) {
+		resp, err := client.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			return 0, err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+
+	// Adversarial bodies: each must be refused with a clean 4xx (or shed
+	// with 429 under load) — never a 5xx, a hung worker, or a dead daemon.
+	adversarial := []string{
+		`{not json`,
+		`{"cores":2,"ir":{"name":"x"}}`,
+		`{"cores":2,"ir":{"name":"adv","index":"i","start":0,"end":4,"step":1,
+			"arrays":[{"name":"a","kind":"f64","f64":[1,2,3,4]}],
+			"body":[{"line":1,"assign":{"temp":"x","kind":"f64","expr":{"bin":{"op":"add","l":{"f64":1},"r":{"i64":1}}}}}]}}`,
+		`{"cores":2,"ir":{"name":"adv","index":"i","start":0,"end":4,"step":1,
+			"arrays":[{"name":"n","kind":"i64","i64":[1,0,3,4]}],
+			"body":[{"line":1,"assign":{"array":"n","kind":"i64","index":{"temp":"i","kind":"i64"},
+				"expr":{"bin":{"op":"div","l":{"i64":1},"r":{"load":{"array":"n","kind":"i64","index":{"temp":"i","kind":"i64"}}}}}}}]}}`,
+		`{"kernel":"lammps-3","cores":4,"queue_len":2}`,
+	}
+
 	const clients = 64
 	var (
-		wg       sync.WaitGroup
-		ok       atomic.Int64
-		shed     atomic.Int64 // 429s observed by clients
-		aborted  atomic.Int64 // client-side cancellations
-		failures atomic.Int64
+		wg          sync.WaitGroup
+		ok          atomic.Int64
+		shed        atomic.Int64 // 429s observed by clients
+		aborted     atomic.Int64 // client-side cancellations
+		rejected4xx atomic.Int64 // adversarial inputs correctly refused
+		failures    atomic.Int64
 	)
 	for c := 0; c < clients; c++ {
 		c := c
@@ -62,7 +90,7 @@ func TestSoakConcurrentMixedLoad(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for iter := 0; iter < 3; iter++ {
-				switch (c + iter) % 4 {
+				switch (c + iter) % 5 {
 				case 0: // cache hit on a named kernel
 					code, err := post(context.Background(), RunRequest{Kernel: "sphot-1", Cores: 2})
 					switch {
@@ -134,6 +162,21 @@ func TestSoakConcurrentMixedLoad(t *testing.T) {
 						failures.Add(1)
 						t.Errorf("client %d: run returned %d", c, code)
 					}
+				case 4: // adversarial input: malformed, trapping, or unrunnable
+					body := adversarial[(c+iter)%len(adversarial)]
+					code, err := postBytes(body)
+					switch {
+					case err != nil:
+						failures.Add(1)
+						t.Errorf("client %d: adversarial post: %v", c, err)
+					case code == 429:
+						shed.Add(1)
+					case code >= 400 && code < 500:
+						rejected4xx.Add(1) // the expected outcome
+					default:
+						failures.Add(1)
+						t.Errorf("client %d: adversarial input returned %d, want 4xx", c, code)
+					}
 				}
 			}
 		}()
@@ -143,8 +186,11 @@ func TestSoakConcurrentMixedLoad(t *testing.T) {
 	if ok.Load() == 0 {
 		t.Fatal("no request succeeded")
 	}
-	t.Logf("soak: %d ok, %d shed (429), %d client-aborted, %d failures",
-		ok.Load(), shed.Load(), aborted.Load(), failures.Load())
+	if rejected4xx.Load() == 0 && shed.Load() == 0 {
+		t.Error("no adversarial input was refused; the failure paths never ran")
+	}
+	t.Logf("soak: %d ok, %d shed (429), %d client-aborted, %d adversarial-refused, %d failures",
+		ok.Load(), shed.Load(), aborted.Load(), rejected4xx.Load(), failures.Load())
 
 	// Drain; every admitted request (including abandoned ones whose
 	// handlers are still unwinding) must finish.

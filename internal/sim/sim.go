@@ -298,6 +298,19 @@ func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if m.cfg.DebugEdges {
+		// Debug runs also audit the queue stats the observability layer
+		// pairs transfers with (Transfers/Pops vs occupancy); a completed
+		// program has drained its queues, so any drift is now visible.
+		for _, q := range m.queues {
+			if q == nil {
+				continue
+			}
+			if serr := q.CheckStats(); serr != nil {
+				return nil, fmt.Errorf("sim: %w", serr)
+			}
+		}
+	}
 	return res, nil
 }
 

@@ -1,0 +1,76 @@
+package verify_test
+
+import (
+	"fmt"
+	"testing"
+
+	"fgp/internal/core"
+	"fgp/internal/kernels"
+	"fgp/internal/verify"
+)
+
+// TestKernelSweep is the acceptance gate for the verifier: every
+// evaluation kernel, at every core count, with and without speculation and
+// normalization, must compile to programs the static verifier accepts.
+// core.Compile already runs verify.Check internally and fails the compile
+// on rejection; the explicit Check call below additionally exercises the
+// public entry point on the finished artifact.
+func TestKernelSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full kernel sweep is not a -short test")
+	}
+	for _, k := range kernels.All() {
+		for _, cores := range []int{2, 3, 4} {
+			for _, spec := range []bool{false, true} {
+				for _, norm := range []int{0, 3} {
+					name := fmt.Sprintf("%s/c%d/spec=%v/norm=%d", k.Name, cores, spec, norm)
+					t.Run(name, func(t *testing.T) {
+						t.Parallel()
+						opt := core.DefaultOptions(cores)
+						opt.Speculate = spec
+						opt.NormalizeOps = norm
+						art, err := core.Compile(k.Build(), opt)
+						if err != nil {
+							t.Fatalf("compile: %v", err)
+						}
+						mc := art.MachineConfig()
+						if err := verify.Check(verify.Input{
+							Programs: art.Compiled.Programs,
+							Cores:    mc.Cores,
+							QueueLen: mc.QueueLen,
+							Fn:       art.Fn,
+							Deps:     art.Deps,
+							Parts:    art.Parts,
+						}); err != nil {
+							t.Fatalf("verify: %v", err)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestSweepWithoutContext checks the verifier also accepts every kernel
+// when given only the programs (no TAC function, dependence info or
+// partition map) — the degraded mode used on bare program inputs.
+func TestSweepWithoutContext(t *testing.T) {
+	for _, k := range kernels.All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			t.Parallel()
+			art, err := core.Compile(k.Build(), core.DefaultOptions(4))
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			mc := art.MachineConfig()
+			if err := verify.Check(verify.Input{
+				Programs: art.Compiled.Programs,
+				Cores:    mc.Cores,
+				QueueLen: mc.QueueLen,
+			}); err != nil {
+				t.Fatalf("verify without context: %v", err)
+			}
+		})
+	}
+}
