@@ -1,15 +1,22 @@
 // Command fgpbench is the host-performance regression harness: it times the
 // full Figure 12 sweep (every kernel compiled and simulated at 1, 2, and 4
-// cores) on the burst engine and on the retained per-instruction reference
-// scheduler, serial and parallel, and emits a machine-readable report.
+// cores) on every execution engine — the per-instruction reference
+// scheduler, the burst engine, and the threaded-code engine — serial and
+// parallel, and emits a machine-readable report.
 //
 // The report (BENCH_sim.json, committed at the repo root) records total
 // sweep wall-clock, the compile/simulate split, host nanoseconds per
-// simulated cycle, and the speedups of the burst engine and the parallel
-// runner over the reference-serial baseline. Regenerate it after simulator
-// or compiler changes with:
+// simulated cycle, and per-mode cold and warm speedups over the
+// reference-serial baseline. Regenerate it after simulator or compiler
+// changes with:
 //
 //	go run ./cmd/fgpbench -o BENCH_sim.json
+//
+// A per-engine ns-per-simulated-cycle comparison table is printed to
+// stderr; -gate turns the run into a mechanical regression check against a
+// committed report (nonzero exit on regression), and -cpuprofile captures
+// a CPU profile of the timed sweeps for flame-graph inspection of the
+// remaining dispatch overhead per engine.
 //
 // Simulated results are bit-identical across every mode (the determinism
 // tests in internal/sim enforce this); only host time may change.
@@ -22,7 +29,9 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"runtime/pprof"
 	"strings"
+	"text/tabwriter"
 	"time"
 
 	"fgp/internal/experiments"
@@ -31,10 +40,9 @@ import (
 
 // Mode is one engine/worker configuration of the sweep.
 type Mode struct {
-	Name      string `json:"name"`
-	Engine    string `json:"engine"`  // "burst" or "reference"
-	Workers   int    `json:"workers"` // 0 = one per available CPU
-	Reference bool   `json:"-"`
+	Name    string `json:"name"`
+	Engine  string `json:"engine"`  // "reference", "burst" or "threaded"
+	Workers int    `json:"workers"` // 0 = one per available CPU
 
 	// ColdNs is the best wall-clock of the full sweep from an empty cache:
 	// compilation plus simulation. WarmNs re-runs the sweep with artifacts
@@ -43,6 +51,12 @@ type Mode struct {
 	WarmNs  int64   `json:"warm_ns"`
 	ColdRun []int64 `json:"cold_runs_ns"`
 	WarmRun []int64 `json:"warm_runs_ns"`
+
+	// SpeedupCold and SpeedupWarm are this mode's speedups over the
+	// reference-serial baseline, computed separately from the cold and warm
+	// sweeps (warm excludes compilation, so it isolates engine throughput).
+	SpeedupCold float64 `json:"speedup_cold"`
+	SpeedupWarm float64 `json:"speedup_warm"`
 
 	// NsPerSimCycle is host-warm nanoseconds per simulated cycle across the
 	// sweep's parallel runs (the simulation work a warm sweep repeats).
@@ -65,8 +79,10 @@ type Report struct {
 	Modes []Mode `json:"modes"`
 
 	// Headline ratios, all versus the reference-serial cold sweep.
-	SpeedupBurstSerial   float64 `json:"speedup_burst_serial"`
-	SpeedupBurstParallel float64 `json:"speedup_burst_parallel"`
+	SpeedupBurstSerial      float64 `json:"speedup_burst_serial"`
+	SpeedupBurstParallel    float64 `json:"speedup_burst_parallel"`
+	SpeedupThreadedSerial   float64 `json:"speedup_threaded_serial"`
+	SpeedupThreadedParallel float64 `json:"speedup_threaded_parallel"`
 
 	// Baseline optionally records an externally measured cold sweep of an
 	// older checkout (via -baseline/-baseline-ns), e.g. the seed
@@ -81,27 +97,34 @@ type Baseline struct {
 	ColdNs int64  `json:"cold_ns"`
 
 	// Speedups of the current modes' cold sweeps over this baseline.
-	SpeedupBurstSerial   float64 `json:"speedup_burst_serial"`
-	SpeedupBurstParallel float64 `json:"speedup_burst_parallel"`
+	SpeedupBurstSerial      float64 `json:"speedup_burst_serial"`
+	SpeedupBurstParallel    float64 `json:"speedup_burst_parallel"`
+	SpeedupThreadedSerial   float64 `json:"speedup_threaded_serial"`
+	SpeedupThreadedParallel float64 `json:"speedup_threaded_parallel"`
 }
 
 func main() {
 	repeats := flag.Int("repeats", 5, "timed repetitions per mode (best is reported)")
-	workers := flag.Int("workers", 0, "worker pool size for the parallel mode (0 = one per CPU)")
+	workers := flag.Int("workers", 0, "worker pool size for the parallel modes (0 = one per CPU)")
 	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
 	once := flag.String("once", "", "run a single cold sweep in the named mode and print its nanoseconds (for cross-version A/B runs)")
 	baseName := flag.String("baseline", "", "name of a baseline checkout to record in the report")
 	baseNs := flag.Int64("baseline-ns", 0, "externally measured cold-sweep nanoseconds of the -baseline checkout")
 	baseCmd := flag.String("baseline-cmd", "", "command printing one cold-sweep nanosecond count (e.g. an older checkout's 'fgpbench -once burst-parallel' binary); run interleaved with the modes each repeat, overriding -baseline-ns")
+	gate := flag.Float64("gate", 0, "fail (exit 1) when any mode's ns_per_simulated_cycle regresses by more than this fraction vs the -against report (0 disables)")
+	against := flag.String("against", "BENCH_sim.json", "committed report the -gate check compares against")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the timed sweeps to this file")
 	flag.Parse()
 	if *repeats < 1 {
 		fatal(fmt.Errorf("repeats must be >= 1"))
 	}
 
 	modes := []Mode{
-		{Name: "reference-serial", Engine: "reference", Workers: 1, Reference: true},
+		{Name: "reference-serial", Engine: "reference", Workers: 1},
 		{Name: "burst-serial", Engine: "burst", Workers: 1},
+		{Name: "threaded-serial", Engine: "threaded", Workers: 1},
 		{Name: "burst-parallel", Engine: "burst", Workers: *workers},
+		{Name: "threaded-parallel", Engine: "threaded", Workers: *workers},
 	}
 
 	if *once != "" {
@@ -132,6 +155,18 @@ func main() {
 		TotalSimCycles: simCycles,
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	// Interleave the modes round-robin so slow phases of a shared host are
 	// charged to every mode equally rather than to whichever ran last. An
 	// external baseline command joins the rotation for the same reason: a
@@ -159,23 +194,30 @@ func main() {
 	if len(baseRuns) > 0 {
 		*baseNs = min64(baseRuns)
 	}
+	refCold := float64(min64(modes[0].ColdRun))
+	refWarm := float64(min64(modes[0].WarmRun))
 	for i := range modes {
 		m := &modes[i]
 		m.ColdNs = min64(m.ColdRun)
 		m.WarmNs = min64(m.WarmRun)
+		m.SpeedupCold = refCold / float64(m.ColdNs)
+		m.SpeedupWarm = refWarm / float64(m.WarmNs)
 		m.NsPerSimCycle = float64(m.WarmNs) / float64(simCycles)
 	}
 	rep.Modes = modes
 
-	ref := float64(modes[0].ColdNs)
-	rep.SpeedupBurstSerial = ref / float64(modes[1].ColdNs)
-	rep.SpeedupBurstParallel = ref / float64(modes[2].ColdNs)
+	rep.SpeedupBurstSerial = modes[1].SpeedupCold
+	rep.SpeedupThreadedSerial = modes[2].SpeedupCold
+	rep.SpeedupBurstParallel = modes[3].SpeedupCold
+	rep.SpeedupThreadedParallel = modes[4].SpeedupCold
 	if *baseName != "" && *baseNs > 0 {
 		rep.Baseline = &Baseline{
-			Name:                 *baseName,
-			ColdNs:               *baseNs,
-			SpeedupBurstSerial:   float64(*baseNs) / float64(modes[1].ColdNs),
-			SpeedupBurstParallel: float64(*baseNs) / float64(modes[2].ColdNs),
+			Name:                    *baseName,
+			ColdNs:                  *baseNs,
+			SpeedupBurstSerial:      float64(*baseNs) / float64(modes[1].ColdNs),
+			SpeedupThreadedSerial:   float64(*baseNs) / float64(modes[2].ColdNs),
+			SpeedupBurstParallel:    float64(*baseNs) / float64(modes[3].ColdNs),
+			SpeedupThreadedParallel: float64(*baseNs) / float64(modes[4].ColdNs),
 		}
 	}
 
@@ -194,9 +236,65 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Fprintf(os.Stderr, "fig12 sweep: reference-serial %v, burst-serial %v (%.1fx), burst-parallel %v (%.1fx)\n",
-		time.Duration(modes[0].ColdNs), time.Duration(modes[1].ColdNs), rep.SpeedupBurstSerial,
-		time.Duration(modes[2].ColdNs), rep.SpeedupBurstParallel)
+	printTable(&rep)
+
+	if *gate > 0 {
+		if err := checkGate(&rep, *against, *gate); err != nil {
+			fmt.Fprintln(os.Stderr, "fgpbench: GATE FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "fgpbench: gate passed (threshold %.0f%% vs %s)\n", *gate*100, *against)
+	}
+}
+
+// printTable writes the per-engine comparison table to stderr.
+func printTable(rep *Report) {
+	tw := tabwriter.NewWriter(os.Stderr, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "mode\tengine\tcold\twarm\tns/simcycle\tspeedup(cold)\tspeedup(warm)")
+	for i := range rep.Modes {
+		m := &rep.Modes[i]
+		fmt.Fprintf(tw, "%s\t%s\t%v\t%v\t%.3f\t%.2fx\t%.2fx\n",
+			m.Name, m.Engine, time.Duration(m.ColdNs), time.Duration(m.WarmNs),
+			m.NsPerSimCycle, m.SpeedupCold, m.SpeedupWarm)
+	}
+	tw.Flush()
+}
+
+// checkGate compares the fresh report against a committed one and errors
+// when any shared mode's warm ns-per-simulated-cycle regressed by more than
+// the allowed fraction. Normalizing by simulated cycles keeps the gate
+// meaningful when the kernel set grows between reports.
+func checkGate(cur *Report, path string, allowed float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading committed report: %w", err)
+	}
+	var old Report
+	if err := json.Unmarshal(data, &old); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	oldModes := map[string]*Mode{}
+	for i := range old.Modes {
+		oldModes[old.Modes[i].Name] = &old.Modes[i]
+	}
+	var regressions []string
+	for i := range cur.Modes {
+		m := &cur.Modes[i]
+		o, ok := oldModes[m.Name]
+		if !ok || o.NsPerSimCycle <= 0 {
+			continue
+		}
+		if m.NsPerSimCycle > o.NsPerSimCycle*(1+allowed) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.3f ns/simcycle vs committed %.3f (+%.0f%%, allowed %.0f%%)",
+				m.Name, m.NsPerSimCycle, o.NsPerSimCycle,
+				(m.NsPerSimCycle/o.NsPerSimCycle-1)*100, allowed*100))
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%s", strings.Join(regressions, "; "))
+	}
+	return nil
 }
 
 // timeSweep runs the Figure 12 sweep twice on a fresh runner: cold (compile
@@ -204,7 +302,9 @@ func main() {
 func timeSweep(m *Mode) (cold, warm time.Duration, err error) {
 	r := experiments.NewRunner()
 	r.SetWorkers(m.Workers)
-	r.SetReference(m.Reference)
+	if m.Engine != "burst" {
+		r.SetEngine(m.Engine)
+	}
 
 	// Settle the heap so earlier modes' garbage is not charged to this one.
 	runtime.GC()
@@ -224,7 +324,7 @@ func timeSweep(m *Mode) (cold, warm time.Duration, err error) {
 
 // totalSimCycles sums the simulated cycles of every parallel run in the
 // sweep (the work a warm sweep repeats). Engine choice cannot affect it:
-// both engines produce bit-identical results.
+// all engines produce bit-identical results.
 func totalSimCycles() (int64, error) {
 	r := experiments.NewRunner()
 	var total int64

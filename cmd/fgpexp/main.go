@@ -50,6 +50,7 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
 	workers := flag.Int("workers", 0, "worker pool size for experiment sweeps (0 = one per CPU, 1 = serial)")
 	reference := flag.Bool("reference", false, "simulate on the reference per-instruction engine instead of the burst engine")
+	engine := flag.String("engine", "", "simulation engine for every run: burst (default), reference, or threaded")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -91,6 +92,9 @@ func main() {
 	r := experiments.NewRunner()
 	r.SetWorkers(*workers)
 	r.SetReference(*reference)
+	if *engine != "" {
+		r.SetEngine(*engine)
+	}
 	jsonOut := map[string]any{}
 	run := func(name string, f func() (string, error)) {
 		if *exp != "all" && *exp != name {

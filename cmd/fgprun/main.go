@@ -43,6 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	queueLen := fs.Int("queue", 20, "queue length in slots")
 	spec := fs.Bool("speculate", false, "enable control-flow speculation")
 	verify := fs.Bool("verify", true, "check results against the reference interpreter")
+	engine := fs.String("engine", "", "simulation engine: burst (default), reference, or threaded")
 	trace := fs.Int("trace", 0, "print the first N simulated instructions as a timeline")
 	traceOut := fs.String("trace-out", "", "record the run's event stream and write it to this file")
 	traceFormat := fs.String("trace-format", "text", "format for -trace-out: "+obs.TraceFormats)
@@ -84,6 +85,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cfg := par.MachineConfig()
+	cfg.Engine = *engine
 	if *traceOut != "" {
 		rec := obs.NewRecorder()
 		tcfg := cfg

@@ -35,8 +35,8 @@ const artShards = 16
 // (singleflight), with concurrent requesters blocking on the first
 // compilation instead of duplicating it.
 type Runner struct {
-	workers   int
-	reference bool
+	workers int
+	engine  string // sim engine for every simulation; "" = the burst default
 
 	shards [artShards]artShard
 	seqMu  sync.Mutex
@@ -115,12 +115,24 @@ func NewRunner() *Runner {
 // concurrently with them.
 func (r *Runner) SetWorkers(n int) { r.workers = n }
 
+// SetEngine routes every simulation this runner launches — main runs,
+// sequential baselines, and compile-time profiling runs — through the named
+// sim engine ("" or sim.EngineBurst for the default, sim.EngineReference,
+// sim.EngineThreaded). Results are bit-identical across engines; only host
+// time changes. Call before launching experiments, not concurrently with
+// them.
+func (r *Runner) SetEngine(engine string) { r.engine = engine }
+
 // SetReference forces every simulation this runner launches onto the
 // retained per-instruction reference scheduler instead of the burst engine.
-// Results are bit-identical either way; the reference engine exists for
-// cross-checking and host-performance baselines. Call before launching
-// experiments, not concurrently with them.
-func (r *Runner) SetReference(ref bool) { r.reference = ref }
+// Kept as a thin wrapper over SetEngine for existing callers.
+func (r *Runner) SetReference(ref bool) {
+	if ref {
+		r.engine = sim.EngineReference
+	} else {
+		r.engine = ""
+	}
+}
 
 // each runs f(0..n-1) on this runner's worker pool.
 func (r *Runner) each(n int, f func(int) error) error {
@@ -172,7 +184,7 @@ func (r *Runner) Artifact(k *kernels.Kernel, v Variant) (*core.Artifact, error) 
 	sh.mu.Unlock()
 	e.once.Do(func() {
 		opt := v.options()
-		if r.reference {
+		if r.engine == sim.EngineReference {
 			// Route the compile-time profiling simulation through the
 			// reference engine too, so a reference runner exercises no burst
 			// code at all (the honest baseline for host-speed comparisons —
@@ -183,6 +195,7 @@ func (r *Runner) Artifact(k *kernels.Kernel, v Variant) (*core.Artifact, error) 
 				opt.Machine = &cfg
 			}
 			opt.Machine.Reference = true
+			opt.Machine.Engine = sim.EngineReference
 		} else if opt.UseProfile {
 			p, err := r.profileFor(k, v)
 			if err != nil {
@@ -214,6 +227,15 @@ func (r *Runner) profileFor(k *kernels.Kernel, v Variant) (profile.Profile, erro
 	r.profMu.Unlock()
 	e.once.Do(func() {
 		opt := v.options()
+		if r.engine != "" {
+			// The profiling simulation runs on the runner's engine too, so a
+			// threaded sweep exercises the threaded engine end to end.
+			if opt.Machine == nil {
+				cfg := sim.DefaultConfig(v.Cores)
+				opt.Machine = &cfg
+			}
+			opt.Machine.Engine = r.engine
+		}
 		e.p, e.err = core.ComputeProfile(k.Build(), opt)
 	})
 	return e.p, e.err
@@ -236,7 +258,7 @@ func (r *Runner) SeqCycles(k *kernels.Kernel) (int64, error) {
 			return
 		}
 		cfg := a.MachineConfig()
-		cfg.Reference = r.reference
+		cfg.Engine = r.engine
 		res, err := a.Run(cfg)
 		if err != nil {
 			e.err = err
@@ -259,7 +281,7 @@ func (r *Runner) Speedup(k *kernels.Kernel, v Variant, mod func(*sim.Config)) (f
 		return 0, nil, nil, err
 	}
 	cfg := a.MachineConfig()
-	cfg.Reference = r.reference
+	cfg.Engine = r.engine
 	if mod != nil {
 		mod(&cfg)
 	}

@@ -18,7 +18,7 @@ import (
 // OracleConfig selects the configuration matrix one kernel is checked
 // against. The zero value checks the full default matrix: cores 1..4 ×
 // speculation {off, on} × normalization {as-authored, split-at-3} × engine
-// {burst, reference}, plus the metamorphic invariants.
+// {burst, reference, threaded}, plus the metamorphic invariants.
 type OracleConfig struct {
 	// MaxCores bounds the core-count sweep (default 4).
 	MaxCores int
@@ -51,19 +51,19 @@ func (c OracleConfig) withDefaults() OracleConfig {
 // Mismatch describes one oracle failure: which configuration diverged from
 // the interpreter ground truth (or from a metamorphic invariant) and how.
 type Mismatch struct {
-	Kernel    string
-	Cores     int
-	Spec      bool
-	Norm      int
-	Reference bool
-	Stage     string // "compile", "verify", "run", "memory", "liveout", "invariant"
-	Detail    string
+	Kernel string
+	Cores  int
+	Spec   bool
+	Norm   int
+	Engine string
+	Stage  string // "compile", "verify", "run", "memory", "liveout", "invariant"
+	Detail string
 }
 
 func (m *Mismatch) Error() string {
-	eng := "burst"
-	if m.Reference {
-		eng = "reference"
+	eng := m.Engine
+	if eng == "" {
+		eng = sim.EngineBurst
 	}
 	return fmt.Sprintf("fuzz: %s: cores=%d spec=%v norm=%d engine=%s: %s: %s",
 		m.Kernel, m.Cores, m.Spec, m.Norm, eng, m.Stage, m.Detail)
@@ -135,29 +135,33 @@ func Check(l *ir.Loop, oc OracleConfig) error {
 					return &Mismatch{Kernel: l.Name, Cores: cores, Spec: spec, Norm: norm,
 						Stage: stage, Detail: cerr.Error()}
 				}
-				var burstRes, refRes *sim.Result
-				var burstRec, refRec *obs.Recorder
-				for _, refEngine := range []bool{false, true} {
-					res, rec, err := checkRun(l, art, ref, rerr, refEngine)
+				results := map[string]*sim.Result{}
+				recs := map[string]*obs.Recorder{}
+				for _, eng := range sim.Engines() {
+					res, rec, err := checkRun(l, art, ref, rerr, eng)
 					if err != nil {
 						m := err.(*Mismatch)
-						m.Cores, m.Spec, m.Norm, m.Reference = cores, spec, norm, refEngine
+						m.Cores, m.Spec, m.Norm, m.Engine = cores, spec, norm, eng
 						return m
 					}
-					if refEngine {
-						refRes, refRec = res, rec
-					} else {
-						burstRes, burstRec = res, rec
-					}
+					results[eng] = res
+					recs[eng] = rec
 				}
-				// Invariant: the burst engine is bit-identical to the
-				// reference scheduler, including timing.
-				if burstRes != nil && refRes != nil {
-					if burstRes.Cycles != refRes.Cycles || burstRes.Transfers != refRes.Transfers {
+				burstRes, refRes := results[sim.EngineBurst], results[sim.EngineReference]
+				burstRec, refRec := recs[sim.EngineBurst], recs[sim.EngineReference]
+				// Invariant: every engine is bit-identical to the reference
+				// scheduler — full counter equality, not just the headline
+				// cycle count, so relaxed-order scheduling in the threaded
+				// engine cannot hide behind matching totals (QueueHighWater in
+				// particular observes canonical queue-depth order directly).
+				for _, eng := range sim.Engines() {
+					if eng == sim.EngineReference || results[eng] == nil || refRes == nil {
+						continue
+					}
+					if d := diffResults(results[eng], refRes); d != "" {
 						return &Mismatch{Kernel: l.Name, Cores: cores, Spec: spec, Norm: norm,
-							Stage: "invariant",
-							Detail: fmt.Sprintf("burst (cycles=%d transfers=%d) != reference (cycles=%d transfers=%d)",
-								burstRes.Cycles, burstRes.Transfers, refRes.Cycles, refRes.Transfers)}
+							Engine: eng, Stage: "invariant",
+							Detail: fmt.Sprintf("diverges from reference: %s", d)}
 					}
 				}
 				// Invariant: both engines deliver the identical canonical
@@ -175,21 +179,29 @@ func Check(l *ir.Loop, oc OracleConfig) error {
 						Stage:  "invariant",
 						Detail: fmt.Sprintf("queue traffic on 1 core: transfers=%d queues=%d", burstRes.Transfers, burstRes.QueuesUsed)}
 				}
-				// Invariant: repeat runs are cycle-deterministic. One
+				// Invariant: repeat runs are cycle-deterministic, on the
+				// default engine and on the threaded engine (whose artifact
+				// cache makes the second run take the warm path). One
 				// configuration per kernel keeps the cost bounded.
-				if !oc.SkipRepeat && cores == oc.MaxCores && !spec && norm == 0 && burstRes != nil {
-					res2, _, err := checkRun(l, art, ref, rerr, false)
-					if err != nil {
-						m := err.(*Mismatch)
-						m.Cores, m.Spec, m.Norm = cores, spec, norm
-						m.Stage = "invariant"
-						m.Detail = "repeat run: " + m.Detail
-						return m
-					}
-					if res2.Cycles != burstRes.Cycles || res2.Transfers != burstRes.Transfers {
-						return &Mismatch{Kernel: l.Name, Cores: cores, Spec: spec, Norm: norm,
-							Stage:  "invariant",
-							Detail: fmt.Sprintf("nondeterministic repeat: cycles %d then %d", burstRes.Cycles, res2.Cycles)}
+				if !oc.SkipRepeat && cores == oc.MaxCores && !spec && norm == 0 {
+					for _, eng := range []string{sim.EngineBurst, sim.EngineThreaded} {
+						first := results[eng]
+						if first == nil {
+							continue
+						}
+						res2, _, err := checkRun(l, art, ref, rerr, eng)
+						if err != nil {
+							m := err.(*Mismatch)
+							m.Cores, m.Spec, m.Norm, m.Engine = cores, spec, norm, eng
+							m.Stage = "invariant"
+							m.Detail = "repeat run: " + m.Detail
+							return m
+						}
+						if res2.Cycles != first.Cycles || res2.Transfers != first.Transfers {
+							return &Mismatch{Kernel: l.Name, Cores: cores, Spec: spec, Norm: norm,
+								Engine: eng, Stage: "invariant",
+								Detail: fmt.Sprintf("nondeterministic repeat: cycles %d then %d", first.Cycles, res2.Cycles)}
+						}
 					}
 				}
 			}
@@ -231,17 +243,74 @@ func checkEvents(kernel string, res *sim.Result, burst, ref *obs.Recorder) *Mism
 	return nil
 }
 
+// diffResults compares every deterministic counter of two engine results
+// and describes the first divergence ("" when bit-identical). LiveOut and
+// the memory image are checked against the interpreter separately; this is
+// the engine-vs-engine half of the oracle.
+func diffResults(got, want *sim.Result) string {
+	if got.Cycles != want.Cycles {
+		return fmt.Sprintf("cycles %d != %d", got.Cycles, want.Cycles)
+	}
+	if got.Transfers != want.Transfers {
+		return fmt.Sprintf("transfers %d != %d", got.Transfers, want.Transfers)
+	}
+	if got.QueuesUsed != want.QueuesUsed || got.PairsUsed != want.PairsUsed {
+		return fmt.Sprintf("queues/pairs %d/%d != %d/%d", got.QueuesUsed, got.PairsUsed, want.QueuesUsed, want.PairsUsed)
+	}
+	if got.LoadHits != want.LoadHits || got.LoadMisses != want.LoadMisses {
+		return fmt.Sprintf("load hits/misses %d/%d != %d/%d", got.LoadHits, got.LoadMisses, want.LoadHits, want.LoadMisses)
+	}
+	if got.MemPortBusyCycles != want.MemPortBusyCycles {
+		return fmt.Sprintf("port busy cycles %d != %d", got.MemPortBusyCycles, want.MemPortBusyCycles)
+	}
+	for _, v := range []struct {
+		name      string
+		got, want []int64
+	}{
+		{"per-core cycles", got.PerCoreCycles, want.PerCoreCycles},
+		{"per-core instrs", got.PerCoreInstrs, want.PerCoreInstrs},
+		{"enq stalls", got.EnqStalls, want.EnqStalls},
+		{"deq stalls", got.DeqStalls, want.DeqStalls},
+	} {
+		if len(v.got) != len(v.want) {
+			return fmt.Sprintf("%s length %d != %d", v.name, len(v.got), len(v.want))
+		}
+		for i := range v.got {
+			if v.got[i] != v.want[i] {
+				return fmt.Sprintf("%s[%d] %d != %d", v.name, i, v.got[i], v.want[i])
+			}
+		}
+	}
+	if len(got.QueueHighWater) != len(want.QueueHighWater) {
+		return fmt.Sprintf("high-water length %d != %d", len(got.QueueHighWater), len(want.QueueHighWater))
+	}
+	for i := range got.QueueHighWater {
+		if got.QueueHighWater[i] != want.QueueHighWater[i] {
+			return fmt.Sprintf("queue %d high-water %d != %d", i, got.QueueHighWater[i], want.QueueHighWater[i])
+		}
+	}
+	return ""
+}
+
 // checkRun simulates the artifact on one engine — recording the full event
 // stream — and compares the final memory image and live-outs against the
 // interpreter result. When the interpreter trapped (rerr != nil), the
 // simulation must also trap and the value comparison is skipped. The
 // returned error is always a *Mismatch.
-func checkRun(src *ir.Loop, art *core.Artifact, ref *interp.Result, rerr error, refEngine bool) (*sim.Result, *obs.Recorder, error) {
+//
+// The threaded leg runs without an event sink: a sink makes runThreaded
+// delegate to the burst decomposition by construction, which would leave the
+// fused-block runtime unexercised. Its recorder is therefore nil and the
+// event-stream invariants apply to the burst/reference pair only.
+func checkRun(src *ir.Loop, art *core.Artifact, ref *interp.Result, rerr error, engine string) (*sim.Result, *obs.Recorder, error) {
 	cfg := art.MachineConfig()
 	cfg.DebugEdges = true
-	cfg.Reference = refEngine
-	rec := obs.NewRecorder()
-	cfg.Sink = rec
+	cfg.Engine = engine
+	var rec *obs.Recorder
+	if engine != sim.EngineThreaded {
+		rec = obs.NewRecorder()
+		cfg.Sink = rec
+	}
 	img := outline.BuildMemory(art.Loop)
 	m, err := sim.New(art.Compiled.Programs, img, cfg)
 	if err != nil {

@@ -43,6 +43,10 @@ type RunRequest struct {
 	// Reference routes the simulation through the retained per-instruction
 	// engine instead of the burst engine (bit-identical results).
 	Reference bool `json:"reference,omitempty"`
+	// Engine selects the execution engine by name ("burst", "reference",
+	// "threaded"); it wins over Reference when both are set. All engines
+	// return bit-identical results — the lever trades host time only.
+	Engine string `json:"engine,omitempty"`
 	// Attribution includes the stall-attribution report text.
 	Attribution bool `json:"attribution,omitempty"`
 	// Trace includes a rendered trace: "perfetto", "text", or "report".
@@ -242,6 +246,7 @@ func (s *Server) run(ctx context.Context, w http.ResponseWriter, req *RunRequest
 	// aborts within one burst horizon (sim.RunContext).
 	cfg := art.MachineConfig()
 	cfg.Reference = req.Reference
+	cfg.Engine = req.Engine
 	var rec *obs.Recorder
 	if req.Attribution || req.Trace != "" {
 		rec = obs.NewRecorder()

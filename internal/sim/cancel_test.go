@@ -39,7 +39,9 @@ func engineConfigs() map[string]Config {
 	burst := cfg1()
 	ref := cfg1()
 	ref.Reference = true
-	return map[string]Config{"burst": burst, "reference": ref}
+	threaded := cfg1()
+	threaded.Engine = EngineThreaded
+	return map[string]Config{"burst": burst, "reference": ref, "threaded": threaded}
 }
 
 func TestRunContextPreCancelled(t *testing.T) {

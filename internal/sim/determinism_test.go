@@ -21,20 +21,33 @@ import (
 )
 
 // runEngines compiles nothing: it simulates an existing artifact once per
-// engine and returns both results.
-func runEngines(t *testing.T, a *core.Artifact, cfg sim.Config) (burst, ref *sim.Result) {
+// engine and returns all three results.
+func runEngines(t *testing.T, a *core.Artifact, cfg sim.Config) (burst, threaded, ref *sim.Result) {
 	t.Helper()
 	cfg.Reference = false
+	cfg.Engine = sim.EngineBurst
 	burst, err := a.Run(cfg)
 	if err != nil {
 		t.Fatalf("burst run: %v", err)
 	}
-	cfg.Reference = true
+	cfg.Engine = sim.EngineThreaded
+	threaded, err = a.Run(cfg)
+	if err != nil {
+		t.Fatalf("threaded run: %v", err)
+	}
+	cfg.Engine = sim.EngineReference
 	ref, err = a.Run(cfg)
 	if err != nil {
 		t.Fatalf("reference run: %v", err)
 	}
-	return burst, ref
+	return burst, threaded, ref
+}
+
+// diffAllEngines asserts both optimized engines against the reference.
+func diffAllEngines(t *testing.T, label string, burst, threaded, ref *sim.Result) {
+	t.Helper()
+	diffResults(t, label+"/burst", burst, ref)
+	diffResults(t, label+"/threaded", threaded, ref)
 }
 
 // diffResults compares every observable field of two results.
@@ -61,7 +74,7 @@ func diffResults(t *testing.T, label string, burst, ref *sim.Result) {
 	}
 	for _, c := range checks {
 		if !reflect.DeepEqual(c.got, c.want) {
-			t.Errorf("%s: %s diverges: burst %v, reference %v", label, c.name, c.got, c.want)
+			t.Errorf("%s: %s diverges: got %v, reference %v", label, c.name, c.got, c.want)
 		}
 	}
 }
@@ -83,8 +96,8 @@ func TestBurstMatchesReferenceAllKernels(t *testing.T) {
 					if err != nil {
 						t.Fatalf("compile: %v", err)
 					}
-					burst, ref := runEngines(t, a, a.MachineConfig())
-					diffResults(t, name, burst, ref)
+					burst, threaded, ref := runEngines(t, a, a.MachineConfig())
+					diffAllEngines(t, name, burst, threaded, ref)
 				})
 			}
 		}
@@ -102,8 +115,8 @@ func TestBurstMatchesReferenceSequential(t *testing.T) {
 			if err != nil {
 				t.Fatalf("compile: %v", err)
 			}
-			burst, ref := runEngines(t, a, a.MachineConfig())
-			diffResults(t, k.Name, burst, ref)
+			burst, threaded, ref := runEngines(t, a, a.MachineConfig())
+			diffAllEngines(t, k.Name, burst, threaded, ref)
 		})
 	}
 }
@@ -134,8 +147,8 @@ func TestBurstMatchesReferenceConfigSweep(t *testing.T) {
 			t.Parallel()
 			cfg := a.MachineConfig()
 			mod(&cfg)
-			burst, ref := runEngines(t, a, cfg)
-			diffResults(t, name, burst, ref)
+			burst, threaded, ref := runEngines(t, a, cfg)
+			diffAllEngines(t, name, burst, threaded, ref)
 		})
 	}
 }
@@ -160,31 +173,33 @@ func TestEventStreamMatchesAcrossEngines(t *testing.T) {
 					t.Fatalf("compile: %v", err)
 				}
 				cfg := a.MachineConfig()
-				bRec, rRec := obs.NewRecorder(), obs.NewRecorder()
-
-				cfg.Reference = false
-				cfg.Sink = bRec
-				burst, err := a.Run(cfg)
-				if err != nil {
-					t.Fatalf("burst run: %v", err)
-				}
-				cfg.Reference = true
+				rRec := obs.NewRecorder()
+				cfg.Engine = sim.EngineReference
 				cfg.Sink = rRec
 				ref, err := a.Run(cfg)
 				if err != nil {
 					t.Fatalf("reference run: %v", err)
 				}
-				diffResults(t, name, burst, ref)
+				for _, engine := range []string{sim.EngineBurst, sim.EngineThreaded} {
+					rec := obs.NewRecorder()
+					cfg.Engine = engine
+					cfg.Sink = rec
+					res, err := a.Run(cfg)
+					if err != nil {
+						t.Fatalf("%s run: %v", engine, err)
+					}
+					diffResults(t, name+"/"+engine, res, ref)
 
-				if !reflect.DeepEqual(bRec.Meta, rRec.Meta) {
-					t.Errorf("sink metadata diverges: burst %+v, reference %+v", bRec.Meta, rRec.Meta)
-				}
-				if len(bRec.Events) != len(rRec.Events) {
-					t.Fatalf("event counts diverge: burst %d, reference %d", len(bRec.Events), len(rRec.Events))
-				}
-				for i := range bRec.Events {
-					if bRec.Events[i] != rRec.Events[i] {
-						t.Fatalf("event %d diverges:\n  burst     %+v\n  reference %+v", i, bRec.Events[i], rRec.Events[i])
+					if !reflect.DeepEqual(rec.Meta, rRec.Meta) {
+						t.Errorf("sink metadata diverges: %s %+v, reference %+v", engine, rec.Meta, rRec.Meta)
+					}
+					if len(rec.Events) != len(rRec.Events) {
+						t.Fatalf("event counts diverge: %s %d, reference %d", engine, len(rec.Events), len(rRec.Events))
+					}
+					for i := range rec.Events {
+						if rec.Events[i] != rRec.Events[i] {
+							t.Fatalf("event %d diverges:\n  %-9s %+v\n  reference %+v", i, engine, rec.Events[i], rRec.Events[i])
+						}
 					}
 				}
 			})

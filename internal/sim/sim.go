@@ -76,6 +76,35 @@ type Config struct {
 	// live-outs), which the determinism tests enforce. The reference engine
 	// remains as the oracle the burst engine is validated against.
 	Reference bool
+	// Engine selects the execution engine by name: EngineBurst (the
+	// default), EngineReference (the per-instruction oracle, equivalent to
+	// Reference: true), or EngineThreaded (basic-block threaded code; see
+	// threaded.go). When set it takes precedence over the legacy Reference
+	// flag; an unknown name fails the run. All engines produce bit-identical
+	// Results and event streams.
+	Engine string
+}
+
+// Engine names accepted by Config.Engine.
+const (
+	EngineBurst     = "burst"
+	EngineReference = "reference"
+	EngineThreaded  = "threaded"
+)
+
+// Engines lists the selectable execution engines, default first.
+func Engines() []string { return []string{EngineBurst, EngineReference, EngineThreaded} }
+
+// EngineName resolves the effective engine: Engine when set, else the
+// legacy Reference flag, else the burst default.
+func (c *Config) EngineName() string {
+	if c.Engine != "" {
+		return c.Engine
+	}
+	if c.Reference {
+		return EngineReference
+	}
+	return EngineBurst
 }
 
 // DefaultConfig returns the configuration used by the paper's main
@@ -173,6 +202,14 @@ type Machine struct {
 	// code holds the predecoded programs the burst engine executes; built
 	// lazily on the first burst-mode Run.
 	code [][]dinstr
+	// Threaded-engine state (threaded.go/tcompile.go): the compiled block
+	// programs, per-core typed register files, and the machine's memory
+	// array bindings; all nil until the first threaded-mode Run.
+	tprogs []*tprog
+	tcores []*tcore
+	tArrF  [][]float64
+	tArrI  [][]int64
+	tBase  []int64
 
 	// Observability state (see internal/obs); all nil/false when no sink is
 	// attached, so the hot paths pay one branch. sink is the effective sink
@@ -280,10 +317,15 @@ func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
 	}
 	var res *Result
 	var err error
-	if m.cfg.Reference {
+	switch eng := m.cfg.EngineName(); eng {
+	case EngineReference:
 		res, err = m.runReference(ctx)
-	} else {
+	case EngineThreaded:
+		res, err = m.runThreaded(ctx)
+	case EngineBurst:
 		res, err = m.runBurst(ctx)
+	default:
+		res, err = nil, fmt.Errorf("sim: unknown engine %q (have %v)", eng, Engines())
 	}
 	if sink != nil {
 		if serr := m.drainObs(sink); serr != nil && err == nil {
@@ -517,7 +559,7 @@ func (m *Machine) stepExec(c *coreState) error {
 			c.blockAt = c.time
 			return nil
 		}
-		e := q.Pop()
+		e := q.Pop(c.time)
 		if m.cfg.DebugEdges && in.Edge != e.Edge {
 			return fmt.Errorf("queue %s FIFO mismatch: dequeue expects edge %d, head carries edge %d", q, in.Edge, e.Edge)
 		}
@@ -606,6 +648,7 @@ func (m *Machine) result() *Result {
 	r.QueueHighWater = make([]int, len(m.queues))
 	for i, q := range m.queues {
 		if q != nil && q.Used() {
+			q.FoldPeak() // settle any relaxed-order pushes (threaded engine)
 			r.QueuesUsed++
 			r.Transfers += q.Transfers
 			r.QueueHighWater[i] = q.Peak

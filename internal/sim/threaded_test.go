@@ -1,0 +1,247 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"fgp/internal/ir"
+	"fgp/internal/isa"
+	"fgp/internal/mem"
+)
+
+// TestThreadedPartitionShape pins the coarse partition: blocks end only at
+// real control transfers, branch targets resolve to mid-block (block, op)
+// refs instead of forcing leaders, and the pcmap round-trips every pc.
+func TestThreadedPartitionShape(t *testing.T) {
+	// 0..2 straight-line, Fjp, Jp whose target lands mid-block, halt.
+	p := prog(0,
+		isa.Instr{Op: isa.ConstI, Dst: 0, A: noReg, B: noReg, ImmI: 3},
+		isa.Instr{Op: isa.ConstI, Dst: 1, A: noReg, B: noReg, ImmI: 1},
+		isa.Instr{Op: isa.Bin, BinOp: ir.Sub, K: ir.I64, Dst: 0, A: 0, B: 1},
+		isa.Instr{Op: isa.Fjp, A: 0, B: noReg, Dst: noReg, Tgt: 5},
+		isa.Instr{Op: isa.Jp, Dst: noReg, A: noReg, B: noReg, Tgt: 2},
+		isa.Instr{Op: isa.Halt, Dst: noReg, A: noReg, B: noReg},
+	)
+	tp := compileThreaded(p, DefaultConfig(1).Cost)
+	if !tp.ok {
+		t.Fatalf("program ineligible: %s", tp.reason)
+	}
+	if len(tp.blocks) != 3 {
+		t.Fatalf("got %d blocks, want 3 (blocks must end only at control transfers)", len(tp.blocks))
+	}
+	if got := len(tp.blocks[0].ops); got != 3 {
+		t.Errorf("block 0 fused %d ops, want 3", got)
+	}
+	// The loop-back Jp targets pc 2, which is op 2 inside block 0 — a
+	// mid-block entry, not a block leader.
+	if want := (tref{blk: 0, op: 2}); tp.pcmap[2] != want {
+		t.Errorf("pcmap[2] = %+v, want %+v", tp.pcmap[2], want)
+	}
+	if tp.blocks[1].term != ttJp || tp.blocks[1].tgt != (tref{blk: 0, op: 2}) {
+		t.Errorf("loop-back block: term=%d tgt=%+v, want ttJp into {0 2}", tp.blocks[1].term, tp.blocks[1].tgt)
+	}
+	for pc := range p.Instrs {
+		ref := tp.pcmap[pc]
+		if got := pcAt(&tp.blocks[ref.blk], int(ref.op)); got != pc {
+			t.Errorf("pcmap round-trip: pc %d maps to %+v which is pc %d", pc, ref, got)
+		}
+	}
+}
+
+// TestThreadedIneligibility covers the soundness checks that demote a
+// program to the burst engine, by reason.
+func TestThreadedIneligibility(t *testing.T) {
+	ci := func(dst isa.Reg, v int64) isa.Instr {
+		return isa.Instr{Op: isa.ConstI, Dst: dst, A: noReg, B: noReg, ImmI: v}
+	}
+	halt := isa.Instr{Op: isa.Halt, Dst: noReg, A: noReg, B: noReg}
+	cases := []struct {
+		name   string
+		prog   *isa.Program
+		reason string
+	}{
+		{"empty", prog(0), "empty program"},
+		{"jr outside driver", prog(0,
+			ci(0, 2),
+			isa.Instr{Op: isa.Jr, A: 0, B: noReg, Dst: noReg},
+			halt,
+		), "indirect jump outside the canonical driver"},
+		{"branch target out of program", prog(0,
+			isa.Instr{Op: isa.Jp, Dst: noReg, A: noReg, B: noReg, Tgt: 99},
+			halt,
+		), "branch target"},
+		{"kind conflict", prog(0,
+			// ConstF pins r0 to F64; Fjp requires its condition to be I64.
+			isa.Instr{Op: isa.ConstF, Dst: 0, A: noReg, B: noReg, ImmF: 1.5},
+			isa.Instr{Op: isa.Fjp, Dst: noReg, A: 0, B: noReg, Tgt: 0},
+			halt,
+		), "kind conflict"},
+		{"possibly unassigned read", prog(0,
+			isa.Instr{Op: isa.Bin, BinOp: ir.Add, K: ir.I64, Dst: 1, A: 0, B: 0},
+			halt,
+		), "possibly-unassigned"},
+		{"queue id outside packing", prog(0,
+			ci(0, 1),
+			isa.Instr{Op: isa.Enq, A: 0, B: noReg, Dst: noReg, K: ir.I64, Q: 300, Edge: 1},
+			halt,
+		), "queue id 300 outside the packed encoding"},
+		{"edge tag outside packing", prog(0,
+			ci(0, 1),
+			isa.Instr{Op: isa.Enq, A: 0, B: noReg, Dst: noReg, K: ir.I64, Q: 0, Edge: 70000},
+			halt,
+		), "edge tag 70000 outside the packed encoding"},
+		{"register count outside packing", prog(0,
+			ci(70000, 1),
+			halt,
+		), "outside the packed encoding"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tp := compileThreaded(tc.prog, DefaultConfig(1).Cost)
+			if tp.ok {
+				t.Fatalf("program unexpectedly eligible")
+			}
+			if !strings.Contains(tp.reason, tc.reason) {
+				t.Errorf("reason = %q, want substring %q", tp.reason, tc.reason)
+			}
+		})
+	}
+}
+
+// runOn runs the same programs/memory on one engine and returns the result.
+func runOn(t *testing.T, progs []*isa.Program, build func() *mem.Memory, cfg Config, engine string) (*Result, *mem.Memory) {
+	t.Helper()
+	mm := build()
+	c := cfg
+	c.Engine = engine
+	m, err := New(progs, mm, c)
+	if err != nil {
+		t.Fatalf("%s: New: %v", engine, err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("%s: Run: %v", engine, err)
+	}
+	return res, mm
+}
+
+// TestThreadedJrDeoptMatchesReference drives the indirect-jump guard: the
+// primary dispatches a non-canonical Jr target, which must deoptimize the
+// secondary onto the burst engine mid-run with bit-identical results.
+func TestThreadedJrDeoptMatchesReference(t *testing.T) {
+	q := QID(0, 1, ir.I64, 2)
+	ci := func(dst isa.Reg, v int64) isa.Instr {
+		return isa.Instr{Op: isa.ConstI, Dst: dst, A: noReg, B: noReg, ImmI: v}
+	}
+	enq := isa.Instr{Op: isa.Enq, A: 0, B: noReg, Dst: noReg, K: ir.I64, Q: q, Edge: 1}
+	halt := isa.Instr{Op: isa.Halt, Dst: noReg, A: noReg, B: noReg}
+	primary := prog(0,
+		ci(0, 5), enq, // 5 is a valid body pc but not the canonical driverLen
+		ci(0, 3), enq, // canonical body
+		ci(0, 0), enq, // shutdown
+		halt,
+	)
+	secondary := prog(1,
+		isa.Instr{Op: isa.Deq, Dst: 0, A: noReg, B: noReg, K: ir.I64, Q: q, Edge: 1}, // 0
+		isa.Instr{Op: isa.Fjp, A: 0, B: noReg, Dst: noReg, Tgt: 9},                   // 1
+		isa.Instr{Op: isa.Jr, A: 0, B: noReg, Dst: noReg},                            // 2
+		ci(1, 41), // 3: canonical body
+		isa.Instr{Op: isa.Jp, Dst: noReg, A: noReg, B: noReg, Tgt: 0}, // 4
+		ci(2, 0),  // 5: non-canonical body
+		ci(3, 42), // 6
+		isa.Instr{Op: isa.Store, A: 2, B: 3, Dst: noReg, K: ir.I64, Arr: 0}, // 7
+		isa.Instr{Op: isa.Jp, Dst: noReg, A: noReg, B: noReg, Tgt: 0},       // 8
+		halt, // 9
+	)
+	if tp := compileThreaded(secondary, DefaultConfig(2).Cost); !tp.ok {
+		t.Fatalf("secondary must be eligible (deopt is a runtime event): %s", tp.reason)
+	}
+	build := func() *mem.Memory {
+		mm := mem.New()
+		mm.AddI("o", []int64{0})
+		return mm
+	}
+	cfg := cfg2()
+	ref, refMem := runOn(t, []*isa.Program{primary, secondary}, build, cfg, EngineReference)
+	thr, thrMem := runOn(t, []*isa.Program{primary, secondary}, build, cfg, EngineThreaded)
+	if got := thrMem.SnapshotI("o")[0]; got != 42 {
+		t.Errorf("o[0] = %d, want 42 (non-canonical body must run)", got)
+	}
+	if want := refMem.SnapshotI("o")[0]; thrMem.SnapshotI("o")[0] != want {
+		t.Errorf("memory diverges: threaded %d, reference %d", thrMem.SnapshotI("o")[0], want)
+	}
+	if thr.Cycles != ref.Cycles {
+		t.Errorf("cycles diverge after deopt: threaded %d, reference %d", thr.Cycles, ref.Cycles)
+	}
+	for i := range ref.PerCoreCycles {
+		if thr.PerCoreCycles[i] != ref.PerCoreCycles[i] {
+			t.Errorf("core %d cycles diverge: threaded %d, reference %d", i, thr.PerCoreCycles[i], ref.PerCoreCycles[i])
+		}
+	}
+}
+
+// TestThreadedDeqKindDeoptMatchesReference drives the dequeue kind guard:
+// the producer enqueues a float where the consumer's static solution says
+// int. The threaded consumer must complete the dequeue with reference
+// semantics and permanently fall back to the burst engine.
+func TestThreadedDeqKindDeoptMatchesReference(t *testing.T) {
+	q := QID(1, 0, ir.I64, 2)
+	halt := isa.Instr{Op: isa.Halt, Dst: noReg, A: noReg, B: noReg}
+	consumer := prog(0,
+		isa.Instr{Op: isa.Deq, Dst: 0, A: noReg, B: noReg, K: ir.I64, Q: q, Edge: 1},
+		isa.Instr{Op: isa.Bin, BinOp: ir.Add, K: ir.I64, Dst: 1, A: 0, B: 0},
+		halt,
+	)
+	consumer.RegName = map[isa.Reg]string{1: "out"}
+	producer := prog(1,
+		isa.Instr{Op: isa.ConstF, Dst: 0, A: noReg, B: noReg, ImmF: 2.5},
+		isa.Instr{Op: isa.Enq, A: 0, B: noReg, Dst: noReg, K: ir.F64, Q: q, Edge: 1},
+		halt,
+	)
+	if tp := compileThreaded(consumer, DefaultConfig(2).Cost); !tp.ok {
+		t.Fatalf("consumer must be eligible (the mismatch is a runtime event): %s", tp.reason)
+	}
+	cfg := cfg2()
+	ref, _ := runOn(t, []*isa.Program{consumer, producer}, mem.New, cfg, EngineReference)
+	thr, _ := runOn(t, []*isa.Program{consumer, producer}, mem.New, cfg, EngineThreaded)
+	if thr.Cycles != ref.Cycles {
+		t.Errorf("cycles diverge: threaded %d, reference %d", thr.Cycles, ref.Cycles)
+	}
+	got, ok := thr.LiveOut["out"]
+	want := ref.LiveOut["out"]
+	if !ok || got != want {
+		t.Errorf("live-out diverges: threaded %+v (ok=%v), reference %+v", got, ok, want)
+	}
+	if want.K != ir.F64 || want.F != 5.0 {
+		t.Errorf("reference live-out = %+v, want the dynamically-kinded float 5", want)
+	}
+}
+
+// TestThreadedTranslationCache pins both cache layers: pointer identity
+// short-circuits recompilation, structural equality shares through the
+// content-addressed cache, and a different cost table recompiles.
+func TestThreadedTranslationCache(t *testing.T) {
+	mk := func() *isa.Program {
+		return prog(0,
+			isa.Instr{Op: isa.ConstI, Dst: 0, A: noReg, B: noReg, ImmI: 7},
+			isa.Instr{Op: isa.Halt, Dst: noReg, A: noReg, B: noReg},
+		)
+	}
+	ct := DefaultConfig(1).Cost
+	p := mk()
+	tp1 := threadedFor(p, ct)
+	if !tp1.ok {
+		t.Fatalf("ineligible: %s", tp1.reason)
+	}
+	if tp2 := threadedFor(p, ct); tp2 != tp1 {
+		t.Error("same pointer + same cost table must hit the pointer cache")
+	}
+	if tp3 := threadedFor(mk(), ct); tp3 != tp1 {
+		t.Error("structurally equal program must share through the content cache")
+	}
+	ct2 := ct
+	ct2.IntALU += 1
+	if tp4 := threadedFor(p, ct2); tp4 == tp1 {
+		t.Error("different cost table must not share a translation")
+	}
+}
