@@ -45,6 +45,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	queueDepth := fs.Int("queue-depth", 0, "max requests waiting for a worker before 429 (0 = 64)")
 	timeout := fs.Duration("timeout", 0, "per-request wall-clock budget (0 = 60s)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	storeDir := fs.String("store-dir", "", "on-disk artifact store directory; restarts and replicas sharing it warm-start instead of recompiling (empty = memory-only)")
+	storeMaxBytes := fs.Int64("store-max-bytes", 0, "LRU byte budget of -store-dir (0 = 1 GiB)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -53,11 +55,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	svc := service.New(service.Config{
-		Workers:    *workers,
-		QueueDepth: *queueDepth,
-		Timeout:    *timeout,
+	svc, err := service.New(service.Config{
+		Workers:       *workers,
+		QueueDepth:    *queueDepth,
+		Timeout:       *timeout,
+		StoreDir:      *storeDir,
+		StoreMaxBytes: *storeMaxBytes,
 	})
+	if err != nil {
+		return fail(err)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return fail(err)

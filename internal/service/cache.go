@@ -68,6 +68,9 @@ type cacheEntry struct {
 type compileCache struct {
 	shards       [cacheShards]cacheShard
 	hits, misses atomic.Int64
+	// abandoned counts waiters that gave up (context done) before the
+	// in-flight fill completed; they are neither hits nor misses.
+	abandoned atomic.Int64
 }
 
 func newCompileCache() *compileCache {
@@ -109,11 +112,15 @@ func (c *compileCache) do(ctx context.Context, key string, fill func() (any, err
 		return e.val, false, e.err
 	}
 	sh.mu.Unlock()
-	c.hits.Add(1)
 	select {
 	case <-e.done:
+		c.hits.Add(1)
 		return e.val, true, e.err
 	case <-ctx.Done():
+		// Not a hit: this request never saw the artifact. Counting it as
+		// one inflated the hit rate under cancel-heavy load (surfaced by
+		// fgpload's cancel traffic class).
+		c.abandoned.Add(1)
 		return nil, true, fmt.Errorf("service: abandoned wait for in-flight compile: %w", ctx.Err())
 	}
 }

@@ -1,0 +1,75 @@
+// Regression tests for deadline semantics under sustained load. The bug:
+// admit() used to start the min(server, request) budget only after a worker
+// slot was acquired, so time spent queued silently extended timeout_ms —
+// under saturation, a request with a 50ms budget could wait seconds and
+// then still run. The budget now starts at admission and covers the queue
+// wait; a request whose deadline passes while queued is a prompt 504.
+
+package service
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestQueuedRequestHonorsDeadline(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 8, Timeout: 60 * time.Second})
+	s.sem <- struct{}{} // saturate the only worker from the outside
+	defer func() { <-s.sem }()
+
+	start := time.Now()
+	code, _, msg := postRun(t, ts, RunRequest{Kernel: "sphot-1", Cores: 2, TimeoutMs: 50})
+	elapsed := time.Since(start)
+
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("queued request past its deadline: %d %q, want 504", code, msg)
+	}
+	if !strings.Contains(msg, "queued") {
+		t.Errorf("504 body %q does not say the deadline passed in the queue", msg)
+	}
+	// The old behavior waited out the 60s server budget (or forever, for
+	// requests with no server timeout). 5s is generous for a 50ms budget on
+	// a loaded CI machine while still catching the regression.
+	if elapsed > 5*time.Second {
+		t.Errorf("504 took %v; the deadline must fire while queued, not after", elapsed)
+	}
+	m := s.Snapshot()
+	if m.Queued != 0 {
+		t.Errorf("request left a queue slot behind: queued=%d", m.Queued)
+	}
+	if m.Canceled == 0 {
+		t.Error("queued-deadline expiry not counted")
+	}
+	if m.Latency.Count == 0 {
+		t.Error("queued-deadline expiry not observed in the latency reservoir")
+	}
+}
+
+// TestBatchQueuedDeadline: the same contract holds for a whole batch — its
+// TimeoutMs covers the queue wait, and expiry is one 504 before any item
+// runs.
+func TestBatchQueuedDeadline(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 8, Timeout: 60 * time.Second})
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	start := time.Now()
+	code, _, trailer := postBatch(t, ts, BatchRequest{
+		Items:     []RunRequest{{Kernel: "sphot-1", Cores: 2}, {Kernel: "irs-1", Cores: 2}},
+		TimeoutMs: 50,
+	})
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("queued batch past its deadline: %d, want 504", code)
+	}
+	if trailer != nil {
+		t.Error("timed-out batch produced a trailer; items must not have run")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("batch 504 took %v", elapsed)
+	}
+	if s.Snapshot().BatchItems != 0 {
+		t.Error("timed-out batch executed items")
+	}
+}

@@ -161,7 +161,10 @@ func TestRunTrapReturns422(t *testing.T) {
 // TestFailRunMapping unit-tests the error→status mapping, including the
 // dump-size bound on simulator deadlock errors.
 func TestFailRunMapping(t *testing.T) {
-	s := New(Config{})
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	cases := []struct {
 		name   string
 		err    error

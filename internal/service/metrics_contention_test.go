@@ -1,0 +1,127 @@
+// Metrics under contention: 32 goroutines hammering /metrics and
+// Snapshot() while a mixed load burst runs. CI executes this under -race;
+// the assertions here pin the semantic half of the contract — counters are
+// monotonic within an observer, quantiles stay ordered, and the final
+// totals reconcile exactly with the traffic the clients issued.
+
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"fgp/internal/ir"
+)
+
+func TestMetricsUnderContention(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 1024})
+
+	var (
+		stop        atomic.Bool
+		issuedRuns  atomic.Int64
+		issuedBatch atomic.Int64
+		loadWG      sync.WaitGroup
+	)
+	// Load burst: hits, cold compiles, and batches, until the readers are
+	// done observing.
+	for g := 0; g < 8; g++ {
+		g := g
+		loadWG.Add(1)
+		go func() {
+			defer loadWG.Done()
+			for i := 0; !stop.Load(); i++ {
+				switch i % 3 {
+				case 0, 1:
+					code, _, _ := postRun(t, ts, RunRequest{Kernel: "sphot-1", Cores: 2})
+					if code == 200 || code == 429 {
+						issuedRuns.Add(1)
+					}
+				case 2:
+					wire, err := ir.MarshalLoop(uniqueLoop(int64(g*10_000+i), 64))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					code, _, trailer := postBatch(t, ts, BatchRequest{Items: []RunRequest{
+						{Kernel: "irs-1", Cores: 2},
+						{IR: wire, Cores: 2},
+					}})
+					if code == 200 && trailer != nil {
+						issuedBatch.Add(1)
+					}
+				}
+			}
+		}()
+	}
+
+	// 32 observers: each alternates the HTTP endpoint and the in-process
+	// snapshot, asserting the counters it sees never move backwards.
+	var readWG sync.WaitGroup
+	for r := 0; r < 32; r++ {
+		readWG.Add(1)
+		go func() {
+			defer readWG.Done()
+			var last Metrics
+			for i := 0; i < 40; i++ {
+				var m Metrics
+				if i%2 == 0 {
+					m = s.Snapshot()
+				} else {
+					resp, err := http.Get(ts.URL + "/metrics")
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					err = json.NewDecoder(resp.Body).Decode(&m)
+					resp.Body.Close()
+					if err != nil {
+						t.Errorf("decoding /metrics: %v", err)
+						return
+					}
+				}
+				for _, c := range []struct {
+					name      string
+					prev, cur int64
+				}{
+					{"requests", last.Requests, m.Requests},
+					{"batches", last.Batches, m.Batches},
+					{"batch_items", last.BatchItems, m.BatchItems},
+					{"cache lookups", last.Cache.Hits + last.Cache.Misses, m.Cache.Hits + m.Cache.Misses},
+					{"artifact resolutions", last.Artifacts.MemHits + last.Artifacts.DiskHits + last.Artifacts.Compiles,
+						m.Artifacts.MemHits + m.Artifacts.DiskHits + m.Artifacts.Compiles},
+					{"latency count", last.Latency.Count, m.Latency.Count},
+				} {
+					if c.cur < c.prev {
+						t.Errorf("%s moved backwards: %d -> %d", c.name, c.prev, c.cur)
+					}
+				}
+				if m.Latency.Count > 0 &&
+					(m.Latency.P50Ms > m.Latency.P99Ms || m.Latency.P99Ms > m.Latency.P999Ms) {
+					t.Errorf("quantiles out of order: p50=%.3f p99=%.3f p999=%.3f",
+						m.Latency.P50Ms, m.Latency.P99Ms, m.Latency.P999Ms)
+				}
+				last = m
+			}
+		}()
+	}
+	readWG.Wait()
+	stop.Store(true)
+	loadWG.Wait()
+
+	// Final reconciliation: the server's totals match what clients issued.
+	m := s.Snapshot()
+	wantReqs := issuedRuns.Load() + issuedBatch.Load()
+	if m.Requests != wantReqs {
+		t.Errorf("server counted %d requests, clients issued %d", m.Requests, wantReqs)
+	}
+	if m.Batches != issuedBatch.Load() || m.BatchItems != 2*issuedBatch.Load() {
+		t.Errorf("batches=%d items=%d, want %d/%d", m.Batches, m.BatchItems,
+			issuedBatch.Load(), 2*issuedBatch.Load())
+	}
+	if m.Cache.Hits == 0 || m.Cache.Misses == 0 {
+		t.Errorf("burst produced hits=%d misses=%d; both paths must run", m.Cache.Hits, m.Cache.Misses)
+	}
+}

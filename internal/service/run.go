@@ -99,14 +99,32 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.admit(w, r, time.Duration(req.TimeoutMs)*time.Millisecond, func(ctx context.Context) {
-		s.run(ctx, w, &req)
+		resp, ae := s.execute(ctx, &req)
+		if ae != nil {
+			writeJSON(w, ae.status, ae.body)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
 	})
 }
 
-// run executes one admitted request: resolve the kernel, fetch or fill the
-// cached sequential baseline and artifact, simulate under the request
-// context, and render the response.
-func (s *Server) run(ctx context.Context, w http.ResponseWriter, req *RunRequest) {
+// apiError is a request failure with its HTTP rendering decided: execute
+// returns it instead of writing, so /v1/run can send it as the response
+// status while /v1/batch folds it into one NDJSON item line.
+type apiError struct {
+	status int
+	body   errorBody
+}
+
+func apiErrorf(status int, format string, args ...any) *apiError {
+	return &apiError{status: status, body: errorBody{Error: fmt.Sprintf(format, args...)}}
+}
+
+// execute runs one admitted request: resolve the kernel, fetch or fill the
+// cached sequential baseline and artifact (memory tier, then disk store,
+// then a real compile), simulate under the request context, and build the
+// response. It never writes to the connection.
+func (s *Server) execute(ctx context.Context, req *RunRequest) (resp *RunResponse, ae *apiError) {
 	// Recover boundary: compiler and simulator internals assume validated
 	// input and panic otherwise. A malformed request must cost the client a
 	// 400, never the worker goroutine (cache fills have their own boundary
@@ -114,38 +132,34 @@ func (s *Server) run(ctx context.Context, w http.ResponseWriter, req *RunRequest
 	defer func() {
 		if r := recover(); r != nil {
 			s.met.errors.Add(1)
-			httpError(w, http.StatusBadRequest,
-				boundMsg(fmt.Sprintf("internal panic (malformed input reached the pipeline): %v", r)))
+			resp, ae = nil, apiErrorf(http.StatusBadRequest,
+				"%s", boundMsg(fmt.Sprintf("internal panic (malformed input reached the pipeline): %v", r)))
 		}
 	}()
-	fail := func(status int, msg string) {
+	fail := func(status int, msg string) (*RunResponse, *apiError) {
 		s.met.errors.Add(1)
-		httpError(w, status, msg)
+		return nil, apiErrorf(status, "%s", msg)
 	}
 
 	// Resolve the loop.
 	var loop *ir.Loop
 	switch {
 	case req.Kernel != "" && len(req.IR) > 0:
-		fail(http.StatusBadRequest, "request names a kernel and carries inline ir; send exactly one")
-		return
+		return fail(http.StatusBadRequest, "request names a kernel and carries inline ir; send exactly one")
 	case req.Kernel != "":
 		k, err := kernels.ByName(req.Kernel)
 		if err != nil {
-			fail(http.StatusNotFound, err.Error())
-			return
+			return fail(http.StatusNotFound, err.Error())
 		}
 		loop = k.Build()
 	case len(req.IR) > 0:
 		var err error
 		loop, err = ir.UnmarshalLoop(req.IR)
 		if err != nil {
-			fail(http.StatusBadRequest, "ir: "+err.Error())
-			return
+			return fail(http.StatusBadRequest, "ir: "+err.Error())
 		}
 	default:
-		fail(http.StatusBadRequest, "request must name a kernel or carry inline ir")
-		return
+		return fail(http.StatusBadRequest, "request must name a kernel or carry inline ir")
 	}
 
 	// Bound the machine parameters.
@@ -154,26 +168,21 @@ func (s *Server) run(ctx context.Context, w http.ResponseWriter, req *RunRequest
 		cores = 4
 	}
 	if cores < 1 || cores > s.cfg.MaxCores {
-		fail(http.StatusBadRequest, fmt.Sprintf("cores must be in [1, %d]", s.cfg.MaxCores))
-		return
+		return fail(http.StatusBadRequest, fmt.Sprintf("cores must be in [1, %d]", s.cfg.MaxCores))
 	}
 	if req.QueueLen < 0 || req.QueueLen > 1<<12 {
-		fail(http.StatusBadRequest, "queue_len must be in [1, 4096] (0 = default)")
-		return
+		return fail(http.StatusBadRequest, "queue_len must be in [1, 4096] (0 = default)")
 	}
 	if req.TransferLatency < 0 || req.TransferLatency > 1<<20 {
-		fail(http.StatusBadRequest, "transfer_latency must be in [0, 1048576]")
-		return
+		return fail(http.StatusBadRequest, "transfer_latency must be in [0, 1048576]")
 	}
 	if req.NormalizeOps < 0 || req.NormalizeOps > 64 {
-		fail(http.StatusBadRequest, "normalize_ops must be in [0, 64]")
-		return
+		return fail(http.StatusBadRequest, "normalize_ops must be in [0, 64]")
 	}
 
 	loopBytes, err := ir.MarshalLoop(loop)
 	if err != nil {
-		fail(http.StatusInternalServerError, "canonicalizing ir: "+err.Error())
-		return
+		return fail(http.StatusInternalServerError, "canonicalizing ir: "+err.Error())
 	}
 
 	pk := pipelineKey{
@@ -196,48 +205,59 @@ func (s *Server) run(ctx context.Context, w http.ResponseWriter, req *RunRequest
 	compileStart := time.Now()
 
 	// Sequential baseline, cached per kernel (configuration-independent).
-	seqVal, _, err := s.cache.do(ctx, "seq:"+contentAddress(loopBytes, pipelineKey{Sequential: true}), func() (any, error) {
-		fctx, cancel := fillCtx()
-		defer cancel()
-		a, err := core.CompileSequential(loop)
-		if err != nil {
-			return nil, err
-		}
-		res, err := a.RunContext(fctx, a.MachineConfig())
-		if err != nil {
-			return nil, err
-		}
-		return res.Cycles, nil
-	})
+	seqAddr := contentAddress(loopBytes, pipelineKey{Sequential: true})
+	seqVal, seqHit, err := s.cache.do(ctx, "seq:"+seqAddr, s.tieredFill("seq", seqAddr,
+		func() (any, error) {
+			fctx, cancel := fillCtx()
+			defer cancel()
+			a, err := core.CompileSequential(loop)
+			if err != nil {
+				return nil, err
+			}
+			res, err := a.RunContext(fctx, a.MachineConfig())
+			if err != nil {
+				return nil, err
+			}
+			return res.Cycles, nil
+		},
+		encodeSeqCycles, decodeSeqCycles))
 	if err != nil {
-		s.failRun(w, "sequential baseline", err)
-		return
+		return nil, s.runError("sequential baseline", err)
+	}
+	if seqHit {
+		s.met.artMemHits.Add(1)
 	}
 	seqCycles := seqVal.(int64)
 
-	// The compiled artifact, content-addressed and singleflighted.
-	artVal, hit, err := s.cache.do(ctx, "art:"+contentAddress(loopBytes, pk), func() (any, error) {
-		fctx, cancel := fillCtx()
-		defer cancel()
-		opt := core.DefaultOptions(cores)
-		opt.Speculate = req.Speculate
-		opt.NormalizeOps = req.NormalizeOps
-		opt.Schedule = req.Schedule
-		if req.QueueLen > 0 || req.TransferLatency > 0 {
-			mc := sim.DefaultConfig(cores)
-			if req.QueueLen > 0 {
-				mc.QueueLen = req.QueueLen
+	// The compiled artifact, content-addressed and singleflighted through
+	// the memory tier, with the on-disk store underneath.
+	artAddr := contentAddress(loopBytes, pk)
+	artVal, hit, err := s.cache.do(ctx, "art:"+artAddr, s.tieredFill("art", artAddr,
+		func() (any, error) {
+			fctx, cancel := fillCtx()
+			defer cancel()
+			opt := core.DefaultOptions(cores)
+			opt.Speculate = req.Speculate
+			opt.NormalizeOps = req.NormalizeOps
+			opt.Schedule = req.Schedule
+			if req.QueueLen > 0 || req.TransferLatency > 0 {
+				mc := sim.DefaultConfig(cores)
+				if req.QueueLen > 0 {
+					mc.QueueLen = req.QueueLen
+				}
+				if req.TransferLatency > 0 {
+					mc.TransferLatency = req.TransferLatency
+				}
+				opt.Machine = &mc
 			}
-			if req.TransferLatency > 0 {
-				mc.TransferLatency = req.TransferLatency
-			}
-			opt.Machine = &mc
-		}
-		return core.CompileContext(fctx, loop, opt)
-	})
+			return core.CompileContext(fctx, loop, opt)
+		},
+		encodeArtifact, decodeArtifact))
 	if err != nil {
-		s.failRun(w, "compile", err)
-		return
+		return nil, s.runError("compile", err)
+	}
+	if hit {
+		s.met.artMemHits.Add(1)
 	}
 	art := artVal.(*core.Artifact)
 	compileMs := float64(time.Since(compileStart)) / float64(time.Millisecond)
@@ -255,12 +275,11 @@ func (s *Server) run(ctx context.Context, w http.ResponseWriter, req *RunRequest
 	simStart := time.Now()
 	res, err := art.RunContext(ctx, cfg)
 	if err != nil {
-		s.failRun(w, "simulate", err)
-		return
+		return nil, s.runError("simulate", err)
 	}
 	simMs := float64(time.Since(simStart)) / float64(time.Millisecond)
 
-	resp := &RunResponse{
+	resp = &RunResponse{
 		Kernel:            loop.Name,
 		Cores:             cores,
 		Cycles:            res.Cycles,
@@ -286,8 +305,7 @@ func (s *Server) run(ctx context.Context, w http.ResponseWriter, req *RunRequest
 		if req.Trace != "" {
 			data, err := obs.RenderTrace(req.Trace, rec.Meta, rec.Events)
 			if err != nil {
-				fail(http.StatusBadRequest, err.Error())
-				return
+				return fail(http.StatusBadRequest, err.Error())
 			}
 			if req.Trace == "perfetto" {
 				resp.Trace = data // already JSON
@@ -296,7 +314,7 @@ func (s *Server) run(ctx context.Context, w http.ResponseWriter, req *RunRequest
 			}
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
 // maxErrorBytes bounds the detail text of any error response. Simulator
@@ -311,43 +329,50 @@ func boundMsg(msg string) string {
 	return fmt.Sprintf("%s... (%d bytes truncated)", msg[:maxErrorBytes], len(msg)-maxErrorBytes)
 }
 
-// failRun maps a compile/simulate error to a status: cancellation becomes
-// 499 (the client is gone), a blown deadline 504. Rejections that are the
-// kernel's own fault — a static-verifier rejection, a deadlock, a semantic
-// trap like division by zero — are 422 (the request was well-formed, the
-// program is not runnable), with the verifier's structured diagnostics
-// attached when it has them. A panic caught at the recover boundary is a
-// 400 (bad input reached code that assumed validated input). Only genuine
-// infrastructure failures remain 500.
-func (s *Server) failRun(w http.ResponseWriter, stage string, err error) {
+// runError maps a compile/simulate error to its HTTP rendering:
+// cancellation becomes 499 (the client is gone), a blown deadline 504.
+// Rejections that are the kernel's own fault — a static-verifier rejection,
+// a deadlock, a semantic trap like division by zero — are 422 (the request
+// was well-formed, the program is not runnable), with the verifier's
+// structured diagnostics attached when it has them. A panic caught at the
+// recover boundary is a 400 (bad input reached code that assumed validated
+// input). Only genuine infrastructure failures remain 500.
+func (s *Server) runError(stage string, err error) *apiError {
 	var ve *verify.Error
 	var pe *panicError
 	switch {
 	case errors.Is(err, context.Canceled):
 		s.met.canceled.Add(1)
-		httpError(w, statusClientClosedRequest, stage+": canceled")
+		return apiErrorf(statusClientClosedRequest, "%s: canceled", stage)
 	case errors.Is(err, context.DeadlineExceeded):
 		s.met.canceled.Add(1)
-		httpError(w, http.StatusGatewayTimeout, stage+": deadline exceeded")
+		return apiErrorf(http.StatusGatewayTimeout, "%s: deadline exceeded", stage)
 	case errors.As(err, &ve):
 		s.met.errors.Add(1)
-		writeJSON(w, http.StatusUnprocessableEntity, errorBody{
+		return &apiError{status: http.StatusUnprocessableEntity, body: errorBody{
 			Error:       boundMsg(stage + ": " + err.Error()),
 			Diagnostics: ve.Diags,
-		})
+		}}
 	case errors.As(err, &pe):
 		s.met.errors.Add(1)
-		httpError(w, http.StatusBadRequest, boundMsg(stage+": "+pe.Error()))
+		return apiErrorf(http.StatusBadRequest, "%s", boundMsg(stage+": "+pe.Error()))
 	case errors.Is(err, sim.ErrDeadlock),
 		errors.Is(err, interp.ErrDivByZero),
 		errors.Is(err, interp.ErrOutOfBounds),
 		errors.Is(err, mem.ErrOutOfBounds):
 		s.met.errors.Add(1)
-		httpError(w, http.StatusUnprocessableEntity, boundMsg(stage+": "+err.Error()))
+		return apiErrorf(http.StatusUnprocessableEntity, "%s", boundMsg(stage+": "+err.Error()))
 	default:
 		s.met.errors.Add(1)
-		httpError(w, http.StatusInternalServerError, boundMsg(stage+": "+err.Error()))
+		return apiErrorf(http.StatusInternalServerError, "%s", boundMsg(stage+": "+err.Error()))
 	}
+}
+
+// failRun renders runError's mapping straight to the connection (the
+// single-request handlers' path).
+func (s *Server) failRun(w http.ResponseWriter, stage string, err error) {
+	ae := s.runError(stage, err)
+	writeJSON(w, ae.status, ae.body)
 }
 
 // KernelInfo is one row of /v1/kernels.

@@ -20,8 +20,15 @@
 //     pipeline into the simulator, which aborts within one burst horizon
 //     when the client disconnects or the deadline passes (sim.RunContext).
 //
-// Endpoints: POST /v1/run, GET /v1/kernels, GET /v1/attribution,
-// GET /healthz, GET /metrics.
+// A fourth concern arrived with scale: persistence. When Config.StoreDir
+// is set, compiled artifacts and sequential baselines are written through
+// to a content-addressed on-disk store (internal/service/store) layered
+// under the in-memory singleflight cache, so a restarted daemon — or a
+// horizontal replica sharing the directory — warm-starts instead of
+// recompiling.
+//
+// Endpoints: POST /v1/run, POST /v1/batch, GET /v1/kernels,
+// GET /v1/attribution, GET /healthz, GET /metrics.
 package service
 
 import (
@@ -35,6 +42,7 @@ import (
 	"time"
 
 	"fgp/internal/experiments"
+	"fgp/internal/service/store"
 	"fgp/internal/verify"
 )
 
@@ -56,6 +64,20 @@ type Config struct {
 	// MaxCores bounds the simulated core count a request may ask for (the
 	// queue fabric is O(cores²)). 0 means 16.
 	MaxCores int
+	// MaxBatchItems bounds how many items one /v1/batch request may carry.
+	// 0 means 256.
+	MaxBatchItems int
+	// BatchParallelism bounds how many items of one batch execute
+	// concurrently (the batch as a whole holds a single admission ticket).
+	// 0 means Workers.
+	BatchParallelism int
+	// StoreDir, when non-empty, enables the on-disk artifact store: compile
+	// fills are written through and later misses in the in-memory cache are
+	// served from disk instead of recompiling.
+	StoreDir string
+	// StoreMaxBytes bounds the on-disk store's total payload bytes (LRU
+	// eviction past it). 0 means store.DefaultMaxBytes.
+	StoreMaxBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -74,6 +96,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxCores <= 0 {
 		c.MaxCores = 16
 	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 256
+	}
+	if c.BatchParallelism <= 0 {
+		c.BatchParallelism = c.Workers
+	}
 	return c
 }
 
@@ -84,19 +112,25 @@ type Server struct {
 	mux *http.ServeMux
 
 	cache *compileCache
+	disk  *store.Store        // nil unless Config.StoreDir is set
 	exp   *experiments.Runner // backs /v1/attribution with its own artifact cache
 
 	sem      chan struct{} // worker slots
 	queued   atomic.Int64  // admitted, waiting for a slot
 	inflight atomic.Int64  // holding a slot
+	// drainMu gates admission against Drain: admit registers with wg under
+	// the read lock, Drain flips draining under the write lock before
+	// waiting, so wg.Add can never race wg.Wait at a zero counter.
+	drainMu  sync.RWMutex
 	draining atomic.Bool
 	wg       sync.WaitGroup // every admitted request, for Drain
 
 	met metrics
 }
 
-// New builds a server.
-func New(cfg Config) *Server {
+// New builds a server. It fails only when Config.StoreDir is set and the
+// on-disk store cannot be opened.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:   cfg,
@@ -104,15 +138,23 @@ func New(cfg Config) *Server {
 		exp:   experiments.NewRunner(),
 		sem:   make(chan struct{}, cfg.Workers),
 	}
+	if cfg.StoreDir != "" {
+		disk, err := store.Open(cfg.StoreDir, cfg.StoreMaxBytes)
+		if err != nil {
+			return nil, err
+		}
+		s.disk = disk
+	}
 	// Attribution already holds a worker slot; don't fan out further.
 	s.exp.SetWorkers(1)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/kernels", s.handleKernels)
 	s.mux.HandleFunc("GET /v1/attribution", s.handleAttribution)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s
+	return s, nil
 }
 
 // Handler returns the HTTP handler serving all endpoints.
@@ -122,7 +164,9 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // stop routing) and waits until every admitted request has finished, or ctx
 // expires. New work arriving while draining is refused with 503.
 func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
 	s.draining.Store(true)
+	s.drainMu.Unlock()
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -140,36 +184,32 @@ func (s *Server) Drain(ctx context.Context) error {
 // admit applies admission control and runs fn on a worker slot with the
 // request deadline attached. fn must write the response itself. reqTimeout
 // (0 = none) tightens, never extends, the server budget.
+//
+// The min(server, request) budget starts at admission, not at slot
+// acquisition: time spent queued for a worker counts against the deadline.
+// (It used to start after the queue wait, which silently extended
+// timeout_ms under sustained offered load — a request asking for 50ms
+// could sit queued for seconds and still run. Surfaced by fgpload's
+// open-loop overload points; pinned by TestQueuedRequestHonorsDeadline.)
 func (s *Server) admit(w http.ResponseWriter, r *http.Request, reqTimeout time.Duration, fn func(ctx context.Context)) {
+	s.drainMu.RLock()
 	if s.draining.Load() {
+		s.drainMu.RUnlock()
 		httpError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
 	s.met.requests.Add(1)
 	if s.queued.Add(1) > int64(s.cfg.QueueDepth) {
 		s.queued.Add(-1)
+		s.drainMu.RUnlock()
 		s.met.rejected.Add(1)
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, "queue full")
 		return
 	}
 	s.wg.Add(1)
+	s.drainMu.RUnlock()
 	defer s.wg.Done()
-	select {
-	case s.sem <- struct{}{}:
-		s.queued.Add(-1)
-	case <-r.Context().Done():
-		s.queued.Add(-1)
-		s.met.canceled.Add(1)
-		// The client is gone; nobody reads this status.
-		httpError(w, statusClientClosedRequest, "client closed request while queued")
-		return
-	}
-	s.inflight.Add(1)
-	defer func() {
-		s.inflight.Add(-1)
-		<-s.sem
-	}()
 
 	budget := s.cfg.Timeout
 	if reqTimeout > 0 && reqTimeout < budget {
@@ -179,6 +219,27 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, reqTimeout time.D
 	defer cancel()
 
 	start := time.Now()
+	select {
+	case s.sem <- struct{}{}:
+		s.queued.Add(-1)
+	case <-ctx.Done():
+		s.queued.Add(-1)
+		s.met.canceled.Add(1)
+		s.met.lat.observe(time.Since(start))
+		if ctx.Err() == context.DeadlineExceeded {
+			httpError(w, http.StatusGatewayTimeout, "deadline exceeded while queued for a worker")
+		} else {
+			// The client is gone; nobody reads this status.
+			httpError(w, statusClientClosedRequest, "client closed request while queued")
+		}
+		return
+	}
+	s.inflight.Add(1)
+	defer func() {
+		s.inflight.Add(-1)
+		<-s.sem
+	}()
+
 	fn(ctx)
 	s.met.lat.observe(time.Since(start))
 }
@@ -198,22 +259,37 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 // Metrics is the /metrics document.
 type Metrics struct {
-	Requests int64 `json:"requests"`
-	Rejected int64 `json:"rejected_429"`
-	Canceled int64 `json:"canceled"`
-	Errors   int64 `json:"errors"`
-	InFlight int64 `json:"inflight"`
-	Queued   int64 `json:"queued"`
-	Draining bool  `json:"draining"`
-	Cache    struct {
-		Entries int64   `json:"entries"`
-		Hits    int64   `json:"hits"`
-		Misses  int64   `json:"misses"`
-		HitRate float64 `json:"hit_rate"`
+	Requests   int64 `json:"requests"`
+	Rejected   int64 `json:"rejected_429"`
+	Canceled   int64 `json:"canceled"`
+	Errors     int64 `json:"errors"`
+	Batches    int64 `json:"batches"`
+	BatchItems int64 `json:"batch_items"`
+	InFlight   int64 `json:"inflight"`
+	Queued     int64 `json:"queued"`
+	Draining   bool  `json:"draining"`
+	Cache      struct {
+		Entries   int64   `json:"entries"`
+		Hits      int64   `json:"hits"`
+		Misses    int64   `json:"misses"`
+		Abandoned int64   `json:"abandoned"`
+		HitRate   float64 `json:"hit_rate"`
 	} `json:"cache"`
+	// Artifacts rolls up where artifact and sequential-baseline lookups
+	// were satisfied: the in-memory singleflight tier, the on-disk store,
+	// or a genuine compile.
+	Artifacts struct {
+		MemHits  int64   `json:"mem_hits"`
+		DiskHits int64   `json:"disk_hits"`
+		Compiles int64   `json:"compiles"`
+		HitRate  float64 `json:"hit_rate"` // (mem+disk) / all lookups
+	} `json:"artifacts"`
+	// Store is the on-disk tier's own counters; absent when no -store-dir.
+	Store   *store.Metrics `json:"store,omitempty"`
 	Latency struct {
 		P50Ms  float64 `json:"p50_ms"`
 		P99Ms  float64 `json:"p99_ms"`
+		P999Ms float64 `json:"p999_ms"`
 		Count  int64   `json:"count"`
 		Window int     `json:"window"`
 	} `json:"latency"`
@@ -226,18 +302,32 @@ func (s *Server) Snapshot() Metrics {
 	m.Rejected = s.met.rejected.Load()
 	m.Canceled = s.met.canceled.Load()
 	m.Errors = s.met.errors.Load()
+	m.Batches = s.met.batches.Load()
+	m.BatchItems = s.met.items.Load()
 	m.InFlight = s.inflight.Load()
 	m.Queued = s.queued.Load()
 	m.Draining = s.draining.Load()
 	m.Cache.Entries = s.cache.entries()
 	m.Cache.Hits = s.cache.hits.Load()
 	m.Cache.Misses = s.cache.misses.Load()
+	m.Cache.Abandoned = s.cache.abandoned.Load()
 	if total := m.Cache.Hits + m.Cache.Misses; total > 0 {
 		m.Cache.HitRate = float64(m.Cache.Hits) / float64(total)
 	}
-	p50, p99, count, window := s.met.lat.quantiles()
+	m.Artifacts.MemHits = s.met.artMemHits.Load()
+	m.Artifacts.DiskHits = s.met.artDiskHits.Load()
+	m.Artifacts.Compiles = s.met.artCompiles.Load()
+	if total := m.Artifacts.MemHits + m.Artifacts.DiskHits + m.Artifacts.Compiles; total > 0 {
+		m.Artifacts.HitRate = float64(m.Artifacts.MemHits+m.Artifacts.DiskHits) / float64(total)
+	}
+	if s.disk != nil {
+		sm := s.disk.Snapshot()
+		m.Store = &sm
+	}
+	p50, p99, p999, count, window := s.met.lat.quantiles()
 	m.Latency.P50Ms = float64(p50) / float64(time.Millisecond)
 	m.Latency.P99Ms = float64(p99) / float64(time.Millisecond)
+	m.Latency.P999Ms = float64(p999) / float64(time.Millisecond)
 	m.Latency.Count = count
 	m.Latency.Window = window
 	return m

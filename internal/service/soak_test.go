@@ -26,7 +26,10 @@ import (
 func TestSoakConcurrentMixedLoad(t *testing.T) {
 	baseline := runtime.NumGoroutine()
 
-	s := New(Config{Workers: 4, QueueDepth: 6, Timeout: 30 * time.Second})
+	s, err := New(Config{Workers: 4, QueueDepth: 6, Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	client := ts.Client()
 

@@ -1,0 +1,84 @@
+// The disk tier: cache fills routed through the content-addressed on-disk
+// artifact store when one is configured (-store-dir). The in-memory
+// singleflight cache stays the first tier — it deduplicates concurrent
+// fills and holds live *core.Artifact values — while the store underneath
+// makes fills durable, so a restarted daemon or a horizontal replica
+// sharing the directory serves earlier fills as disk hits instead of
+// recompiling.
+//
+// The store detects corruption itself (sha256 read-back check) and evicts
+// bad entries; a decode failure here (e.g. an artifact wire-version skew
+// after an upgrade) is treated exactly like a miss — recompile and
+// overwrite. Put failures are deliberately non-fatal: a full or read-only
+// disk degrades the daemon to memory-only caching rather than failing
+// requests.
+
+package service
+
+import (
+	"strconv"
+
+	"fgp/internal/core"
+)
+
+// tieredFill wraps a compile closure with the disk tier. kind namespaces
+// the on-disk key ("art" or "seq"); addr is the content address (hex
+// sha256). The returned closure is what the in-memory cache singleflights,
+// so at most one goroutine per key runs it at a time.
+func (s *Server) tieredFill(kind, addr string, compile func() (any, error),
+	encode func(any) ([]byte, error), decode func([]byte) (any, error)) func() (any, error) {
+	if s.disk == nil {
+		return func() (any, error) {
+			v, err := compile()
+			if err == nil {
+				s.met.artCompiles.Add(1)
+			}
+			return v, err
+		}
+	}
+	key := kind + "-" + addr
+	return func() (any, error) {
+		if data, err := s.disk.Get(key); err == nil {
+			if v, derr := decode(data); derr == nil {
+				s.met.artDiskHits.Add(1)
+				return v, nil
+			}
+			// Decodable by the store (checksum passed) but not by us:
+			// wire-version skew from an older daemon. Recompile; the Put
+			// below overwrites the stale entry.
+		}
+		v, err := compile()
+		if err != nil {
+			return nil, err
+		}
+		s.met.artCompiles.Add(1)
+		if data, eerr := encode(v); eerr == nil {
+			_ = s.disk.Put(key, data) // best effort; see package comment
+		}
+		return v, nil
+	}
+}
+
+// encodeArtifact / decodeArtifact carry a compiled *core.Artifact through
+// the store's []byte interface.
+func encodeArtifact(v any) ([]byte, error) {
+	return v.(*core.Artifact).MarshalBinary()
+}
+
+func decodeArtifact(data []byte) (any, error) {
+	return core.UnmarshalArtifact(data)
+}
+
+// encodeSeqCycles / decodeSeqCycles persist the sequential baseline — a
+// single int64 cycle count — as decimal text.
+func encodeSeqCycles(v any) ([]byte, error) {
+	return strconv.AppendInt(nil, v.(int64), 10), nil
+}
+
+func decodeSeqCycles(data []byte) (any, error) {
+	n, err := strconv.ParseInt(string(data), 10, 64)
+	if err != nil {
+		return nil, err
+	}
+	return n, nil
+}
