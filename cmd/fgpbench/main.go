@@ -34,8 +34,10 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"fgp/internal/core"
 	"fgp/internal/experiments"
 	"fgp/internal/kernels"
+	"fgp/internal/kernels/tier2"
 )
 
 // Mode is one engine/worker configuration of the sweep.
@@ -78,6 +80,13 @@ type Report struct {
 
 	Modes []Mode `json:"modes"`
 
+	// Tier2 sweeps the committed fuzzer-discovered kernels in
+	// internal/kernels/tier2 — built from .fgp source through the frontend,
+	// so the sweep exercises the full front door. Additive: checkGate
+	// compares modes by name only, so reports without this section still
+	// gate cleanly.
+	Tier2 *Tier2Sweep `json:"tier2,omitempty"`
+
 	// Headline ratios, all versus the reference-serial cold sweep.
 	SpeedupBurstSerial      float64 `json:"speedup_burst_serial"`
 	SpeedupBurstParallel    float64 `json:"speedup_burst_parallel"`
@@ -89,6 +98,20 @@ type Report struct {
 	// implementation timed with this tool's -once flag built at that
 	// commit, A/B-interleaved with the current binary on the same machine.
 	Baseline *Baseline `json:"baseline,omitempty"`
+}
+
+// Tier2Sweep records simulated speedups for the tier-2 source corpus.
+type Tier2Sweep struct {
+	Cores   int        `json:"cores"`
+	Kernels []Tier2Row `json:"kernels"`
+}
+
+// Tier2Row is one tier-2 kernel's simulated result.
+type Tier2Row struct {
+	Name      string  `json:"name"`
+	SeqCycles int64   `json:"seq_cycles"`
+	Cycles    int64   `json:"cycles"`
+	Speedup   float64 `json:"speedup"`
 }
 
 // Baseline is a cross-version comparison point.
@@ -206,6 +229,12 @@ func main() {
 	}
 	rep.Modes = modes
 
+	t2, err := tier2Sweep(4)
+	if err != nil {
+		fatal(fmt.Errorf("tier2 sweep: %w", err))
+	}
+	rep.Tier2 = t2
+
 	rep.SpeedupBurstSerial = modes[1].SpeedupCold
 	rep.SpeedupThreadedSerial = modes[2].SpeedupCold
 	rep.SpeedupBurstParallel = modes[3].SpeedupCold
@@ -258,6 +287,14 @@ func printTable(rep *Report) {
 			m.NsPerSimCycle, m.SpeedupCold, m.SpeedupWarm)
 	}
 	tw.Flush()
+	if rep.Tier2 != nil {
+		tw = tabwriter.NewWriter(os.Stderr, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "\ntier2 kernel\tseq cycles\t%d-core cycles\tspeedup\n", rep.Tier2.Cores)
+		for _, r := range rep.Tier2.Kernels {
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%.2fx\n", r.Name, r.SeqCycles, r.Cycles, r.Speedup)
+		}
+		tw.Flush()
+	}
 }
 
 // checkGate compares the fresh report against a committed one and errors
@@ -295,6 +332,47 @@ func checkGate(cur *Report, path string, allowed float64) error {
 		return fmt.Errorf("%s", strings.Join(regressions, "; "))
 	}
 	return nil
+}
+
+// tier2Sweep builds every committed tier-2 kernel from source and compares
+// its simulated parallel cycles against the sequential baseline. The
+// experiments runner is keyed to the built-in catalog, so this calls the
+// compiler core directly.
+func tier2Sweep(cores int) (*Tier2Sweep, error) {
+	ks, err := tier2.All()
+	if err != nil {
+		return nil, err
+	}
+	sw := &Tier2Sweep{Cores: cores}
+	for _, k := range ks {
+		l, err := k.Build()
+		if err != nil {
+			return nil, err
+		}
+		seq, err := core.CompileSequential(l)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", k.Name, err)
+		}
+		seqRes, err := seq.RunDefault()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", k.Name, err)
+		}
+		art, err := core.Compile(l, core.DefaultOptions(cores))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", k.Name, err)
+		}
+		res, err := art.RunDefault()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", k.Name, err)
+		}
+		sw.Kernels = append(sw.Kernels, Tier2Row{
+			Name:      k.Name,
+			SeqCycles: seqRes.Cycles,
+			Cycles:    res.Cycles,
+			Speedup:   float64(seqRes.Cycles) / float64(res.Cycles),
+		})
+	}
+	return sw, nil
 }
 
 // timeSweep runs the Figure 12 sweep twice on a fresh runner: cold (compile

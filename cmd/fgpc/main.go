@@ -1,15 +1,20 @@
-// Command fgpc is the compiler inspection tool: it compiles one of the 18
-// evaluation kernels and dumps any stage of the pipeline — the IR, the
-// lowered TAC with fiber assignments, the partition map, the compiler
-// report, or the generated per-core machine code.
+// Command fgpc is the compiler inspection tool: it compiles a kernel — a
+// built-in by name, an .fgp source file, or a loop in the IR wire encoding
+// — and dumps any stage of the pipeline: the IR, the lowered TAC with
+// fiber assignments, the partition map, the compiler report, or the
+// generated per-core machine code. -emit=source runs the direction the
+// other dumps don't: it decompiles the selected kernel back to fgp source.
 //
 // Usage:
 //
 //	fgpc -kernel lammps-1 -cores 4 -dump ir,tac,parts,report,asm
+//	fgpc -source kernel.fgp -dump report
+//	fgpc -kernel irs-1 -emit source > irs1.fgp
 //	fgpc -list
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -17,6 +22,7 @@ import (
 	"strings"
 
 	"fgp/internal/core"
+	"fgp/internal/frontend"
 	"fgp/internal/ir"
 	"fgp/internal/kernels"
 )
@@ -31,8 +37,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("fgpc", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	kernel := fs.String("kernel", "", "kernel name (see -list)")
+	source := fs.String("source", "", "compile an fgp source file instead of a built-in kernel")
+	irPath := fs.String("ir", "", "compile a loop in the IR JSON wire encoding from this file")
 	cores := fs.Int("cores", 4, "number of cores to partition for")
 	dump := fs.String("dump", "report", "comma-separated dumps: ir, tac, fibers, parts, report, asm")
+	emit := fs.String("emit", "", "emit the kernel instead of compiling it: source (fgp source text)")
 	spec := fs.Bool("speculate", false, "enable control-flow speculation")
 	throughput := fs.Bool("throughput", false, "enable the DAG merge heuristic")
 	schedule := fs.Bool("schedule", false, "enable within-region scheduling")
@@ -52,18 +61,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	if *kernel == "" {
-		return fail(fmt.Errorf("missing -kernel (use -list to see options)"))
-	}
-	k, err := kernels.ByName(*kernel)
+	loop, err := loadLoop(*kernel, *source, *irPath)
 	if err != nil {
+		var fe *frontend.Error
+		if errors.As(err, &fe) {
+			fmt.Fprint(stderr, frontend.RenderDiags(*source, fe.Diags))
+			return 1
+		}
 		return fail(err)
 	}
+
+	if *emit != "" {
+		if *emit != "source" {
+			return fail(fmt.Errorf("unknown -emit format %q (only \"source\")", *emit))
+		}
+		fmt.Fprint(stdout, frontend.Format(loop))
+		return 0
+	}
+
 	opt := core.DefaultOptions(*cores)
 	opt.Speculate = *spec
 	opt.Throughput = *throughput
 	opt.Schedule = *schedule
-	a, err := core.Compile(k.Build(), opt)
+	a, err := core.Compile(loop, opt)
 	if err != nil {
 		return fail(err)
 	}
@@ -105,4 +125,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// loadLoop resolves the kernel selection flags — exactly one of a catalog
+// name, an .fgp source path, or an IR wire-encoding path — to a validated
+// loop. Source failures come back as *frontend.Error so the caller can
+// render positioned diagnostics.
+func loadLoop(kernel, sourcePath, irPath string) (*ir.Loop, error) {
+	selected := 0
+	for _, set := range []bool{kernel != "", sourcePath != "", irPath != ""} {
+		if set {
+			selected++
+		}
+	}
+	switch {
+	case selected == 0:
+		return nil, fmt.Errorf("missing -kernel, -source or -ir (use -list to see built-ins)")
+	case selected > 1:
+		return nil, fmt.Errorf("use exactly one of -kernel, -source or -ir")
+	case kernel != "":
+		k, err := kernels.ByName(kernel)
+		if err != nil {
+			return nil, err
+		}
+		return k.Build(), nil
+	case sourcePath != "":
+		data, err := os.ReadFile(sourcePath)
+		if err != nil {
+			return nil, err
+		}
+		return frontend.Parse(data)
+	default:
+		data, err := os.ReadFile(irPath)
+		if err != nil {
+			return nil, err
+		}
+		return ir.UnmarshalLoop(data)
+	}
 }

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fgp/internal/ir"
+	"fgp/internal/kernels"
+)
+
+// TestEmitSourceGolden pins the decompiler output for one kernel per
+// suite, then closes the loop: recompiling each emitted .fgp must produce
+// the exact compiler report the catalog kernel produces (the report golden
+// pinned by TestCompileReportGolden).
+func TestEmitSourceGolden(t *testing.T) {
+	for _, kernel := range []string{"lammps-1", "irs-1", "umt2k-1", "sphot-1"} {
+		t.Run(kernel, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run([]string{"-kernel", kernel, "-emit", "source"}, &out, &errb); code != 0 {
+				t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+			}
+			checkGolden(t, "golden_emit_"+kernel+".fgp", out.Bytes())
+
+			path := filepath.Join(t.TempDir(), kernel+".fgp")
+			if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var rep, errb2 bytes.Buffer
+			if code := run([]string{"-source", path, "-cores", "4", "-dump", "report"}, &rep, &errb2); code != 0 {
+				t.Fatalf("recompile exit %d, stderr:\n%s", code, errb2.String())
+			}
+			checkGolden(t, "golden_report_"+kernel+".txt", rep.Bytes())
+		})
+	}
+}
+
+// TestSourceDiagnostics: a broken .fgp file exits 1 with path:line:col
+// diagnostics and the offending line on stderr.
+func TestSourceDiagnostics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.fgp")
+	src := "array f64 a[] = {1.0};\nfor i = 0; i < 1; i += 1 {\n a[i] = missing;\n}\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-source", path}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	msg := errb.String()
+	if !strings.Contains(msg, path+":3:9:") {
+		t.Errorf("stderr lacks a path:line:col position:\n%s", msg)
+	}
+	if !strings.Contains(msg, "a[i] = missing;") {
+		t.Errorf("stderr lacks the source snippet:\n%s", msg)
+	}
+}
+
+// TestIRFileMatchesKernel: -ir on a wire-encoded loop file reports
+// identically to the -kernel form it was marshaled from.
+func TestIRFileMatchesKernel(t *testing.T) {
+	k, err := kernels.ByName("sphot-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := ir.MarshalLoop(k.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sphot-1.json")
+	if err := os.WriteFile(path, wire, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var fromIR, fromName, errb bytes.Buffer
+	if code := run([]string{"-ir", path, "-cores", "4", "-dump", "report"}, &fromIR, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	if code := run([]string{"-kernel", "sphot-1", "-cores", "4", "-dump", "report"}, &fromName, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	if fromIR.String() != fromName.String() {
+		t.Errorf("-ir and -kernel reports differ:\n--- ir ---\n%s--- kernel ---\n%s", fromIR.String(), fromName.String())
+	}
+}
+
+func TestExclusiveSelection(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-kernel", "irs-1", "-source", "x.fgp"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "exactly one") {
+		t.Errorf("stderr %q does not explain the conflict", errb.String())
+	}
+
+	errb.Reset()
+	if code := run([]string{"-kernel", "irs-1", "-emit", "json"}, &out, &errb); code != 1 {
+		t.Fatalf("unknown emit: exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "-emit") {
+		t.Errorf("stderr %q does not mention -emit", errb.String())
+	}
+}

@@ -18,12 +18,15 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"fgp/internal/core"
+	"fgp/internal/frontend"
+	"fgp/internal/ir"
 	"fgp/internal/kernels"
 	"fgp/internal/obs"
 )
@@ -38,6 +41,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("fgprun", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	kernel := fs.String("kernel", "", "kernel name (fgpc -list shows options)")
+	source := fs.String("source", "", "compile and run an fgp source file instead of a built-in kernel")
 	cores := fs.Int("cores", 4, "number of cores")
 	latency := fs.Int64("latency", 5, "queue transfer latency in cycles")
 	queueLen := fs.Int("queue", 20, "queue length in slots")
@@ -55,15 +59,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	if *kernel == "" {
-		return fail(fmt.Errorf("missing -kernel"))
-	}
-	k, err := kernels.ByName(*kernel)
-	if err != nil {
-		return fail(err)
+	var loop *ir.Loop
+	var k *kernels.Kernel
+	switch {
+	case *kernel != "" && *source != "":
+		return fail(fmt.Errorf("use exactly one of -kernel or -source"))
+	case *kernel != "":
+		var err error
+		if k, err = kernels.ByName(*kernel); err != nil {
+			return fail(err)
+		}
+		loop = k.Build()
+	case *source != "":
+		data, err := os.ReadFile(*source)
+		if err != nil {
+			return fail(err)
+		}
+		if loop, err = frontend.Parse(data); err != nil {
+			var fe *frontend.Error
+			if errors.As(err, &fe) {
+				fmt.Fprint(stderr, frontend.RenderDiags(*source, fe.Diags))
+				return 1
+			}
+			return fail(err)
+		}
+	default:
+		return fail(fmt.Errorf("missing -kernel or -source"))
 	}
 
-	seq, err := core.CompileSequential(k.Build())
+	seq, err := core.CompileSequential(loop)
 	if err != nil {
 		return fail(err)
 	}
@@ -79,7 +103,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	mc.TransferLatency = *latency
 	mc.QueueLen = *queueLen
 	opt.Machine = &mc
-	par, err := core.Compile(k.Build(), opt)
+	par, err := core.Compile(loop, opt)
 	if err != nil {
 		return fail(err)
 	}
@@ -136,12 +160,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		pres.perCore, pres.enqStalls, pres.deqStalls = res.PerCoreCycles, res.EnqStalls, res.DeqStalls
 	}
 
-	fmt.Fprintf(stdout, "kernel            %s (%s, %.1f%% of app time)\n", k.Name, k.App, k.PctTime)
+	if k != nil {
+		fmt.Fprintf(stdout, "kernel            %s (%s, %.1f%% of app time)\n", k.Name, k.App, k.PctTime)
+	} else {
+		fmt.Fprintf(stdout, "kernel            %s (from %s)\n", loop.Name, *source)
+	}
 	fmt.Fprintf(stdout, "machine           %d cores, queue length %d, transfer latency %d\n", *cores, *queueLen, *latency)
 	fmt.Fprintf(stdout, "sequential        %d cycles\n", sres.Cycles)
 	fmt.Fprintf(stdout, "parallel          %d cycles\n", pres.cycles)
-	fmt.Fprintf(stdout, "speedup           %.2f (paper, 4 cores @ L=5: %.2f)\n",
-		float64(sres.Cycles)/float64(pres.cycles), k.PaperSpeedup)
+	if k != nil {
+		fmt.Fprintf(stdout, "speedup           %.2f (paper, 4 cores @ L=5: %.2f)\n",
+			float64(sres.Cycles)/float64(pres.cycles), k.PaperSpeedup)
+	} else {
+		fmt.Fprintf(stdout, "speedup           %.2f\n", float64(sres.Cycles)/float64(pres.cycles))
+	}
 	fmt.Fprintf(stdout, "queue pairs used  %d\n", pres.queues)
 	fmt.Fprintf(stdout, "queue transfers   %d\n", pres.transfers)
 	fmt.Fprintf(stdout, "comm ops in loop  %d (%d transfers/iteration)\n", par.Report.CommOps, par.Report.Transfers)

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSourceGolden pins the full fgprun output for each committed example
+// program — the source front door's CLI contract, including the adapted
+// header for kernels that aren't in the catalog.
+func TestSourceGolden(t *testing.T) {
+	for _, name := range []string{"dot", "stencil", "branchy"} {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join("..", "..", "examples", "source", name+".fgp")
+			var out, errb bytes.Buffer
+			if code := run([]string{"-source", path, "-cores", "4"}, &out, &errb); code != 0 {
+				t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+			}
+			checkGolden(t, "golden_source_"+name+".txt", out.Bytes())
+		})
+	}
+}
+
+// TestSourceDiagnostics: a broken program exits 1 with positioned
+// diagnostics on stderr, and -kernel/-source are mutually exclusive.
+func TestSourceDiagnostics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.fgp")
+	if err := os.WriteFile(path, []byte("for i = 0; i <= 4; i += 1 { }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-source", path}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), path+":1:14:") {
+		t.Errorf("stderr lacks a path:line:col position:\n%s", errb.String())
+	}
+
+	errb.Reset()
+	if code := run([]string{"-kernel", "irs-1", "-source", path}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "exactly one") {
+		t.Errorf("stderr %q does not explain the conflict", errb.String())
+	}
+}

@@ -1,0 +1,132 @@
+// The syntax tree the parser builds and the lowering pass consumes. Every
+// node carries the position of its first token so the type checker can
+// report semantic errors (kind mismatches, use-before-def) with the same
+// line/col precision as syntax errors.
+
+package frontend
+
+import "fgp/internal/ir"
+
+type file struct {
+	hasName bool
+	name    string
+	namePos pos
+	params  []*paramDecl
+	arrays  []*arrayDecl
+	loop    *loopDecl
+	liveOut []liveName
+}
+
+type liveName struct {
+	name string
+	pos  pos
+}
+
+// numLit is a signed numeric literal, already converted: exactly one of
+// f/i is meaningful, selected by isFloat.
+type numLit struct {
+	pos     pos
+	isFloat bool
+	f       float64
+	i       int64
+}
+
+type paramDecl struct {
+	pos  pos
+	kind ir.Kind
+	name string
+	npos pos
+	val  numLit
+}
+
+type arrayDecl struct {
+	pos   pos
+	kind  ir.Kind
+	name  string
+	npos  pos
+	items []numLit
+}
+
+type loopDecl struct {
+	pos              pos
+	index            string
+	ipos             pos
+	start, end, step int64
+	body             []stmtNode
+}
+
+type stmtNode interface{ at() pos }
+
+// assignStmt is `name = expr;` (index == nil) or `name[index] = expr;`.
+// src/hasSrc carry an explicit `@N` pseudo-line annotation; without one the
+// lowering pass assigns the statement's pre-order ordinal, matching the
+// numbering ir.Builder produces.
+type assignStmt struct {
+	pos    pos
+	src    int
+	hasSrc bool
+	name   string
+	npos   pos
+	index  exprNode
+	rhs    exprNode
+}
+
+type ifStmt struct {
+	pos    pos
+	src    int
+	hasSrc bool
+	cond   exprNode
+	then   []stmtNode
+	els    []stmtNode
+}
+
+func (s *assignStmt) at() pos { return s.pos }
+func (s *ifStmt) at() pos     { return s.pos }
+
+type exprNode interface{ at() pos }
+
+type numExpr struct {
+	pos pos
+	lit numLit
+}
+
+type identExpr struct {
+	pos  pos
+	name string
+}
+
+type loadExpr struct {
+	pos   pos
+	name  string
+	index exprNode
+}
+
+// callExpr covers the builtin functions (min, max, sqrt, exp, log, abs,
+// floor) and the conversions f64(...) and i64(...).
+type callExpr struct {
+	pos  pos
+	fn   string
+	args []exprNode
+}
+
+// unExpr is prefix '-' or '!'. A '-' directly before a numeric literal is
+// folded into a negative numExpr by the parser instead.
+type unExpr struct {
+	pos pos
+	op  byte
+	x   exprNode
+}
+
+type binExpr struct {
+	pos  pos
+	op   tokKind
+	sym  string // operator spelling, for diagnostics
+	l, r exprNode
+}
+
+func (e *numExpr) at() pos   { return e.pos }
+func (e *identExpr) at() pos { return e.pos }
+func (e *loadExpr) at() pos  { return e.pos }
+func (e *callExpr) at() pos  { return e.pos }
+func (e *unExpr) at() pos    { return e.pos }
+func (e *binExpr) at() pos   { return e.pos }

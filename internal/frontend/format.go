@@ -1,0 +1,248 @@
+// Format pretty-prints an ir.Loop as fgp source — the inverse of Parse.
+// The output is normal-form: operator precedence decides parenthesization,
+// floats print in shortest-round-trip form, and `@N` pseudo-line
+// annotations appear only on statements whose Line diverges from the
+// pre-order ordinal (loops built with ir.Builder — every built-in kernel
+// and every fuzz-generated loop — never need one). Parsing the result
+// yields a loop whose ir.MarshalLoop encoding is byte-identical to the
+// original's, which the fuzz oracle enforces for every seed.
+//
+// Format assumes a valid loop (names are identifiers, kinds consistent) —
+// the same contract as ir.MarshalLoop. Loops with non-identifier temp
+// names cannot be expressed in the source language and will not reparse.
+
+package frontend
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"fgp/internal/ir"
+)
+
+// Format renders the loop as fgp source text.
+func Format(l *ir.Loop) string {
+	f := &formatter{}
+	fmt.Fprintf(&f.b, "kernel %q;\n", l.Name)
+
+	if len(l.Scalars) > 0 {
+		f.b.WriteByte('\n')
+	}
+	for _, s := range l.Scalars {
+		if s.K == ir.F64 {
+			fmt.Fprintf(&f.b, "param f64 %s = %s;\n", s.Name, fmtF64(s.F))
+		} else {
+			fmt.Fprintf(&f.b, "param i64 %s = %d;\n", s.Name, s.I)
+		}
+	}
+	for _, a := range l.Arrays {
+		f.b.WriteByte('\n')
+		f.array(a)
+	}
+
+	fmt.Fprintf(&f.b, "\nfor %s = %d; %s < %d; %s += %d {\n",
+		l.Index, l.Start, l.Index, l.End, l.Index, l.Step)
+	f.stmts(l.Body, 1)
+	f.b.WriteString("}\n")
+
+	if len(l.LiveOut) > 0 {
+		fmt.Fprintf(&f.b, "\nlive_out %s;\n", strings.Join(l.LiveOut, ", "))
+	}
+	return f.b.String()
+}
+
+type formatter struct {
+	b       strings.Builder
+	ordinal int
+}
+
+// arrayPerLine is how many initializer elements share a wrapped line.
+const arrayPerLine = 8
+
+func (f *formatter) array(a *ir.ArrayDecl) {
+	items := make([]string, a.Len())
+	if a.K == ir.F64 {
+		for i, v := range a.InitF {
+			items[i] = fmtF64(v)
+		}
+	} else {
+		for i, v := range a.InitI {
+			items[i] = strconv.FormatInt(v, 10)
+		}
+	}
+	if len(items) <= arrayPerLine {
+		fmt.Fprintf(&f.b, "array %s %s[] = {%s};\n", a.K, a.Name, strings.Join(items, ", "))
+		return
+	}
+	fmt.Fprintf(&f.b, "array %s %s[] = {\n", a.K, a.Name)
+	for i := 0; i < len(items); i += arrayPerLine {
+		end := min(i+arrayPerLine, len(items))
+		fmt.Fprintf(&f.b, "  %s,\n", strings.Join(items[i:end], ", "))
+	}
+	f.b.WriteString("};\n")
+}
+
+func (f *formatter) stmts(ss []ir.Stmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, s := range ss {
+		f.ordinal++
+		prefix := ""
+		if s.Line() != f.ordinal {
+			prefix = fmt.Sprintf("@%d ", s.Line())
+		}
+		switch x := s.(type) {
+		case *ir.Assign:
+			f.b.WriteString(ind + prefix)
+			switch d := x.Dest.(type) {
+			case ir.TempDest:
+				f.b.WriteString(d.Name)
+			case *ir.ElemDest:
+				f.b.WriteString(d.Array)
+				f.b.WriteByte('[')
+				f.expr(d.Index, 0)
+				f.b.WriteByte(']')
+			default:
+				panic(fmt.Sprintf("frontend: Format: unknown destination type %T", x.Dest))
+			}
+			f.b.WriteString(" = ")
+			f.expr(x.X, 0)
+			f.b.WriteString(";\n")
+		case *ir.If:
+			f.b.WriteString(ind + prefix + "if ")
+			f.expr(x.Cond, 0)
+			f.b.WriteString(" {\n")
+			f.stmts(x.Then, depth+1)
+			if len(x.Else) > 0 {
+				f.b.WriteString(ind + "} else {\n")
+				f.stmts(x.Else, depth+1)
+			}
+			f.b.WriteString(ind + "}\n")
+		default:
+			panic(fmt.Sprintf("frontend: Format: unknown statement type %T", s))
+		}
+	}
+}
+
+// Precedence levels matching binLevel in parse.go; unary is 9.
+var binPrecs = map[ir.BinOp]int{
+	ir.Or: 1, ir.Xor: 2, ir.And: 3,
+	ir.Eq: 4, ir.Ne: 4,
+	ir.Lt: 5, ir.Le: 5, ir.Gt: 5, ir.Ge: 5,
+	ir.Shl: 6, ir.Shr: 6,
+	ir.Add: 7, ir.Sub: 7,
+	ir.Mul: 8, ir.Div: 8, ir.Rem: 8,
+}
+
+var binSyms = map[ir.BinOp]string{
+	ir.Add: "+", ir.Sub: "-", ir.Mul: "*", ir.Div: "/", ir.Rem: "%",
+	ir.And: "&", ir.Or: "|", ir.Xor: "^", ir.Shl: "<<", ir.Shr: ">>",
+	ir.Eq: "==", ir.Ne: "!=", ir.Lt: "<", ir.Le: "<=", ir.Gt: ">", ir.Ge: ">=",
+}
+
+const precUnary = 9
+
+// expr writes e, parenthesizing when its precedence is below the context's
+// (ctx is the minimum level the surrounding operator requires; left
+// children get the operator's own level, right children one higher, so
+// left-associative chains print without parens and reparse identically).
+func (f *formatter) expr(e ir.Expr, ctx int) {
+	switch x := e.(type) {
+	case ir.ConstF:
+		f.b.WriteString(fmtF64(x.V))
+	case ir.ConstI:
+		f.b.WriteString(strconv.FormatInt(x.V, 10))
+	case ir.Temp:
+		f.b.WriteString(x.Name)
+	case *ir.Load:
+		f.b.WriteString(x.Array)
+		f.b.WriteByte('[')
+		f.expr(x.Index, 0)
+		f.b.WriteByte(']')
+	case *ir.Un:
+		f.un(x)
+	case *ir.Bin:
+		if x.Op == ir.Min || x.Op == ir.Max {
+			// min/max are calls, not operators.
+			f.b.WriteString(x.Op.String())
+			f.b.WriteByte('(')
+			f.expr(x.L, 0)
+			f.b.WriteString(", ")
+			f.expr(x.R, 0)
+			f.b.WriteByte(')')
+			return
+		}
+		p := binPrecs[x.Op]
+		if p < ctx {
+			f.b.WriteByte('(')
+			f.bin(x, p)
+			f.b.WriteByte(')')
+			return
+		}
+		f.bin(x, p)
+	default:
+		panic(fmt.Sprintf("frontend: Format: unknown expression type %T", e))
+	}
+}
+
+func (f *formatter) bin(x *ir.Bin, p int) {
+	f.expr(x.L, p)
+	f.b.WriteString(" " + binSyms[x.Op] + " ")
+	f.expr(x.R, p+1)
+}
+
+func (f *formatter) un(x *ir.Un) {
+	switch x.Op {
+	case ir.Neg:
+		f.b.WriteByte('-')
+		// A literal directly after '-' would fold into a negative
+		// constant on reparse — a different IR node. Parenthesize so
+		// Un{Neg, Const} survives the round trip.
+		switch x.X.(type) {
+		case ir.ConstF, ir.ConstI:
+			f.b.WriteByte('(')
+			f.expr(x.X, 0)
+			f.b.WriteByte(')')
+		default:
+			f.expr(x.X, precUnary)
+		}
+	case ir.Not:
+		f.b.WriteByte('!')
+		f.expr(x.X, precUnary)
+	case ir.Sqrt, ir.Exp, ir.Log, ir.Abs, ir.Floor:
+		f.b.WriteString(x.Op.String())
+		f.b.WriteByte('(')
+		f.expr(x.X, 0)
+		f.b.WriteByte(')')
+	case ir.CvtIF:
+		f.b.WriteString("f64(")
+		f.expr(x.X, 0)
+		f.b.WriteByte(')')
+	case ir.CvtFI:
+		f.b.WriteString("i64(")
+		f.expr(x.X, 0)
+		f.b.WriteByte(')')
+	default:
+		panic(fmt.Sprintf("frontend: Format: unknown unary operator %v", x.Op))
+	}
+}
+
+// fmtF64 renders a float so it reparses to the identical bits: shortest
+// round-trip decimal with a forced '.0' on integral values (so the lexer
+// sees a float, not an int), and the nan/inf keywords for the specials.
+func fmtF64(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "nan"
+	case math.IsInf(v, 1):
+		return "inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	}
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}

@@ -1,0 +1,141 @@
+// Package frontend parses the fgp loop language: a small C-like surface
+// syntax for the one-counted-loop kernels the compiler pipeline accepts.
+// Parse lexes, parses, type-checks and lowers a source file to a validated
+// *ir.Loop; Format pretty-prints a loop back to source. The two are exact
+// inverses on the frontend subset: Parse(Format(l)) yields a loop whose
+// ir.MarshalLoop encoding is byte-identical to l's, so a source-submitted
+// kernel content-addresses into the same compile-cache entry as the
+// equivalent hand-built or wire-encoded one.
+//
+// A program looks like:
+//
+//	kernel "dot";
+//
+//	param f64 acc = 0.0;
+//	array f64 a[] = {0.5, 1.5, 2.5};
+//	array f64 b[] = {1.0, 2.0, 3.0};
+//
+//	for i = 0; i < 3; i += 1 {
+//	  acc = acc + a[i] * b[i];
+//	}
+//
+//	live_out acc;
+//
+// Everything outside the subset — nested loops, while, compound
+// assignment, mixed-kind arithmetic — is rejected with a positioned
+// diagnostic explaining the remainder, never a panic: source text is
+// untrusted input (it arrives over HTTP), so every failure is a
+// *frontend.Error carrying line/col diagnostics with source snippets.
+package frontend
+
+import (
+	"fmt"
+	"strings"
+
+	"fgp/internal/ir"
+)
+
+// Diagnostic is one positioned frontend error. Line and Col are 1-based;
+// Snippet is the offending source line (trimmed and bounded).
+type Diagnostic struct {
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Msg     string `json:"msg"`
+	Snippet string `json:"snippet,omitempty"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%d:%d: %s", d.Line, d.Col, d.Msg)
+}
+
+// Error is the failure type every Parse path returns: at least one
+// diagnostic, in source order, capped by Limits.MaxDiags.
+type Error struct {
+	Diags []Diagnostic
+}
+
+func (e *Error) Error() string {
+	if len(e.Diags) == 0 {
+		return "frontend: invalid source"
+	}
+	if len(e.Diags) == 1 {
+		return "frontend: " + e.Diags[0].String()
+	}
+	return fmt.Sprintf("frontend: %s (and %d more diagnostics)",
+		e.Diags[0], len(e.Diags)-1)
+}
+
+// RenderDiags formats diagnostics for a terminal, one "path:line:col:
+// message" line per diagnostic with the offending source line underneath —
+// the rendering the CLI tools print to stderr.
+func RenderDiags(path string, diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "%s:%d:%d: %s\n", path, d.Line, d.Col, d.Msg)
+		if d.Snippet != "" {
+			fmt.Fprintf(&b, "  | %s\n", d.Snippet)
+		}
+	}
+	return b.String()
+}
+
+// Limits bounds the resources one Parse may consume, so pathological input
+// (a megabyte of '(', a splat of a billion zeros) costs a diagnostic, not
+// memory or stack. The zero value of any field means its default.
+type Limits struct {
+	// MaxDepth bounds syntactic nesting: blocks, parens, index
+	// expressions. Default 64.
+	MaxDepth int
+	// MaxNodes bounds total tokens and AST nodes, including expanded
+	// array-splat elements. Default 1<<20.
+	MaxNodes int
+	// MaxDiags bounds how many diagnostics accumulate before the parse
+	// gives up. Default 20.
+	MaxDiags int
+}
+
+// DefaultLimits returns the limits Parse applies.
+func DefaultLimits() Limits {
+	return Limits{MaxDepth: 64, MaxNodes: 1 << 20, MaxDiags: 20}
+}
+
+func (lim Limits) withDefaults() Limits {
+	d := DefaultLimits()
+	if lim.MaxDepth <= 0 {
+		lim.MaxDepth = d.MaxDepth
+	}
+	if lim.MaxNodes <= 0 {
+		lim.MaxNodes = d.MaxNodes
+	}
+	if lim.MaxDiags <= 0 {
+		lim.MaxDiags = d.MaxDiags
+	}
+	return lim
+}
+
+// Parse lexes, parses, type-checks and lowers one fgp source file under
+// DefaultLimits. On success the loop has passed ir.Validate; on failure the
+// error is a *Error whose diagnostics all carry line/col positions.
+func Parse(src []byte) (*ir.Loop, error) {
+	return ParseWithLimits(src, DefaultLimits())
+}
+
+// ParseWithLimits is Parse with explicit resource bounds (the service uses
+// tighter ones than the CLI default).
+func ParseWithLimits(src []byte, lim Limits) (*ir.Loop, error) {
+	lim = lim.withDefaults()
+	sc := newSource(src)
+	toks, lexDiags := lexAll(sc, lim)
+	if len(lexDiags) > 0 {
+		return nil, &Error{Diags: lexDiags}
+	}
+	f, parseDiags := parseFile(toks, sc, lim)
+	if len(parseDiags) > 0 {
+		return nil, &Error{Diags: parseDiags}
+	}
+	l, lowDiags := lower(f, sc, lim)
+	if len(lowDiags) > 0 {
+		return nil, &Error{Diags: lowDiags}
+	}
+	return l, nil
+}

@@ -1,0 +1,367 @@
+package frontend
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"fgp/internal/ir"
+)
+
+// mustParse fails the test with the full diagnostic list on error.
+func mustParse(t *testing.T, src string) *ir.Loop {
+	t.Helper()
+	l, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("Parse failed: %v\nsource:\n%s", err, src)
+	}
+	return l
+}
+
+const dotSrc = `
+kernel "dot";
+
+param f64 acc = 0.0;
+array f64 a[] = {0.5, 1.5, 2.5};
+array f64 b[] = {1.0, 2.0, 3.0};
+
+for i = 0; i < 3; i += 1 {
+  acc = acc + a[i] * b[i];
+}
+
+live_out acc;
+`
+
+func TestParseDot(t *testing.T) {
+	l := mustParse(t, dotSrc)
+	if l.Name != "dot" {
+		t.Errorf("name = %q, want dot", l.Name)
+	}
+	if l.Index != "i" || l.Start != 0 || l.End != 3 || l.Step != 1 {
+		t.Errorf("header = %s %d..%d step %d", l.Index, l.Start, l.End, l.Step)
+	}
+	if len(l.Body) != 1 || len(l.Arrays) != 2 || len(l.Scalars) != 1 || len(l.LiveOut) != 1 {
+		t.Errorf("shape: %d stmts %d arrays %d scalars %d liveouts",
+			len(l.Body), len(l.Arrays), len(l.Scalars), len(l.LiveOut))
+	}
+	a := l.Body[0].(*ir.Assign)
+	if a.Src != 1 {
+		t.Errorf("stmt line = %d, want pre-order ordinal 1", a.Src)
+	}
+	// acc + a[i]*b[i] must honor precedence: Add(acc, Mul(load, load)).
+	add := a.X.(*ir.Bin)
+	if add.Op != ir.Add {
+		t.Fatalf("root op = %v, want add", add.Op)
+	}
+	if mul, ok := add.R.(*ir.Bin); !ok || mul.Op != ir.Mul {
+		t.Errorf("right child = %v, want mul", add.R)
+	}
+}
+
+func TestParseControlFlowAndOrdinals(t *testing.T) {
+	l := mustParse(t, `
+kernel branchy;
+param i64 acc = 0;
+array i64 g[] = {3, 1, 4, 1, 5};
+for i = 0; i < 5; i += 1 {
+  v = g[i];
+  if v % 2 == 1 {
+    acc = acc + v;
+  } else {
+    acc = acc - v;
+  }
+}
+live_out acc;
+`)
+	if l.Name != "branchy" {
+		t.Errorf("identifier kernel name: got %q", l.Name)
+	}
+	ifs := l.Body[1].(*ir.If)
+	// Pre-order: v=... is 1, if is 2, then-assign 3, else-assign 4.
+	if ifs.Src != 2 || ifs.Then[0].Line() != 3 || ifs.Else[0].Line() != 4 {
+		t.Errorf("ordinals: if=%d then=%d else=%d, want 2,3,4",
+			ifs.Src, ifs.Then[0].Line(), ifs.Else[0].Line())
+	}
+}
+
+func TestParseAtAnnotations(t *testing.T) {
+	l := mustParse(t, `
+array f64 a[] = {1.0};
+for i = 0; i < 1; i += 1 {
+  @7 x = a[i];
+  a[i] = x;
+}
+`)
+	if got := l.Body[0].Line(); got != 7 {
+		t.Errorf("annotated line = %d, want 7", got)
+	}
+	// The ordinal counter still advances under an annotation, so the next
+	// statement numbers as if the annotation were absent.
+	if got := l.Body[1].Line(); got != 2 {
+		t.Errorf("following line = %d, want 2", got)
+	}
+}
+
+func TestParseSplatAndElseIf(t *testing.T) {
+	l := mustParse(t, `
+array f64 a[] = {0.5; 100};
+param i64 n = 0;
+for i = 0; i < 100; i += 1 {
+  k = n;
+  if i == 0 {
+    k = k + 1;
+  } else if i == 1 {
+    k = k + 2;
+  } else {
+    k = k + 3;
+  }
+  a[i] = f64(k);
+}
+`)
+	if l.Arrays[0].Len() != 100 || l.Arrays[0].InitF[99] != 0.5 {
+		t.Errorf("splat: len=%d last=%v", l.Arrays[0].Len(), l.Arrays[0].InitF[99])
+	}
+	outer := l.Body[1].(*ir.If)
+	inner, ok := outer.Else[0].(*ir.If)
+	if !ok || len(inner.Else) != 1 {
+		t.Fatalf("else-if did not nest: %+v", outer.Else)
+	}
+}
+
+func TestParseNumericEdges(t *testing.T) {
+	l := mustParse(t, fmt.Sprintf(`
+param i64 lo = -9223372036854775808;
+param i64 hi = 9223372036854775807;
+param f64 tiny = 5e-324;
+param f64 big = 1e300;
+param f64 negzero = -0.0;
+param f64 notnum = nan;
+param f64 top = inf;
+param f64 bot = -inf;
+array i64 g[] = {1};
+for i = 0; i < 1; i += 1 {
+  g[i] = lo %s hi;
+}
+`, "&"))
+	get := func(name string) ir.ScalarDecl {
+		s, ok := l.Scalar(name)
+		if !ok {
+			t.Fatalf("missing scalar %q", name)
+		}
+		return s
+	}
+	if get("lo").I != math.MinInt64 || get("hi").I != math.MaxInt64 {
+		t.Errorf("int extremes: lo=%d hi=%d", get("lo").I, get("hi").I)
+	}
+	if v := get("negzero").F; math.Float64bits(v) != math.Float64bits(math.Copysign(0, -1)) {
+		t.Errorf("-0.0 lost its sign: %v", v)
+	}
+	if !math.IsNaN(get("notnum").F) || !math.IsInf(get("top").F, 1) || !math.IsInf(get("bot").F, -1) {
+		t.Errorf("specials: nan=%v inf=%v -inf=%v", get("notnum").F, get("top").F, get("bot").F)
+	}
+	if get("tiny").F != 5e-324 || get("big").F != 1e300 {
+		t.Errorf("extremes: tiny=%v big=%v", get("tiny").F, get("big").F)
+	}
+}
+
+// diagnosticCases map source fragments outside the subset to a substring
+// their first diagnostic must carry. Every rejection must be positioned.
+var diagnosticCases = []struct {
+	name, src, want string
+}{
+	{"while", "for i = 0; i < 1; i += 1 {\n while j < 3 { }\n}", "'while' loops are outside"},
+	{"nested for", "array f64 a[] = {1.0};\nfor i = 0; i < 1; i += 1 {\n for j = 0; j < 2; j += 1 { }\n}", "nested loops"},
+	{"compound assign", "param f64 x = 0.0;\nfor i = 0; i < 1; i += 1 {\n x += 1.0;\n}", "compound assignment"},
+	{"increment", "param i64 x = 0;\nfor i = 0; i < 1; i += 1 {\n x++;\n}", "increment/decrement"},
+	{"le condition", "for i = 0; i <= 3; i += 1 {\n}", "must use '<'"},
+	{"symbolic bound", "param i64 n = 3;\nfor i = 0; i < n; i += 1 {\n}", "integer literals"},
+	{"assign index", "array i64 g[] = {1};\nfor i = 0; i < 1; i += 1 {\n i = g[i];\n}", "induction variable"},
+	{"undefined temp", "array f64 a[] = {1.0};\nfor i = 0; i < 1; i += 1 {\n a[i] = y;\n}", "\"y\" is undefined"},
+	{"use before def branch", "param i64 c = 1;\narray f64 a[] = {1.0};\nfor i = 0; i < 1; i += 1 {\n if c {\n  t = 1.0;\n }\n a[i] = t;\n}", "every path"},
+	{"kind mismatch bin", "param f64 x = 1.0;\nparam i64 n = 2;\narray f64 a[] = {1.0};\nfor i = 0; i < 1; i += 1 {\n a[i] = x + n;\n}", "different kinds"},
+	{"rem on floats", "param f64 x = 1.0;\narray f64 a[] = {1.0};\nfor i = 0; i < 1; i += 1 {\n a[i] = x % x;\n}", "i64 only"},
+	{"float condition", "param f64 x = 1.0;\narray f64 a[] = {1.0};\nfor i = 0; i < 1; i += 1 {\n if x {\n  a[i] = x;\n }\n}", "condition must be i64"},
+	{"temp kind flip", "array f64 a[] = {1.0};\nfor i = 0; i < 1; i += 1 {\n t = 1.0;\n t = 1;\n a[i] = t;\n}", "temporaries keep one kind"},
+	{"undeclared array", "for i = 0; i < 1; i += 1 {\n q[i] = 1.0;\n}", "undeclared array"},
+	{"scalar indexed", "param f64 x = 0.0;\narray f64 a[] = {1.0};\nfor i = 0; i < 1; i += 1 {\n a[i] = x[i];\n}", "cannot be indexed"},
+	{"array as scalar", "array f64 a[] = {1.0};\narray f64 b[] = {1.0};\nfor i = 0; i < 1; i += 1 {\n b[i] = a;\n}", "is an array"},
+	{"sqrt of int", "param i64 n = 2;\narray f64 a[] = {1.0};\nfor i = 0; i < 1; i += 1 {\n a[i] = sqrt(n);\n}", "requires an f64 argument"},
+	{"unknown function", "array f64 a[] = {1.0};\nfor i = 0; i < 1; i += 1 {\n a[i] = cos(1.0);\n}", "unknown function"},
+	{"min arity", "array f64 a[] = {1.0};\nfor i = 0; i < 1; i += 1 {\n a[i] = min(1.0);\n}", "exactly 2 arguments"},
+	{"float index", "array f64 a[] = {1.0};\nfor i = 0; i < 1; i += 1 {\n a[i] = a[1.5];\n}", "index must be i64"},
+	{"live out undefined", "array f64 a[] = {1.0};\nfor i = 0; i < 1; i += 1 {\n a[i] = 1.0;\n}\nlive_out t;", "never assigned"},
+	{"empty array", "array f64 a[] = {};\nfor i = 0; i < 1; i += 1 {\n t = a[i];\n}", "no elements"},
+	{"dup array", "array f64 a[] = {1.0};\narray f64 a[] = {2.0};\nfor i = 0; i < 1; i += 1 {\n a[i] = 1.0;\n}", "declared twice"},
+	{"dup param", "param f64 x = 1.0;\nparam f64 x = 2.0;\narray f64 a[] = {1.0};\nfor i = 0; i < 1; i += 1 {\n a[i] = x;\n}", "declared twice"},
+	{"index collides", "param i64 i = 0;\narray f64 a[] = {1.0};\nfor i = 0; i < 1; i += 1 {\n a[i] = 1.0;\n}", "collides with a param"},
+	{"zero step", "array f64 a[] = {1.0};\nfor i = 0; i < 1; i += 0 {\n a[i] = 1.0;\n}", "step must be positive"},
+	{"i64 param float value", "param i64 n = 1.5;\narray f64 a[] = {1.0};\nfor i = 0; i < 1; i += 1 {\n a[i] = 1.0;\n}", "float literal"},
+	{"logical and", "param i64 a = 1;\narray i64 g[] = {1};\nfor i = 0; i < 1; i += 1 {\n g[i] = a && a;\n}", "'&&'"},
+	{"block comment", "/* hi */\nfor i = 0; i < 1; i += 1 {\n}", "block comments"},
+	{"bad char", "array f64 a[] = {1.0};\nfor i = 0; i < 1; i += 1 {\n a[i] = 1.0 ~ 2.0;\n}", "unexpected character"},
+	{"leading dot float", "param f64 x = .5;\narray f64 a[] = {1.0};\nfor i = 0; i < 1; i += 1 {\n a[i] = x;\n}", "leading digit"},
+	{"unterminated string", "kernel \"oops;\nfor i = 0; i < 1; i += 1 {\n}", "unterminated string"},
+	{"int overflow", "param i64 n = 99999999999999999999;\narray f64 a[] = {1.0};\nfor i = 0; i < 1; i += 1 {\n a[i] = 1.0;\n}", "overflows i64"},
+	{"missing loop", "param f64 x = 1.0;\n", "missing the for loop"},
+	{"second loop", "array f64 a[] = {1.0};\nfor i = 0; i < 1; i += 1 {\n a[i] = 1.0;\n}\nfor j = 0; j < 1; j += 1 {\n}", "second top-level loop"},
+	{"trailing garbage", "array f64 a[] = {1.0};\nfor i = 0; i < 1; i += 1 {\n a[i] = 1.0;\n}\n)", "after the loop"},
+	{"empty source", "", "missing the for loop"},
+	{"splat zero", "array f64 a[] = {1.0; 0};\nfor i = 0; i < 1; i += 1 {\n a[i] = 1.0;\n}", "splat count"},
+	{"call statement", "array f64 a[] = {1.0};\nfor i = 0; i < 1; i += 1 {\n foo(1.0);\n}", "calls as statements"},
+	{"condition wrong var", "array f64 a[] = {1.0};\nfor i = 0; j < 1; i += 1 {\n a[i] = 1.0;\n}", "induction variable is"},
+	{"double conversion", "param f64 x = 1.0;\narray f64 a[] = {1.0};\nfor i = 0; i < 1; i += 1 {\n a[i] = f64(x);\n}", "already f64"},
+}
+
+func TestDiagnostics(t *testing.T) {
+	for _, tc := range diagnosticCases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.src))
+			if err == nil {
+				t.Fatalf("Parse accepted out-of-subset source:\n%s", tc.src)
+			}
+			fe, ok := err.(*Error)
+			if !ok {
+				t.Fatalf("error is %T, want *frontend.Error", err)
+			}
+			if len(fe.Diags) == 0 {
+				t.Fatal("error carries no diagnostics")
+			}
+			found := false
+			for _, d := range fe.Diags {
+				if d.Line < 1 || d.Col < 1 {
+					t.Errorf("diagnostic %q lacks a position (line %d col %d)", d.Msg, d.Line, d.Col)
+				}
+				if strings.Contains(d.Msg, tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("no diagnostic mentions %q; got:\n%v", tc.want, fe.Diags)
+			}
+		})
+	}
+}
+
+func TestMultipleDiagnosticsInOnePass(t *testing.T) {
+	// Two independent errors on different lines must both be reported.
+	src := `
+array f64 a[] = {1.0};
+for i = 0; i < 1; i += 1 {
+  a[i] = nosuch;
+  a[i] = alsonosuch;
+}
+`
+	_, err := Parse([]byte(src))
+	fe, ok := err.(*Error)
+	if !ok || len(fe.Diags) < 2 {
+		t.Fatalf("want >= 2 diagnostics, got %v", err)
+	}
+	if fe.Diags[0].Line >= fe.Diags[1].Line {
+		t.Errorf("diagnostics out of source order: %v", fe.Diags)
+	}
+	if fe.Diags[0].Snippet == "" {
+		t.Errorf("diagnostic lacks a snippet: %+v", fe.Diags[0])
+	}
+}
+
+func TestLimitDepth(t *testing.T) {
+	deep := "array f64 a[] = {1.0};\nfor i = 0; i < 1; i += 1 {\n a[i] = " +
+		strings.Repeat("(", 500) + "1.0" + strings.Repeat(")", 500) + ";\n}"
+	_, err := ParseWithLimits([]byte(deep), Limits{MaxDepth: 64})
+	if err == nil || !strings.Contains(err.Error(), "depth limit") {
+		t.Fatalf("deep nesting not rejected: %v", err)
+	}
+	// The same source parses under a bigger budget (the limit is the only
+	// thing rejecting it).
+	if _, err := ParseWithLimits([]byte(deep), Limits{MaxDepth: 1000}); err != nil {
+		t.Fatalf("depth 1000 should accept 500 parens: %v", err)
+	}
+}
+
+func TestLimitNodes(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("array f64 a[] = {1.0};\nfor i = 0; i < 1; i += 1 {\n a[0] = 0.0")
+	for range 3000 {
+		b.WriteString(" + 1.0")
+	}
+	b.WriteString(";\n}")
+	_, err := ParseWithLimits([]byte(b.String()), Limits{MaxNodes: 1000})
+	if err == nil || (!strings.Contains(err.Error(), "node budget") && !strings.Contains(err.Error(), "token budget")) {
+		t.Fatalf("node flood not rejected: %v", err)
+	}
+}
+
+func TestLimitSplatBudget(t *testing.T) {
+	src := "array f64 a[] = {1.0; 100000};\nfor i = 0; i < 1; i += 1 {\n a[i] = 1.0;\n}"
+	_, err := ParseWithLimits([]byte(src), Limits{MaxNodes: 1000})
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("splat blowup not rejected: %v", err)
+	}
+}
+
+func TestLimitMaxDiags(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("array f64 a[] = {1.0};\nfor i = 0; i < 1; i += 1 {\n")
+	for i := range 50 {
+		fmt.Fprintf(&b, " a[i] = missing%d;\n", i)
+	}
+	b.WriteString("}\n")
+	_, err := Parse([]byte(b.String()))
+	fe, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("want *Error, got %v", err)
+	}
+	if len(fe.Diags) > DefaultLimits().MaxDiags+1 {
+		t.Errorf("diagnostics not capped: %d", len(fe.Diags))
+	}
+	last := fe.Diags[len(fe.Diags)-1]
+	if !strings.Contains(last.Msg, "giving up") {
+		t.Errorf("cap not announced: %+v", last)
+	}
+}
+
+func TestErrorStringMentionsPosition(t *testing.T) {
+	_, err := Parse([]byte("for i = 0; i <= 3; i += 1 {\n}"))
+	if err == nil || !strings.Contains(err.Error(), "1:14") {
+		t.Fatalf("error string lacks line:col: %v", err)
+	}
+}
+
+func TestTempNamedLikeBuiltin(t *testing.T) {
+	// Builtin names are contextual (call syntax only), so a temp or array
+	// may legally be named sqrt/min/abs — the fuzz generator could emit
+	// such names and Format must stay parseable.
+	l := mustParse(t, `
+array f64 abs[] = {4.0};
+for i = 0; i < 1; i += 1 {
+  sqrt = abs[i];
+  abs[i] = sqrt + abs[i];
+}
+`)
+	if l.Body[0].(*ir.Assign).Dest.(ir.TempDest).Name != "sqrt" {
+		t.Error("temp named sqrt mishandled")
+	}
+	// And it round-trips.
+	src := Format(l)
+	l2, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, src)
+	}
+	mustEqualLoops(t, l, l2, src)
+}
+
+func mustEqualLoops(t *testing.T, a, b *ir.Loop, src string) {
+	t.Helper()
+	ab, err := ir.MarshalLoop(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := ir.MarshalLoop(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ab) != string(bb) {
+		t.Errorf("loops differ after round trip\nsource:\n%s\nwant: %s\ngot:  %s", src, ab, bb)
+	}
+}

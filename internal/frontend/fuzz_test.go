@@ -1,0 +1,68 @@
+package frontend
+
+import (
+	"testing"
+
+	"fgp/internal/ir"
+	"fgp/internal/kernels"
+)
+
+// FuzzParse is the parser robustness target: arbitrary bytes must produce
+// either a validated loop or a positioned diagnostic — never a panic, and
+// never unbounded resource use (the harness itself enforces the memory
+// side via -fuzz). Accepted inputs additionally round-trip: the formatted
+// normal form reparses to an identical loop, so coverage-guided input
+// discovery keeps probing the Format/Parse inverse pair too.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(dotSrc))
+	f.Add([]byte("kernel \"x\";\nparam i64 n = -3;\narray i64 g[] = {1; 9};\n" +
+		"for i = 0; i < 9; i += 2 {\n @5 if g[i] % 2 == 1 {\n  n = n + g[i];\n } else if i == 0 {\n  n = n - 1;\n }\n g[i] = min(n, 7) << 1;\n}\nlive_out n;\n"))
+	f.Add([]byte("array f64 a[] = {nan, inf, -inf, -0.0, 5e-324};\nfor i = 0; i < 5; i += 1 {\n a[i] = sqrt(abs(a[i])) / (a[i] - -1.5);\n}"))
+	f.Add([]byte("for i = 0; i <= 3; i += 1 { while (1) { x += 2 } }"))
+	f.Add([]byte("((((((((((((("))
+	f.Add([]byte("kernel \"\\x\";@@@\x00\xff"))
+	for _, k := range kernels.All() {
+		f.Add([]byte(Format(k.Build())))
+	}
+
+	// Tight limits keep each execution cheap so the smoke window explores
+	// many inputs; the limits themselves are part of the attack surface.
+	lim := Limits{MaxDepth: 48, MaxNodes: 1 << 14, MaxDiags: 12}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := ParseWithLimits(data, lim)
+		if err != nil {
+			fe, ok := err.(*Error)
+			if !ok {
+				t.Fatalf("error is %T, want *frontend.Error: %v", err, err)
+			}
+			if len(fe.Diags) == 0 {
+				t.Fatal("rejection without diagnostics")
+			}
+			for _, d := range fe.Diags {
+				if d.Line < 1 || d.Col < 1 {
+					t.Fatalf("diagnostic without position: %+v", d)
+				}
+			}
+			return
+		}
+		if verr := ir.Validate(l); verr != nil {
+			t.Fatalf("accepted loop fails ir.Validate: %v", verr)
+		}
+		src := Format(l)
+		l2, err := Parse([]byte(src))
+		if err != nil {
+			t.Fatalf("normal form failed to reparse: %v\n%s", err, src)
+		}
+		b1, err := ir.MarshalLoop(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := ir.MarshalLoop(l2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b1) != string(b2) {
+			t.Fatalf("round trip changed the loop\nsource:\n%s\nwant %s\ngot  %s", src, b1, b2)
+		}
+	})
+}

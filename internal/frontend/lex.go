@@ -1,0 +1,493 @@
+// The lexer: bytes to positioned tokens. It never fails hard — bad input
+// produces diagnostics and the scan continues, so one typo reports every
+// error it can see, bounded by Limits.MaxDiags. Token count is bounded by
+// Limits.MaxNodes: a token is the cheapest unit of work the parser can be
+// made to do, so the budget is enforced here, before anything allocates
+// per-token state downstream.
+
+package frontend
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tInt
+	tFloat
+	tString
+
+	tKernel
+	tParam
+	tArray
+	tFor
+	tIf
+	tElse
+	tLiveOut
+	tF64
+	tI64
+	tNan
+	tInf
+
+	tLBrace
+	tRBrace
+	tLBracket
+	tRBracket
+	tLParen
+	tRParen
+	tSemi
+	tComma
+	tAt
+
+	tAssign // =
+	tPlusEq // +=
+
+	tPlus
+	tMinus
+	tStar
+	tSlash
+	tPercent
+	tAmp
+	tPipe
+	tCaret
+	tShl
+	tShr
+	tEq
+	tNe
+	tLt
+	tLe
+	tGt
+	tGe
+	tBang
+)
+
+var tokDescs = map[tokKind]string{
+	tEOF: "end of file", tIdent: "identifier", tInt: "integer literal",
+	tFloat: "float literal", tString: "string literal",
+	tKernel: "'kernel'", tParam: "'param'", tArray: "'array'", tFor: "'for'",
+	tIf: "'if'", tElse: "'else'", tLiveOut: "'live_out'",
+	tF64: "'f64'", tI64: "'i64'", tNan: "'nan'", tInf: "'inf'",
+	tLBrace: "'{'", tRBrace: "'}'", tLBracket: "'['", tRBracket: "']'",
+	tLParen: "'('", tRParen: "')'", tSemi: "';'", tComma: "','", tAt: "'@'",
+	tAssign: "'='", tPlusEq: "'+='",
+	tPlus: "'+'", tMinus: "'-'", tStar: "'*'", tSlash: "'/'", tPercent: "'%'",
+	tAmp: "'&'", tPipe: "'|'", tCaret: "'^'", tShl: "'<<'", tShr: "'>>'",
+	tEq: "'=='", tNe: "'!='", tLt: "'<'", tLe: "'<='", tGt: "'>'", tGe: "'>='",
+	tBang: "'!'",
+}
+
+func (k tokKind) desc() string {
+	if d, ok := tokDescs[k]; ok {
+		return d
+	}
+	return fmt.Sprintf("token(%d)", k)
+}
+
+var keywords = map[string]tokKind{
+	"kernel": tKernel, "param": tParam, "array": tArray, "for": tFor,
+	"if": tIf, "else": tElse, "live_out": tLiveOut,
+	"f64": tF64, "i64": tI64, "nan": tNan, "inf": tInf,
+}
+
+type pos struct {
+	line, col int // 1-based
+}
+
+type token struct {
+	kind tokKind
+	text string // identifier name, number raw text, decoded string value
+	pos  pos
+}
+
+// describe renders the token for "found ..." halves of diagnostics.
+func (t token) describe() string {
+	switch t.kind {
+	case tIdent:
+		return fmt.Sprintf("identifier %q", t.text)
+	case tInt, tFloat:
+		return fmt.Sprintf("number %s", t.text)
+	case tString:
+		return fmt.Sprintf("string %q", t.text)
+	}
+	return t.kind.desc()
+}
+
+// source holds the raw bytes plus line-start offsets for snippet rendering.
+type source struct {
+	data       []byte
+	lineStarts []int
+}
+
+func newSource(data []byte) *source {
+	s := &source{data: data, lineStarts: []int{0}}
+	for i, b := range data {
+		if b == '\n' {
+			s.lineStarts = append(s.lineStarts, i+1)
+		}
+	}
+	return s
+}
+
+const maxSnippetBytes = 120
+
+// snippet returns the given 1-based source line, trimmed and bounded.
+func (s *source) snippet(line int) string {
+	if line < 1 || line > len(s.lineStarts) {
+		return ""
+	}
+	start := s.lineStarts[line-1]
+	end := len(s.data)
+	if line < len(s.lineStarts) {
+		end = s.lineStarts[line] - 1 // drop the newline
+	}
+	text := strings.TrimRight(string(s.data[start:end]), " \t\r")
+	if len(text) > maxSnippetBytes {
+		text = text[:maxSnippetBytes] + "..."
+	}
+	return text
+}
+
+func (s *source) diag(p pos, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Line:    p.line,
+		Col:     p.col,
+		Msg:     fmt.Sprintf(format, args...),
+		Snippet: s.snippet(p.line),
+	}
+}
+
+type lexer struct {
+	sc    *source
+	off   int
+	line  int
+	lstrt int // offset of the current line's start
+	lim   Limits
+	diags []Diagnostic
+	full  bool // MaxDiags reached
+}
+
+// lexAll tokenizes the whole input. The returned slice always ends with a
+// tEOF token; any diagnostics mean the input is rejected before parsing.
+func lexAll(sc *source, lim Limits) ([]token, []Diagnostic) {
+	lx := &lexer{sc: sc, line: 1, lim: lim}
+	var toks []token
+	for {
+		t, ok := lx.next()
+		if !ok { // token budget blown; stop scanning
+			break
+		}
+		toks = append(toks, t)
+		if t.kind == tEOF {
+			break
+		}
+		if len(toks) > lim.MaxNodes {
+			lx.errorf(t.pos, "source exceeds the token budget (%d tokens); split the kernel or raise the limit", lim.MaxNodes)
+			break
+		}
+	}
+	toks = append(toks, token{kind: tEOF, pos: lx.pos()})
+	return toks, lx.diags
+}
+
+func (lx *lexer) pos() pos {
+	return pos{line: lx.line, col: lx.off - lx.lstrt + 1}
+}
+
+func (lx *lexer) errorf(p pos, format string, args ...any) {
+	if lx.full {
+		return
+	}
+	if len(lx.diags) >= lx.lim.MaxDiags {
+		lx.diags = append(lx.diags, lx.sc.diag(p, "too many errors; giving up"))
+		lx.full = true
+		return
+	}
+	lx.diags = append(lx.diags, lx.sc.diag(p, format, args...))
+}
+
+func (lx *lexer) peek() byte {
+	if lx.off < len(lx.sc.data) {
+		return lx.sc.data[lx.off]
+	}
+	return 0
+}
+
+func (lx *lexer) peekAt(n int) byte {
+	if lx.off+n < len(lx.sc.data) {
+		return lx.sc.data[lx.off+n]
+	}
+	return 0
+}
+
+// advance moves past one byte, tracking line starts.
+func (lx *lexer) advance() {
+	if lx.sc.data[lx.off] == '\n' {
+		lx.line++
+		lx.lstrt = lx.off + 1
+	}
+	lx.off++
+}
+
+func isDigit(b byte) bool { return b >= '0' && b <= '9' }
+func isIdentStart(b byte) bool {
+	return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}
+func isIdentByte(b byte) bool { return isIdentStart(b) || isDigit(b) }
+
+// next scans one token. ok is false only when the diagnostic budget is
+// exhausted and scanning should stop outright.
+func (lx *lexer) next() (token, bool) {
+	for lx.off < len(lx.sc.data) {
+		b := lx.peek()
+		switch {
+		case b == ' ' || b == '\t' || b == '\r' || b == '\n':
+			lx.advance()
+		case b == '/' && lx.peekAt(1) == '/':
+			for lx.off < len(lx.sc.data) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case b == '/' && lx.peekAt(1) == '*':
+			p := lx.pos()
+			lx.errorf(p, "block comments are not supported; use // line comments")
+			if lx.full {
+				return token{}, false
+			}
+			lx.advance()
+			lx.advance()
+			for lx.off < len(lx.sc.data) {
+				if lx.peek() == '*' && lx.peekAt(1) == '/' {
+					lx.advance()
+					lx.advance()
+					break
+				}
+				lx.advance()
+			}
+		default:
+			return lx.scanToken()
+		}
+	}
+	return token{kind: tEOF, pos: lx.pos()}, true
+}
+
+func (lx *lexer) scanToken() (token, bool) {
+	p := lx.pos()
+	b := lx.peek()
+	switch {
+	case isIdentStart(b):
+		start := lx.off
+		for lx.off < len(lx.sc.data) && isIdentByte(lx.peek()) {
+			lx.advance()
+		}
+		text := string(lx.sc.data[start:lx.off])
+		if k, ok := keywords[text]; ok {
+			return token{kind: k, text: text, pos: p}, true
+		}
+		return token{kind: tIdent, text: text, pos: p}, true
+	case isDigit(b):
+		return lx.scanNumber(p)
+	case b == '"':
+		return lx.scanString(p)
+	}
+
+	two := func(k tokKind) (token, bool) {
+		lx.advance()
+		lx.advance()
+		return token{kind: k, text: string(lx.sc.data[lx.off-2 : lx.off]), pos: p}, true
+	}
+	one := func(k tokKind) (token, bool) {
+		lx.advance()
+		return token{kind: k, text: string(b), pos: p}, true
+	}
+	switch b {
+	case '{':
+		return one(tLBrace)
+	case '}':
+		return one(tRBrace)
+	case '[':
+		return one(tLBracket)
+	case ']':
+		return one(tRBracket)
+	case '(':
+		return one(tLParen)
+	case ')':
+		return one(tRParen)
+	case ';':
+		return one(tSemi)
+	case ',':
+		return one(tComma)
+	case '@':
+		return one(tAt)
+	case '+':
+		if lx.peekAt(1) == '=' {
+			return two(tPlusEq)
+		}
+		return one(tPlus)
+	case '-':
+		return one(tMinus)
+	case '*':
+		return one(tStar)
+	case '/':
+		return one(tSlash)
+	case '%':
+		return one(tPercent)
+	case '&':
+		if lx.peekAt(1) == '&' {
+			lx.errorf(p, "unsupported: '&&'; booleans are i64 0/1, use '&' for logical and")
+		} else {
+			return one(tAmp)
+		}
+	case '|':
+		if lx.peekAt(1) == '|' {
+			lx.errorf(p, "unsupported: '||'; booleans are i64 0/1, use '|' for logical or")
+		} else {
+			return one(tPipe)
+		}
+	case '^':
+		return one(tCaret)
+	case '<':
+		if lx.peekAt(1) == '<' {
+			return two(tShl)
+		}
+		if lx.peekAt(1) == '=' {
+			return two(tLe)
+		}
+		return one(tLt)
+	case '>':
+		if lx.peekAt(1) == '>' {
+			return two(tShr)
+		}
+		if lx.peekAt(1) == '=' {
+			return two(tGe)
+		}
+		return one(tGt)
+	case '=':
+		if lx.peekAt(1) == '=' {
+			return two(tEq)
+		}
+		return one(tAssign)
+	case '!':
+		if lx.peekAt(1) == '=' {
+			return two(tNe)
+		}
+		return one(tBang)
+	case '.':
+		if isDigit(lx.peekAt(1)) {
+			lx.errorf(p, "floats need a leading digit: write 0.%c..., not .%c...", lx.peekAt(1), lx.peekAt(1))
+		} else {
+			lx.errorf(p, "unexpected character '.'")
+		}
+	default:
+		lx.errorf(p, "unexpected character %q", rune(b))
+	}
+	if lx.full {
+		return token{}, false
+	}
+	// Skip the offending bytes (the whole '&&'/'||' pair, or one byte) and
+	// keep scanning so later errors still surface.
+	lx.advance()
+	if (b == '&' || b == '|') && lx.peek() == b {
+		lx.advance()
+	}
+	if b == '.' {
+		for lx.off < len(lx.sc.data) && isDigit(lx.peek()) {
+			lx.advance()
+		}
+	}
+	return lx.next()
+}
+
+// scanNumber scans [0-9]+ ('.' [0-9]+)? ([eE] [+-]? [0-9]+)? — a float when
+// a fraction or exponent is present, an integer otherwise. Values are
+// converted later, where the sign context is known.
+func (lx *lexer) scanNumber(p pos) (token, bool) {
+	start := lx.off
+	for lx.off < len(lx.sc.data) && isDigit(lx.peek()) {
+		lx.advance()
+	}
+	isFloat := false
+	if lx.peek() == '.' {
+		if !isDigit(lx.peekAt(1)) {
+			lx.errorf(p, "float literal needs digits after the '.'")
+			if lx.full {
+				return token{}, false
+			}
+			lx.advance()
+			return token{kind: tFloat, text: string(lx.sc.data[start:lx.off]) + "0", pos: p}, true
+		}
+		isFloat = true
+		lx.advance()
+		for lx.off < len(lx.sc.data) && isDigit(lx.peek()) {
+			lx.advance()
+		}
+	}
+	if e := lx.peek(); e == 'e' || e == 'E' {
+		j := 1
+		if s := lx.peekAt(1); s == '+' || s == '-' {
+			j = 2
+		}
+		if isDigit(lx.peekAt(j)) {
+			isFloat = true
+			for range j {
+				lx.advance()
+			}
+			for lx.off < len(lx.sc.data) && isDigit(lx.peek()) {
+				lx.advance()
+			}
+		}
+	}
+	if isIdentStart(lx.peek()) {
+		lx.errorf(lx.pos(), "unexpected %q immediately after a number", rune(lx.peek()))
+		if lx.full {
+			return token{}, false
+		}
+		for lx.off < len(lx.sc.data) && isIdentByte(lx.peek()) {
+			lx.advance()
+		}
+	}
+	kind := tInt
+	if isFloat {
+		kind = tFloat
+	}
+	return token{kind: kind, text: string(lx.sc.data[start:lx.off]), pos: p}, true
+}
+
+// scanString scans a double-quoted literal with Go escape syntax; the
+// token's text is the decoded value.
+func (lx *lexer) scanString(p pos) (token, bool) {
+	start := lx.off
+	lx.advance() // opening quote
+	for {
+		if lx.off >= len(lx.sc.data) || lx.peek() == '\n' {
+			lx.errorf(p, "unterminated string literal")
+			if lx.full {
+				return token{}, false
+			}
+			return token{kind: tString, text: "", pos: p}, true
+		}
+		if lx.peek() == '\\' && lx.off+1 < len(lx.sc.data) && lx.peekAt(1) != '\n' {
+			lx.advance()
+			lx.advance()
+			continue
+		}
+		if lx.peek() == '"' {
+			lx.advance()
+			break
+		}
+		lx.advance()
+	}
+	raw := string(lx.sc.data[start:lx.off])
+	text, err := strconv.Unquote(raw)
+	if err != nil {
+		lx.errorf(p, "invalid string literal %s", raw)
+		if lx.full {
+			return token{}, false
+		}
+		text = ""
+	}
+	return token{kind: tString, text: text, pos: p}, true
+}

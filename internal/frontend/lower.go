@@ -1,0 +1,441 @@
+// The lowering pass: AST to a validated *ir.Loop. It mirrors ir.Validate's
+// semantic rules — declared arrays, strict define-before-use, one kind per
+// temporary, both-branch visibility after an if, live-outs defined — but
+// reports them as positioned diagnostics instead of a single error, and
+// keeps going after each one so a review pass over the source sees every
+// problem at once. ir.Validate still runs on the finished loop as a safety
+// net: any loop this pass accepts is exactly as trustworthy as a decoded
+// wire loop.
+//
+// Statement pseudo-lines (ir.Stmt.Line, the source-proximity merge
+// heuristic's input) are assigned by pre-order ordinal starting at 1 — the
+// same numbering ir.Builder produces — unless a statement carries an
+// explicit `@N` annotation. Loops whose lines already follow the builder
+// convention therefore format without annotations and reparse identically.
+
+package frontend
+
+import (
+	"sort"
+
+	"fgp/internal/ir"
+)
+
+type lowerer struct {
+	sc  *source
+	lim Limits
+
+	diags  []Diagnostic
+	full   bool
+	arrays map[string]ir.Kind
+	kinds  map[string]ir.Kind // temps, params and the induction variable
+	ever   map[string]bool    // everDefined, for live_out checking
+	index  string
+
+	ordinal int // pre-order statement counter
+}
+
+func lower(f *file, sc *source, lim Limits) (*ir.Loop, []Diagnostic) {
+	lo := &lowerer{
+		sc: sc, lim: lim,
+		arrays: map[string]ir.Kind{},
+		kinds:  map[string]ir.Kind{},
+		ever:   map[string]bool{},
+	}
+	l := lo.run(f)
+	if len(lo.diags) > 0 {
+		return nil, lo.diags
+	}
+	// Safety net: the checks above are intended to be exhaustive, so a
+	// Validate failure here is a frontend bug — but it must still surface
+	// as a diagnostic, never as a panic further down the pipeline.
+	if err := ir.Validate(l); err != nil {
+		lo.errorf(f.loop.pos, "lowered loop failed IR validation: %v", err)
+		return nil, lo.diags
+	}
+	return l, nil
+}
+
+func (lo *lowerer) errorf(at pos, format string, args ...any) {
+	if lo.full {
+		return
+	}
+	if len(lo.diags) >= lo.lim.MaxDiags {
+		lo.diags = append(lo.diags, lo.sc.diag(at, "too many errors; giving up"))
+		lo.full = true
+		return
+	}
+	lo.diags = append(lo.diags, lo.sc.diag(at, format, args...))
+}
+
+func (lo *lowerer) run(f *file) *ir.Loop {
+	l := &ir.Loop{Name: "source"}
+	if f.hasName {
+		if f.name == "" {
+			lo.errorf(f.namePos, "kernel name must not be empty")
+		} else {
+			l.Name = f.name
+		}
+	}
+
+	for _, pd := range f.params {
+		if _, dup := lo.kinds[pd.name]; dup {
+			lo.errorf(pd.npos, "param %q declared twice", pd.name)
+			continue
+		}
+		sd := ir.ScalarDecl{Name: pd.name, K: pd.kind}
+		switch {
+		case pd.kind == ir.F64:
+			if pd.val.isFloat {
+				sd.F = pd.val.f
+			} else {
+				sd.F = float64(pd.val.i) // int literal for an f64 param
+			}
+		case pd.val.isFloat:
+			lo.errorf(pd.val.pos, "param %q is i64 but its value is a float literal", pd.name)
+			continue
+		default:
+			sd.I = pd.val.i
+		}
+		lo.kinds[pd.name] = pd.kind
+		l.Scalars = append(l.Scalars, sd)
+	}
+
+	for _, ad := range f.arrays {
+		if _, dup := lo.arrays[ad.name]; dup {
+			lo.errorf(ad.npos, "array %q declared twice", ad.name)
+			continue
+		}
+		if len(ad.items) == 0 {
+			lo.errorf(ad.pos, "array %q has no elements; arrays carry their data inline", ad.name)
+			continue
+		}
+		decl := &ir.ArrayDecl{Name: ad.name, K: ad.kind}
+		bad := false
+		for i, it := range ad.items {
+			if ad.kind == ir.F64 {
+				v := it.f
+				if !it.isFloat {
+					v = float64(it.i)
+				}
+				decl.InitF = append(decl.InitF, v)
+			} else if it.isFloat {
+				lo.errorf(it.pos, "array %q is i64 but element %d is a float literal", ad.name, i)
+				bad = true
+				break
+			} else {
+				decl.InitI = append(decl.InitI, it.i)
+			}
+		}
+		if bad {
+			continue
+		}
+		lo.arrays[ad.name] = ad.kind
+		l.Arrays = append(l.Arrays, decl)
+	}
+
+	ld := f.loop
+	if ld == nil {
+		return l // parse already reported the missing loop
+	}
+	lo.index = ld.index
+	if _, isParam := lo.kinds[ld.index]; isParam {
+		lo.errorf(ld.ipos, "induction variable %q collides with a param", ld.index)
+	}
+	if ld.step <= 0 {
+		lo.errorf(ld.pos, "the loop step must be positive (counted ascending loops only), got %d", ld.step)
+	}
+	l.Index, l.Start, l.End, l.Step = ld.index, ld.start, ld.end, ld.step
+	lo.kinds[ld.index] = ir.I64
+
+	defined := map[string]bool{ld.index: true}
+	for name := range lo.kinds {
+		defined[name] = true
+	}
+	l.Body = lo.stmts(ld.body, defined)
+
+	for _, lv := range f.liveOut {
+		if !lo.ever[lv.name] {
+			lo.errorf(lv.pos, "live_out %q is never assigned in the loop body", lv.name)
+			continue
+		}
+		l.LiveOut = append(l.LiveOut, lv.name)
+	}
+	return l
+}
+
+// nextLine advances the pre-order counter and resolves one statement's
+// pseudo-line: the explicit @N annotation when present, else the ordinal.
+func (lo *lowerer) nextLine(src int, hasSrc bool) int {
+	lo.ordinal++
+	if hasSrc {
+		return src
+	}
+	return lo.ordinal
+}
+
+func (lo *lowerer) stmts(in []stmtNode, defined map[string]bool) []ir.Stmt {
+	var out []ir.Stmt
+	for _, sn := range in {
+		switch x := sn.(type) {
+		case *assignStmt:
+			if s := lo.assign(x, defined); s != nil {
+				out = append(out, s)
+			}
+		case *ifStmt:
+			line := lo.nextLine(x.src, x.hasSrc)
+			cond, condOK := lo.expr(x.cond, defined)
+			if condOK && cond.Kind() != ir.I64 {
+				lo.errorf(x.cond.at(), "the if condition must be i64 (comparisons yield i64 0/1), got f64; compare explicitly, like x != 0.0")
+				condOK = false
+			}
+			// Lower both branches even under a bad condition so their own
+			// diagnostics still surface; the merge rule matches
+			// ir.Validate: a def survives the if only if made in both arms.
+			thenDef := copyDefs(defined)
+			then := lo.stmts(x.then, thenDef)
+			elseDef := copyDefs(defined)
+			els := lo.stmts(x.els, elseDef)
+			names := make([]string, 0, len(thenDef))
+			for name := range thenDef {
+				if thenDef[name] && elseDef[name] {
+					names = append(names, name)
+				}
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				defined[name] = true
+			}
+			if condOK {
+				out = append(out, &ir.If{Src: line, Cond: cond, Then: then, Else: els})
+			}
+		}
+	}
+	return out
+}
+
+func (lo *lowerer) assign(x *assignStmt, defined map[string]bool) ir.Stmt {
+	line := lo.nextLine(x.src, x.hasSrc)
+	rhs, rhsOK := lo.expr(x.rhs, defined)
+
+	if x.index != nil { // store: name[index] = rhs
+		ak, declared := lo.arrays[x.name]
+		if !declared {
+			lo.errorf(x.npos, "store to undeclared array %q; declare it like: array f64 %s[] = {...};", x.name, x.name)
+			return nil
+		}
+		idx, idxOK := lo.expr(x.index, defined)
+		if idxOK && idx.Kind() != ir.I64 {
+			lo.errorf(x.index.at(), "the store index must be i64, got f64; truncate explicitly with i64(...)")
+			idxOK = false
+		}
+		if rhsOK && rhs.Kind() != ak {
+			lo.errorf(x.rhs.at(), "array %q holds %s but the stored value is %s; convert with %s", x.name, ak, rhs.Kind(), convHint(ak))
+			rhsOK = false
+		}
+		if !rhsOK || !idxOK {
+			return nil
+		}
+		return &ir.Assign{Src: line, Dest: &ir.ElemDest{Array: x.name, K: ak, Index: idx}, X: rhs}
+	}
+
+	// Temp assignment: name = rhs.
+	if x.name == lo.index {
+		lo.errorf(x.npos, "unsupported: assigning the induction variable %q; the loop header owns it", x.name)
+		return nil
+	}
+	prev, known := lo.kinds[x.name]
+	if !known {
+		if _, isArr := lo.arrays[x.name]; isArr {
+			lo.errorf(x.npos, "%q is an array; store one element, like %s[%s] = ...", x.name, x.name, lo.index)
+			return nil
+		}
+	}
+	// Even when the value is broken, record the def so later uses of the
+	// name don't cascade into bogus use-before-def diagnostics.
+	defined[x.name] = true
+	lo.ever[x.name] = true
+	if !rhsOK {
+		return nil
+	}
+	if known && prev != rhs.Kind() {
+		lo.errorf(x.rhs.at(), "%q has kind %s but the expression is %s; temporaries keep one kind (convert with %s)", x.name, prev, rhs.Kind(), convHint(prev))
+		return nil
+	}
+	lo.kinds[x.name] = rhs.Kind()
+	return &ir.Assign{Src: line, Dest: ir.TempDest{Name: x.name, K: rhs.Kind()}, X: rhs}
+}
+
+func convHint(want ir.Kind) string {
+	if want == ir.F64 {
+		return "f64(...)"
+	}
+	return "i64(...)"
+}
+
+// expr type-checks and lowers one expression. ok is false when a
+// diagnostic was recorded somewhere inside; the expression is then
+// unusable but sibling subtrees have already reported their own errors.
+func (lo *lowerer) expr(e exprNode, defined map[string]bool) (ir.Expr, bool) {
+	switch x := e.(type) {
+	case *numExpr:
+		if x.lit.isFloat {
+			return ir.ConstF{V: x.lit.f}, true
+		}
+		return ir.ConstI{V: x.lit.i}, true
+
+	case *identExpr:
+		k, known := lo.kinds[x.name]
+		if !known {
+			if _, isArr := lo.arrays[x.name]; isArr {
+				lo.errorf(x.pos, "%q is an array; load one element, like %s[%s]", x.name, x.name, lo.index)
+			} else {
+				lo.errorf(x.pos, "%q is undefined; declare it with param, or assign it earlier in the loop", x.name)
+			}
+			return nil, false
+		}
+		if !defined[x.name] {
+			lo.errorf(x.pos, "%q is not defined on every path to this use (assign it before the if, or in both branches)", x.name)
+			return nil, false
+		}
+		return ir.Temp{Name: x.name, K: k}, true
+
+	case *loadExpr:
+		ak, declared := lo.arrays[x.name]
+		if !declared {
+			if _, isTemp := lo.kinds[x.name]; isTemp {
+				lo.errorf(x.pos, "%q is a scalar, not an array; it cannot be indexed", x.name)
+			} else {
+				lo.errorf(x.pos, "load from undeclared array %q; declare it like: array f64 %s[] = {...};", x.name, x.name)
+			}
+			return nil, false
+		}
+		idx, ok := lo.expr(x.index, defined)
+		if !ok {
+			return nil, false
+		}
+		if idx.Kind() != ir.I64 {
+			lo.errorf(x.index.at(), "the load index must be i64, got f64; truncate explicitly with i64(...)")
+			return nil, false
+		}
+		return &ir.Load{Array: x.name, K: ak, Index: idx}, true
+
+	case *callExpr:
+		return lo.call(x, defined)
+
+	case *unExpr:
+		v, ok := lo.expr(x.x, defined)
+		if !ok {
+			return nil, false
+		}
+		if x.op == '!' {
+			if v.Kind() != ir.I64 {
+				lo.errorf(x.pos, "'!' requires an i64 operand (booleans are i64 0/1), got f64")
+				return nil, false
+			}
+			return &ir.Un{Op: ir.Not, X: v}, true
+		}
+		return &ir.Un{Op: ir.Neg, X: v}, true
+
+	case *binExpr:
+		l, lok := lo.expr(x.l, defined)
+		r, rok := lo.expr(x.r, defined)
+		if !lok || !rok {
+			return nil, false
+		}
+		op, known := binOps[x.op]
+		if !known {
+			lo.errorf(x.pos, "internal: unmapped binary operator %q", x.sym)
+			return nil, false
+		}
+		if l.Kind() != r.Kind() {
+			lo.errorf(x.pos, "operands of %q have different kinds (%s vs %s); convert one side with f64(...) or i64(...)", x.sym, l.Kind(), r.Kind())
+			return nil, false
+		}
+		if op.IntOnly() && l.Kind() != ir.I64 {
+			lo.errorf(x.pos, "operator %q is defined on i64 only, got f64 operands", x.sym)
+			return nil, false
+		}
+		return &ir.Bin{Op: op, L: l, R: r}, true
+	}
+	return nil, false
+}
+
+var binOps = map[tokKind]ir.BinOp{
+	tPlus: ir.Add, tMinus: ir.Sub, tStar: ir.Mul, tSlash: ir.Div, tPercent: ir.Rem,
+	tAmp: ir.And, tPipe: ir.Or, tCaret: ir.Xor, tShl: ir.Shl, tShr: ir.Shr,
+	tEq: ir.Eq, tNe: ir.Ne, tLt: ir.Lt, tLe: ir.Le, tGt: ir.Gt, tGe: ir.Ge,
+}
+
+// unCalls maps single-argument builtins to their UnOp plus the operand
+// kind they require (nil = any kind).
+var unCalls = map[string]struct {
+	op   ir.UnOp
+	want *ir.Kind
+}{
+	"sqrt":  {ir.Sqrt, kindPtr(ir.F64)},
+	"exp":   {ir.Exp, kindPtr(ir.F64)},
+	"log":   {ir.Log, kindPtr(ir.F64)},
+	"floor": {ir.Floor, kindPtr(ir.F64)},
+	"abs":   {ir.Abs, nil},
+	"f64":   {ir.CvtIF, kindPtr(ir.I64)},
+	"i64":   {ir.CvtFI, kindPtr(ir.F64)},
+}
+
+func kindPtr(k ir.Kind) *ir.Kind { return &k }
+
+func (lo *lowerer) call(x *callExpr, defined map[string]bool) (ir.Expr, bool) {
+	if x.fn == "min" || x.fn == "max" {
+		if len(x.args) != 2 {
+			lo.errorf(x.pos, "%s takes exactly 2 arguments, got %d", x.fn, len(x.args))
+			return nil, false
+		}
+		l, lok := lo.expr(x.args[0], defined)
+		r, rok := lo.expr(x.args[1], defined)
+		if !lok || !rok {
+			return nil, false
+		}
+		if l.Kind() != r.Kind() {
+			lo.errorf(x.pos, "operands of %s have different kinds (%s vs %s); convert one side with f64(...) or i64(...)", x.fn, l.Kind(), r.Kind())
+			return nil, false
+		}
+		op := ir.Min
+		if x.fn == "max" {
+			op = ir.Max
+		}
+		return &ir.Bin{Op: op, L: l, R: r}, true
+	}
+	uc, known := unCalls[x.fn]
+	if !known {
+		lo.errorf(x.pos, "unknown function %q; available: min, max, sqrt, exp, log, abs, floor, and the conversions f64(...), i64(...)", x.fn)
+		return nil, false
+	}
+	if len(x.args) != 1 {
+		lo.errorf(x.pos, "%s takes exactly 1 argument, got %d", x.fn, len(x.args))
+		return nil, false
+	}
+	v, ok := lo.expr(x.args[0], defined)
+	if !ok {
+		return nil, false
+	}
+	if uc.want != nil && v.Kind() != *uc.want {
+		switch x.fn {
+		case "f64":
+			lo.errorf(x.pos, "f64(...) converts i64 values; the argument is already f64")
+		case "i64":
+			lo.errorf(x.pos, "i64(...) truncates f64 values; the argument is already i64")
+		default:
+			lo.errorf(x.pos, "%s requires an %s argument, got %s; convert with %s", x.fn, *uc.want, v.Kind(), convHint(*uc.want))
+		}
+		return nil, false
+	}
+	return &ir.Un{Op: uc.op, X: v}, true
+}
+
+func copyDefs(m map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}

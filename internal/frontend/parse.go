@@ -1,0 +1,670 @@
+// The recursive-descent parser: tokens to the AST in ast.go. Error
+// handling is diagnostic-first: a syntax error records a positioned
+// diagnostic and resynchronizes at the next statement or declaration
+// boundary, so one parse reports every independent error it can see.
+// Resource exhaustion (nesting depth, node budget, diagnostic cap) aborts
+// the whole parse via a sentinel panic recovered in parseFile — malformed
+// input can cost at most Limits, never a stack overflow or OOM.
+
+package frontend
+
+import (
+	"errors"
+	"math"
+	"strconv"
+
+	"fgp/internal/ir"
+)
+
+// bailout aborts the whole parse (budget exhausted).
+type bailout struct{}
+
+// syncErr unwinds to the nearest recovery point (statement or declaration
+// loop), which skips to a ';' or '}' boundary and continues.
+type syncErr struct{}
+
+type parser struct {
+	toks  []token // always ends with tEOF
+	pos   int
+	sc    *source
+	lim   Limits
+	diags []Diagnostic
+	nodes int
+	depth int
+}
+
+func parseFile(toks []token, sc *source, lim Limits) (f *file, diags []Diagnostic) {
+	p := &parser{toks: toks, sc: sc, lim: lim}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(bailout); !ok {
+				panic(r)
+			}
+			f = nil
+		}
+		diags = p.diags
+	}()
+	f = p.parseProgram()
+	if len(p.diags) > 0 {
+		f = nil
+	}
+	return f, p.diags
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tEOF {
+		p.pos++
+	}
+	return t
+}
+
+// errorf records a diagnostic; the parse continues (callers that cannot
+// continue use failf).
+func (p *parser) errorf(at pos, format string, args ...any) {
+	if len(p.diags) >= p.lim.MaxDiags {
+		p.diags = append(p.diags, p.sc.diag(at, "too many errors; giving up"))
+		panic(bailout{})
+	}
+	p.diags = append(p.diags, p.sc.diag(at, format, args...))
+}
+
+// failf records a diagnostic and unwinds to the nearest recovery point.
+func (p *parser) failf(at pos, format string, args ...any) {
+	p.errorf(at, format, args...)
+	panic(syncErr{})
+}
+
+// want consumes a token of the given kind or fails with "expected X, found
+// Y". ctx finishes the sentence ("after the loop body", ...).
+func (p *parser) want(k tokKind, ctx string) token {
+	t := p.cur()
+	if t.kind != k {
+		p.failf(t.pos, "expected %s %s, found %s", k.desc(), ctx, t.describe())
+	}
+	return p.next()
+}
+
+func (p *parser) got(k tokKind) bool {
+	if p.cur().kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// node charges one unit against the node budget.
+func (p *parser) node() {
+	p.nodes++
+	if p.nodes > p.lim.MaxNodes {
+		p.errorf(p.cur().pos, "program exceeds the node budget (%d nodes); split the kernel or raise the limit", p.lim.MaxNodes)
+		panic(bailout{})
+	}
+}
+
+// charge charges n units at once (array splats).
+func (p *parser) charge(at pos, n int) {
+	if n > p.lim.MaxNodes-p.nodes {
+		p.errorf(at, "program exceeds the node budget (%d nodes); split the kernel or raise the limit", p.lim.MaxNodes)
+		panic(bailout{})
+	}
+	p.nodes += n
+}
+
+func (p *parser) enter(at pos) {
+	p.depth++
+	if p.depth > p.lim.MaxDepth {
+		p.errorf(at, "nesting exceeds the depth limit (%d)", p.lim.MaxDepth)
+		panic(bailout{})
+	}
+}
+
+func (p *parser) leave() { p.depth-- }
+
+// sync recovers from a syncErr panic by skipping to just past the next ';'
+// (or stopping before '}'/EOF, which the statement loops handle).
+func (p *parser) sync(r any) {
+	if r == nil {
+		return
+	}
+	if _, ok := r.(syncErr); !ok {
+		panic(r)
+	}
+	for {
+		switch p.cur().kind {
+		case tEOF, tRBrace:
+			return
+		case tSemi:
+			p.next()
+			return
+		case tLBrace:
+			// Don't skip into a block: the statement loop will resume there.
+			return
+		}
+		p.next()
+	}
+}
+
+// program := [kernelDecl] {paramDecl | arrayDecl} forLoop [liveOutDecl] EOF
+func (p *parser) parseProgram() *file {
+	f := &file{}
+decls:
+	for {
+		t := p.cur()
+		switch t.kind {
+		case tKernel:
+			p.parseKernelDecl(f)
+		case tParam:
+			p.parseParamDecl(f)
+		case tArray:
+			p.parseArrayDecl(f)
+		case tFor:
+			break decls
+		case tEOF:
+			p.errorf(t.pos, "missing the for loop: a program is declarations, one counted 'for' loop, then live_out")
+			return f
+		default:
+			p.reportStray(t, "at top level; expected kernel, param, array or for")
+			p.next()
+		}
+	}
+	func() {
+		defer func() { p.sync(recover()) }()
+		f.loop = p.parseFor()
+	}()
+	if p.cur().kind == tLiveOut {
+		func() {
+			defer func() { p.sync(recover()) }()
+			p.parseLiveOut(f)
+		}()
+	}
+	if t := p.cur(); t.kind != tEOF {
+		switch t.kind {
+		case tFor:
+			p.errorf(t.pos, "unsupported: a second top-level loop; one kernel is exactly one counted loop")
+		case tParam, tArray:
+			p.errorf(t.pos, "declarations must come before the loop")
+		default:
+			p.errorf(t.pos, "unexpected %s after the loop", t.describe())
+		}
+	}
+	return f
+}
+
+// reportStray explains common out-of-subset constructs by name.
+func (p *parser) reportStray(t token, where string) {
+	if t.kind == tIdent {
+		switch t.text {
+		case "while", "do":
+			p.errorf(t.pos, "unsupported: '%s' loops are outside the fgp subset; only counted 'for' loops compile", t.text)
+			return
+		case "double", "float", "int", "long":
+			p.errorf(t.pos, "unknown type %q; the fgp kinds are f64 and i64 (declare with 'param' or 'array')", t.text)
+			return
+		}
+	}
+	p.errorf(t.pos, "unexpected %s %s", t.describe(), where)
+}
+
+func (p *parser) parseKernelDecl(f *file) {
+	defer func() { p.sync(recover()) }()
+	kw := p.next()
+	if f.hasName {
+		p.errorf(kw.pos, "duplicate kernel declaration")
+	}
+	t := p.cur()
+	switch t.kind {
+	case tString, tIdent:
+		p.next()
+		f.hasName, f.name, f.namePos = true, t.text, t.pos
+	default:
+		p.failf(t.pos, "expected a kernel name (identifier or string) after 'kernel', found %s", t.describe())
+	}
+	p.want(tSemi, "after the kernel name")
+}
+
+func (p *parser) parseKind() (ir.Kind, pos) {
+	t := p.cur()
+	switch t.kind {
+	case tF64:
+		p.next()
+		return ir.F64, t.pos
+	case tI64:
+		p.next()
+		return ir.I64, t.pos
+	}
+	p.failf(t.pos, "expected a kind (f64 or i64), found %s", t.describe())
+	return ir.F64, t.pos
+}
+
+func (p *parser) parseParamDecl(f *file) {
+	defer func() { p.sync(recover()) }()
+	kw := p.next()
+	k, _ := p.parseKind()
+	name := p.want(tIdent, "as the param name")
+	p.want(tAssign, "after the param name (params carry their initial value)")
+	val := p.parseNumLit()
+	p.want(tSemi, "after the param value")
+	p.node()
+	f.params = append(f.params, &paramDecl{pos: kw.pos, kind: k, name: name.text, npos: name.pos, val: val})
+}
+
+// parseArrayDecl parses `array KIND name[] = { items };` where items is a
+// comma list of signed literals or the splat form `{ value; count }`.
+func (p *parser) parseArrayDecl(f *file) {
+	defer func() { p.sync(recover()) }()
+	kw := p.next()
+	k, _ := p.parseKind()
+	name := p.want(tIdent, "as the array name")
+	p.want(tLBracket, "after the array name (lengths are implied: name[])")
+	if t := p.cur(); t.kind == tInt {
+		p.failf(t.pos, "array lengths are implied by the initializer; write %s[] = {...}", name.text)
+	}
+	p.want(tRBracket, "after '['")
+	p.want(tAssign, "after the array declarator")
+	p.want(tLBrace, "to open the array initializer")
+	var items []numLit
+	if p.cur().kind != tRBrace {
+		for {
+			lit := p.parseNumLit()
+			p.node()
+			items = append(items, lit)
+			if p.got(tComma) {
+				if p.cur().kind == tRBrace {
+					break // trailing comma
+				}
+				continue
+			}
+			if p.cur().kind == tSemi && len(items) == 1 {
+				// Splat: {value; count}.
+				p.next()
+				cnt := p.parseIntLit("as the splat count")
+				if cnt < 1 {
+					p.failf(kw.pos, "splat count must be at least 1, got %d", cnt)
+				}
+				if cnt > int64(p.lim.MaxNodes) {
+					p.failf(kw.pos, "splat count %d exceeds the node budget (%d nodes)", cnt, p.lim.MaxNodes)
+				}
+				p.charge(kw.pos, int(cnt-1))
+				for range cnt - 1 {
+					items = append(items, lit)
+				}
+			}
+			break
+		}
+	}
+	p.want(tRBrace, "to close the array initializer")
+	p.want(tSemi, "after the array declaration")
+	f.arrays = append(f.arrays, &arrayDecl{pos: kw.pos, kind: k, name: name.text, npos: name.pos, items: items})
+}
+
+// parseNumLit parses a signed numeric literal: [-] (INT | FLOAT | nan | inf).
+func (p *parser) parseNumLit() numLit {
+	t := p.cur()
+	neg := false
+	if t.kind == tMinus {
+		p.next()
+		neg = true
+	}
+	return p.parseNumTail(t.pos, neg)
+}
+
+// parseNumTail converts the numeric token under the cursor, applying the
+// sign context (so -9223372036854775808 is representable and -0.0 keeps
+// its sign bit).
+func (p *parser) parseNumTail(at pos, neg bool) numLit {
+	t := p.cur()
+	switch t.kind {
+	case tInt:
+		p.next()
+		u, err := strconv.ParseUint(t.text, 10, 64)
+		bound := uint64(math.MaxInt64)
+		if neg {
+			bound = uint64(math.MaxInt64) + 1
+		}
+		if err != nil || u > bound {
+			p.failf(t.pos, "integer literal %s%s overflows i64", signStr(neg), t.text)
+		}
+		v := int64(u) // u == 1<<63 wraps to MinInt64, exactly the neg bound
+		if neg && u <= uint64(math.MaxInt64) {
+			v = -v
+		}
+		return numLit{pos: at, i: v}
+	case tFloat:
+		p.next()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil { // overflow to ±Inf is fine; keep the parsed value
+			var ne *strconv.NumError
+			if !errors.As(err, &ne) || ne.Err != strconv.ErrRange {
+				p.failf(t.pos, "invalid float literal %s", t.text)
+			}
+		}
+		if neg {
+			v = -v
+		}
+		return numLit{pos: at, isFloat: true, f: v}
+	case tNan:
+		p.next()
+		return numLit{pos: at, isFloat: true, f: math.NaN()}
+	case tInf:
+		p.next()
+		v := math.Inf(1)
+		if neg {
+			v = math.Inf(-1)
+		}
+		return numLit{pos: at, isFloat: true, f: v}
+	}
+	p.failf(t.pos, "expected a numeric literal, found %s", t.describe())
+	return numLit{}
+}
+
+func signStr(neg bool) string {
+	if neg {
+		return "-"
+	}
+	return ""
+}
+
+// parseIntLit parses a signed integer literal (loop bounds, splat counts,
+// '@' annotations).
+func (p *parser) parseIntLit(ctx string) int64 {
+	t := p.cur()
+	lit := p.parseNumLit()
+	if lit.isFloat {
+		p.failf(t.pos, "expected an integer literal %s, found a float", ctx)
+	}
+	return lit.i
+}
+
+// forLoop := "for" IDENT "=" int ";" IDENT "<" int ";" IDENT "+=" int block
+func (p *parser) parseFor() *loopDecl {
+	kw := p.want(tFor, "to open the loop")
+	ld := &loopDecl{pos: kw.pos}
+	idx := p.want(tIdent, "as the induction variable")
+	ld.index, ld.ipos = idx.text, idx.pos
+	p.want(tAssign, "in the loop initializer")
+	if t := p.cur(); t.kind == tIdent {
+		p.failf(t.pos, "loop bounds must be integer literals in the fgp subset (fold %q into the source)", t.text)
+	}
+	ld.start = p.parseIntLit("as the loop start")
+	p.want(tSemi, "after the loop initializer")
+	c := p.want(tIdent, "in the loop condition")
+	if c.text != ld.index {
+		p.errorf(c.pos, "the loop condition tests %q, but the induction variable is %q", c.text, ld.index)
+	}
+	if t := p.cur(); t.kind == tLe {
+		p.failf(t.pos, "unsupported: the loop condition must use '<' (ranges are half-open); rewrite '<= n' as '< n+1' with a literal bound")
+	}
+	p.want(tLt, "in the loop condition")
+	if t := p.cur(); t.kind == tIdent {
+		p.failf(t.pos, "loop bounds must be integer literals in the fgp subset (fold %q into the source)", t.text)
+	}
+	ld.end = p.parseIntLit("as the loop bound")
+	p.want(tSemi, "after the loop condition")
+	s := p.want(tIdent, "in the loop step")
+	if s.text != ld.index {
+		p.errorf(s.pos, "the loop step advances %q, but the induction variable is %q", s.text, ld.index)
+	}
+	if t := p.cur(); t.kind == tAssign {
+		p.failf(t.pos, "write the loop step as '%s += n'", ld.index)
+	}
+	p.want(tPlusEq, "in the loop step")
+	ld.step = p.parseIntLit("as the loop step")
+	ld.body = p.parseBlock()
+	return ld
+}
+
+func (p *parser) parseBlock() []stmtNode {
+	lb := p.want(tLBrace, "to open the block")
+	p.enter(lb.pos)
+	defer p.leave()
+	var out []stmtNode
+	for p.cur().kind != tRBrace && p.cur().kind != tEOF {
+		before := p.pos
+		if s := p.parseStmtRecover(); s != nil {
+			out = append(out, s)
+		}
+		if p.pos == before {
+			// sync stopped on a token no statement starts with (e.g. a stray
+			// '{'); consume it so recovery always makes progress.
+			p.next()
+		}
+	}
+	p.want(tRBrace, "to close the block")
+	return out
+}
+
+func (p *parser) parseStmtRecover() (s stmtNode) {
+	defer func() { p.sync(recover()) }()
+	return p.parseStmt()
+}
+
+// stmt := ["@" int] (ifStmt | assign)
+func (p *parser) parseStmt() stmtNode {
+	t := p.cur()
+	var src int
+	hasSrc := false
+	if t.kind == tAt {
+		p.next()
+		src64 := p.parseIntLit("after '@'")
+		if src64 > math.MaxInt32 || src64 < math.MinInt32 {
+			p.failf(t.pos, "'@' line annotation %d is out of range", src64)
+		}
+		src, hasSrc = int(src64), true
+		t = p.cur()
+	}
+	switch t.kind {
+	case tIf:
+		return p.parseIf(src, hasSrc)
+	case tIdent:
+		if (t.text == "while" || t.text == "do") && p.toks[p.pos+1].kind != tAssign && p.toks[p.pos+1].kind != tLBracket {
+			p.failf(t.pos, "unsupported: '%s' loops are outside the fgp subset; only counted 'for' loops compile", t.text)
+		}
+		return p.parseAssign(src, hasSrc)
+	case tFor:
+		p.failf(t.pos, "unsupported: nested loops are outside the fgp subset; a kernel is one counted loop (fuse or peel inner loops by hand)")
+	case tSemi:
+		p.errorf(t.pos, "empty statement")
+		p.next()
+		return nil
+	case tElse:
+		p.failf(t.pos, "'else' without a preceding if block")
+	case tLiveOut:
+		p.failf(t.pos, "live_out goes after the loop's closing '}'")
+	}
+	p.failf(t.pos, "expected a statement (assignment or if), found %s", t.describe())
+	return nil
+}
+
+// assign := IDENT ["[" expr "]"] "=" expr ";"
+func (p *parser) parseAssign(src int, hasSrc bool) stmtNode {
+	name := p.next() // tIdent, checked by the caller
+	s := &assignStmt{pos: name.pos, src: src, hasSrc: hasSrc, name: name.text, npos: name.pos}
+	if p.cur().kind == tLBracket {
+		lb := p.next()
+		p.enter(lb.pos)
+		s.index = p.parseExpr()
+		p.leave()
+		p.want(tRBracket, "after the store index")
+	}
+	switch t := p.cur(); t.kind {
+	case tAssign:
+		p.next()
+	case tPlusEq:
+		p.failf(t.pos, "unsupported: compound assignment; write %s = %s + ... instead", name.text, name.text)
+	case tPlus, tMinus:
+		if p.toks[p.pos+1].kind == t.kind { // ++ / --
+			p.failf(t.pos, "unsupported: increment/decrement; write %s = %s + 1 instead", name.text, name.text)
+		}
+		p.failf(t.pos, "expected '=' after the assignment target, found %s", t.describe())
+	case tLParen:
+		p.failf(t.pos, "unsupported: calls as statements; every statement assigns a value")
+	default:
+		p.failf(t.pos, "expected '=' after the assignment target, found %s", t.describe())
+	}
+	s.rhs = p.parseExpr()
+	p.want(tSemi, "after the assignment")
+	p.node()
+	return s
+}
+
+// ifStmt := "if" expr block ["else" (block | ifStmt)]
+func (p *parser) parseIf(src int, hasSrc bool) stmtNode {
+	kw := p.next() // tIf
+	s := &ifStmt{pos: kw.pos, src: src, hasSrc: hasSrc}
+	// A parenthesized condition (the C habit) needs no special case:
+	// parens are ordinary expression grouping.
+	s.cond = p.parseExpr()
+	s.then = p.parseBlock()
+	if p.got(tElse) {
+		if p.cur().kind == tIf {
+			s.els = []stmtNode{p.parseIf(0, false)}
+		} else {
+			s.els = p.parseBlock()
+		}
+	}
+	p.node()
+	return s
+}
+
+func (p *parser) parseLiveOut(f *file) {
+	p.next() // tLiveOut
+	for {
+		n := p.want(tIdent, "in the live_out list")
+		f.liveOut = append(f.liveOut, liveName{name: n.text, pos: n.pos})
+		if !p.got(tComma) {
+			break
+		}
+	}
+	p.want(tSemi, "after the live_out list")
+}
+
+// Expression precedence, lowest first. All binary operators associate left.
+//
+//	1: |    2: ^    3: &    4: == !=    5: < <= > >=    6: << >>
+//	7: + -    8: * / %    9: unary - !    10: primary
+func binLevel(k tokKind) int {
+	switch k {
+	case tPipe:
+		return 1
+	case tCaret:
+		return 2
+	case tAmp:
+		return 3
+	case tEq, tNe:
+		return 4
+	case tLt, tLe, tGt, tGe:
+		return 5
+	case tShl, tShr:
+		return 6
+	case tPlus, tMinus:
+		return 7
+	case tStar, tSlash, tPercent:
+		return 8
+	}
+	return 0
+}
+
+func (p *parser) parseExpr() exprNode { return p.parseBin(1) }
+
+func (p *parser) parseBin(min int) exprNode {
+	x := p.parseUnary()
+	for {
+		t := p.cur()
+		lv := binLevel(t.kind)
+		if lv == 0 || lv < min {
+			return x
+		}
+		p.next()
+		y := p.parseBin(lv + 1)
+		p.node()
+		x = &binExpr{pos: t.pos, op: t.kind, sym: t.text, l: x, r: y}
+	}
+}
+
+func (p *parser) parseUnary() exprNode {
+	t := p.cur()
+	switch t.kind {
+	case tMinus:
+		p.next()
+		// A '-' directly before a literal folds into a negative constant,
+		// so formatted negative constants round-trip as the same IR node.
+		switch p.cur().kind {
+		case tInt, tFloat, tNan, tInf:
+			p.node()
+			return &numExpr{pos: t.pos, lit: p.parseNumTail(t.pos, true)}
+		}
+		x := p.parseUnary()
+		p.node()
+		return &unExpr{pos: t.pos, op: '-', x: x}
+	case tBang:
+		p.next()
+		x := p.parseUnary()
+		p.node()
+		return &unExpr{pos: t.pos, op: '!', x: x}
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() exprNode {
+	t := p.cur()
+	switch t.kind {
+	case tInt, tFloat, tNan, tInf:
+		p.node()
+		return &numExpr{pos: t.pos, lit: p.parseNumTail(t.pos, false)}
+	case tIdent:
+		p.next()
+		switch p.cur().kind {
+		case tLParen:
+			return p.parseCall(t)
+		case tLBracket:
+			lb := p.next()
+			p.enter(lb.pos)
+			idx := p.parseExpr()
+			p.leave()
+			p.want(tRBracket, "after the load index")
+			p.node()
+			return &loadExpr{pos: t.pos, name: t.text, index: idx}
+		}
+		p.node()
+		return &identExpr{pos: t.pos, name: t.text}
+	case tF64, tI64:
+		// Kind keywords in expression position are conversion calls.
+		p.next()
+		if p.cur().kind != tLParen {
+			p.failf(t.pos, "expected '(' after %s: kind names convert, like %s(x)", t.text, t.text)
+		}
+		return p.parseCall(t)
+	case tLParen:
+		p.next()
+		p.enter(t.pos)
+		x := p.parseExpr()
+		p.leave()
+		p.want(tRParen, "to close the parenthesized expression")
+		return x
+	case tString:
+		p.failf(t.pos, "strings only name kernels; expressions are numeric")
+	}
+	p.failf(t.pos, "expected an expression, found %s", t.describe())
+	return nil
+}
+
+func (p *parser) parseCall(fn token) exprNode {
+	lp := p.next() // tLParen
+	p.enter(lp.pos)
+	defer p.leave()
+	c := &callExpr{pos: fn.pos, fn: fn.text}
+	if p.cur().kind != tRParen {
+		for {
+			c.args = append(c.args, p.parseExpr())
+			if !p.got(tComma) {
+				break
+			}
+		}
+	}
+	p.want(tRParen, "to close the call")
+	p.node()
+	return c
+}

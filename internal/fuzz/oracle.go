@@ -1,11 +1,13 @@
 package fuzz
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math"
 
 	"fgp/internal/core"
+	"fgp/internal/frontend"
 	"fgp/internal/interp"
 	"fgp/internal/ir"
 	"fgp/internal/mem"
@@ -56,7 +58,7 @@ type Mismatch struct {
 	Spec   bool
 	Norm   int
 	Engine string
-	Stage  string // "compile", "verify", "run", "memory", "liveout", "invariant"
+	Stage  string // "frontend", "compile", "verify", "run", "memory", "liveout", "invariant"
 	Detail string
 }
 
@@ -67,6 +69,28 @@ func (m *Mismatch) Error() string {
 	}
 	return fmt.Sprintf("fuzz: %s: cores=%d spec=%v norm=%d engine=%s: %s: %s",
 		m.Kernel, m.Cores, m.Spec, m.Norm, eng, m.Stage, m.Detail)
+}
+
+// roundTrip formats the loop, reparses the text, and compares canonical
+// wire encodings; a non-empty return describes the divergence.
+func roundTrip(l *ir.Loop) string {
+	src := frontend.Format(l)
+	l2, err := frontend.Parse([]byte(src))
+	if err != nil {
+		return fmt.Sprintf("formatted loop does not reparse: %v\nsource:\n%s", err, src)
+	}
+	b1, err := ir.MarshalLoop(l)
+	if err != nil {
+		return fmt.Sprintf("marshal original: %v", err)
+	}
+	b2, err := ir.MarshalLoop(l2)
+	if err != nil {
+		return fmt.Sprintf("marshal reparse: %v", err)
+	}
+	if !bytes.Equal(b1, b2) {
+		return fmt.Sprintf("round trip changed the wire encoding\nsource:\n%s\nwant %s\ngot  %s", src, b1, b2)
+	}
+	return ""
 }
 
 // isTrap reports whether err is a semantic trap (division by zero or an
@@ -84,6 +108,15 @@ func isTrap(err error) bool {
 // and all metamorphic invariants hold, and a *Mismatch otherwise.
 func Check(l *ir.Loop, oc OracleConfig) error {
 	oc = oc.withDefaults()
+
+	// Front-door invariant: every oracle subject must survive the
+	// parse∘print round trip. frontend.Format is the IR's source-level
+	// normal form; a loop that formats to text reparsing differently would
+	// split the compile cache by submission route (source vs wire).
+	if detail := roundTrip(l); detail != "" {
+		return &Mismatch{Kernel: l.Name, Stage: "frontend", Detail: detail}
+	}
+
 	ref, rerr := interp.Run(l)
 	if rerr != nil && !isTrap(rerr) {
 		return &Mismatch{Kernel: l.Name, Stage: "run",

@@ -1,0 +1,35 @@
+package fuzz
+
+import (
+	"testing"
+
+	"fgp/internal/kernels"
+)
+
+// TestFrontendRoundTripSeeds sweeps the parse∘print invariant over many
+// generator seeds directly — far more than the full oracle matrix can
+// afford — so formatter/parser divergence surfaces here with a seed
+// number, not as a slow Check failure.
+func TestFrontendRoundTripSeeds(t *testing.T) {
+	n := 300
+	if testing.Short() {
+		n = 50
+	}
+	for seed := 0; seed < n; seed++ {
+		l := Generate(uint64(seed), GenConfig{})
+		if detail := roundTrip(l); detail != "" {
+			t.Fatalf("seed %d: %s", seed, detail)
+		}
+	}
+}
+
+// TestFrontendRoundTripKernels runs the same invariant over the built-in
+// catalog from the fuzz package's side (internal/frontend pins it too;
+// this guards the oracle's own roundTrip helper against drift).
+func TestFrontendRoundTripKernels(t *testing.T) {
+	for _, k := range kernels.All() {
+		if detail := roundTrip(k.Build()); detail != "" {
+			t.Fatalf("%s: %s", k.Name, detail)
+		}
+	}
+}

@@ -24,7 +24,77 @@ package ir
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 )
+
+// jsonF64 carries float64 values across the wire. Finite values encode as
+// plain JSON numbers (byte-identical to encoding/json's default, so content
+// addresses of pre-existing loops are unchanged); NaN and the infinities —
+// which bare JSON cannot represent — encode as the strings "nan", "inf" and
+// "-inf", matching the source-language literals. All NaN payloads collapse
+// to the quiet NaN, so loops differing only in NaN bits share an address.
+type jsonF64 float64
+
+func (v jsonF64) MarshalJSON() ([]byte, error) {
+	f := float64(v)
+	switch {
+	case math.IsNaN(f):
+		return []byte(`"nan"`), nil
+	case math.IsInf(f, 1):
+		return []byte(`"inf"`), nil
+	case math.IsInf(f, -1):
+		return []byte(`"-inf"`), nil
+	}
+	return json.Marshal(f)
+}
+
+func (v *jsonF64) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '"' {
+		var s string
+		if err := json.Unmarshal(data, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "nan":
+			*v = jsonF64(math.NaN())
+		case "inf":
+			*v = jsonF64(math.Inf(1))
+		case "-inf":
+			*v = jsonF64(math.Inf(-1))
+		default:
+			return fmt.Errorf("invalid f64 value %q (want a number, \"nan\", \"inf\" or \"-inf\")", s)
+		}
+		return nil
+	}
+	var f float64
+	if err := json.Unmarshal(data, &f); err != nil {
+		return err
+	}
+	*v = jsonF64(f)
+	return nil
+}
+
+func toJSONF64s(fs []float64) []jsonF64 {
+	if fs == nil {
+		return nil
+	}
+	out := make([]jsonF64, len(fs))
+	for i, f := range fs {
+		out[i] = jsonF64(f)
+	}
+	return out
+}
+
+func fromJSONF64s(fs []jsonF64) []float64 {
+	if fs == nil {
+		return nil
+	}
+	out := make([]float64, len(fs))
+	for i, f := range fs {
+		out[i] = float64(f)
+	}
+	return out
+}
 
 type jsonLoop struct {
 	Name    string       `json:"name"`
@@ -41,14 +111,14 @@ type jsonLoop struct {
 type jsonArray struct {
 	Name string    `json:"name"`
 	Kind string    `json:"kind"`
-	F64  []float64 `json:"f64,omitempty"`
+	F64  []jsonF64 `json:"f64,omitempty"`
 	I64  []int64   `json:"i64,omitempty"`
 }
 
 type jsonScalar struct {
 	Name string   `json:"name"`
 	Kind string   `json:"kind"`
-	F64  *float64 `json:"f64,omitempty"`
+	F64  *jsonF64 `json:"f64,omitempty"`
 	I64  *int64   `json:"i64,omitempty"`
 }
 
@@ -75,7 +145,7 @@ type jsonIf struct {
 }
 
 type jsonExpr struct {
-	F64  *float64  `json:"f64,omitempty"`
+	F64  *jsonF64  `json:"f64,omitempty"`
 	I64  *int64    `json:"i64,omitempty"`
 	Temp string    `json:"temp,omitempty"`
 	Kind string    `json:"kind,omitempty"`
@@ -112,7 +182,7 @@ func MarshalLoop(l *Loop) ([]byte, error) {
 	for _, a := range l.Arrays {
 		ja := jsonArray{Name: a.Name, Kind: a.K.String()}
 		if a.K == F64 {
-			ja.F64 = a.InitF
+			ja.F64 = toJSONF64s(a.InitF)
 		} else {
 			ja.I64 = a.InitI
 		}
@@ -121,7 +191,7 @@ func MarshalLoop(l *Loop) ([]byte, error) {
 	for _, s := range l.Scalars {
 		js := jsonScalar{Name: s.Name, Kind: s.K.String()}
 		if s.K == F64 {
-			f := s.F
+			f := jsonF64(s.F)
 			js.F64 = &f
 		} else {
 			i := s.I
@@ -185,7 +255,7 @@ func encodeStmts(stmts []Stmt) ([]jsonStmt, error) {
 func encodeExpr(e Expr) (jsonExpr, error) {
 	switch x := e.(type) {
 	case ConstF:
-		v := x.V
+		v := jsonF64(x.V)
 		return jsonExpr{F64: &v}, nil
 	case ConstI:
 		v := x.V
@@ -247,7 +317,7 @@ func UnmarshalLoop(data []byte) (*Loop, error) {
 			if ja.F64 == nil {
 				return nil, fmt.Errorf("ir: f64 array %q has no f64 data", ja.Name)
 			}
-			a.InitF = ja.F64
+			a.InitF = fromJSONF64s(ja.F64)
 		} else {
 			if ja.I64 == nil {
 				return nil, fmt.Errorf("ir: i64 array %q has no i64 data", ja.Name)
@@ -266,7 +336,7 @@ func UnmarshalLoop(data []byte) (*Loop, error) {
 			if js.F64 == nil {
 				return nil, fmt.Errorf("ir: f64 scalar %q has no f64 value", js.Name)
 			}
-			s.F = *js.F64
+			s.F = float64(*js.F64)
 		} else {
 			if js.I64 == nil {
 				return nil, fmt.Errorf("ir: i64 scalar %q has no i64 value", js.Name)
@@ -382,7 +452,7 @@ func decodeExpr(je jsonExpr) (Expr, error) {
 	}
 	switch {
 	case je.F64 != nil:
-		return ConstF{*je.F64}, nil
+		return ConstF{float64(*je.F64)}, nil
 	case je.I64 != nil:
 		return ConstI{*je.I64}, nil
 	case je.Temp != "":

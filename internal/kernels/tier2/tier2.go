@@ -1,0 +1,69 @@
+// Package tier2 ships the curated fuzzer-discovered kernels as committed
+// fgp source files — a second benchmark tier next to the 18 paper kernels.
+// Each .fgp file is the frontend's normal form of a pinned generator seed
+// (the seed list lives in tier2_test.go, and the -update-guarded
+// regeneration test keeps the files honest), so the corpus is reproducible
+// bit-for-bit and the source front door sits on the critical path of every
+// sweep that uses it: a tier-2 kernel cannot be built except by parsing
+// its source.
+package tier2
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+
+	"fgp/internal/frontend"
+	"fgp/internal/ir"
+)
+
+//go:embed *.fgp
+var files embed.FS
+
+// Kernel is one committed tier-2 kernel.
+type Kernel struct {
+	Name   string // kernel name, also the file basename
+	Source []byte // fgp source text, frontend normal form
+}
+
+// Build parses the kernel's source into a validated loop.
+func (k Kernel) Build() (*ir.Loop, error) {
+	l, err := frontend.Parse(k.Source)
+	if err != nil {
+		return nil, fmt.Errorf("tier2: %s: %w", k.Name, err)
+	}
+	return l, nil
+}
+
+// All returns the committed kernels sorted by name.
+func All() ([]Kernel, error) {
+	ents, err := files.ReadDir(".")
+	if err != nil {
+		return nil, fmt.Errorf("tier2: %w", err)
+	}
+	out := make([]Kernel, 0, len(ents))
+	for _, e := range ents {
+		data, err := files.ReadFile(e.Name())
+		if err != nil {
+			return nil, fmt.Errorf("tier2: %w", err)
+		}
+		out = append(out, Kernel{Name: strings.TrimSuffix(e.Name(), ".fgp"), Source: data})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// ByName returns one committed kernel.
+func ByName(name string) (Kernel, error) {
+	ks, err := All()
+	if err != nil {
+		return Kernel{}, err
+	}
+	for _, k := range ks {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return Kernel{}, fmt.Errorf("tier2: unknown kernel %q", name)
+}

@@ -1,0 +1,97 @@
+package tier2
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"fgp/internal/frontend"
+	"fgp/internal/fuzz"
+)
+
+var update = flag.Bool("update", false, "regenerate the committed .fgp files from the pinned seeds")
+
+// seeds pins the generator seeds behind the committed corpus. Chosen by
+// sweeping seeds 0..59 for shape diversity: 0 and 28 are straight-line,
+// 5 and 49 carry two if/else chains, 45 and 55 carry three.
+var seeds = []uint64{0, 5, 28, 45, 49, 55}
+
+func generated() map[string][]byte {
+	out := make(map[string][]byte, len(seeds))
+	for i, seed := range seeds {
+		l := fuzz.Generate(seed, fuzz.GenConfig{})
+		l.Name = fmt.Sprintf("tier2-%02d", i)
+		out[l.Name] = []byte(frontend.Format(l))
+	}
+	return out
+}
+
+// TestCorpusMatchesSeeds regenerates each kernel from its pinned seed and
+// byte-compares against the committed file, so the corpus can't drift from
+// its provenance. Run with -update to rewrite the files after a deliberate
+// generator or formatter change.
+func TestCorpusMatchesSeeds(t *testing.T) {
+	want := generated()
+	if *update {
+		for name, src := range want {
+			if err := os.WriteFile(name+".fgp", src, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ks, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != len(want) {
+		t.Fatalf("committed %d kernels, seeds pin %d", len(ks), len(want))
+	}
+	for _, k := range ks {
+		src, ok := want[k.Name]
+		if !ok {
+			t.Errorf("%s: committed but not pinned by any seed", k.Name)
+			continue
+		}
+		if !bytes.Equal(k.Source, src) {
+			t.Errorf("%s: committed source diverges from seed regeneration (rerun with -update after a deliberate change)", k.Name)
+		}
+	}
+}
+
+// TestSweep builds every committed kernel through the frontend and runs the
+// full oracle (compile, verify, simulate, compare against the reference
+// interpreter) — tier 2 is only useful if each member survives the whole
+// pipeline.
+func TestSweep(t *testing.T) {
+	ks, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) == 0 {
+		t.Fatal("no committed tier-2 kernels")
+	}
+	for _, k := range ks {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			l, err := k.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fuzz.Check(l, fuzz.OracleConfig{}); err != nil {
+				t.Fatalf("oracle mismatch: %v", err)
+			}
+		})
+	}
+}
+
+// TestByName covers the lookup helper both ways.
+func TestByName(t *testing.T) {
+	if _, err := ByName("tier2-00"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName(nope) succeeded")
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fgp/internal/frontend"
 	"fgp/internal/verify"
 )
 
@@ -56,11 +57,12 @@ type BatchRequest struct {
 
 // BatchItemResult is one NDJSON line of the /v1/batch response stream.
 type BatchItemResult struct {
-	Index       int                 `json:"index"`
-	Status      int                 `json:"status"`
-	Result      *RunResponse        `json:"result,omitempty"`
-	Error       string              `json:"error,omitempty"`
-	Diagnostics []verify.Diagnostic `json:"diagnostics,omitempty"`
+	Index             int                   `json:"index"`
+	Status            int                   `json:"status"`
+	Result            *RunResponse          `json:"result,omitempty"`
+	Error             string                `json:"error,omitempty"`
+	Diagnostics       []verify.Diagnostic   `json:"diagnostics,omitempty"`
+	SourceDiagnostics []frontend.Diagnostic `json:"source_diagnostics,omitempty"`
 }
 
 // BatchTrailer is the final NDJSON line: outcome counts for the whole
@@ -178,10 +180,11 @@ func (s *Server) runBatch(ctx context.Context, w http.ResponseWriter, req *Batch
 				failed.Add(1)
 			}
 			writeLine(BatchItemResult{
-				Index:       i,
-				Status:      ae.status,
-				Error:       ae.body.Error,
-				Diagnostics: ae.body.Diagnostics,
+				Index:             i,
+				Status:            ae.status,
+				Error:             ae.body.Error,
+				Diagnostics:       ae.body.Diagnostics,
+				SourceDiagnostics: ae.body.SourceDiagnostics,
 			})
 		}(i)
 	}

@@ -16,6 +16,7 @@ import (
 
 	"fgp/internal/core"
 	"fgp/internal/experiments"
+	"fgp/internal/frontend"
 	"fgp/internal/interp"
 	"fgp/internal/ir"
 	"fgp/internal/kernels"
@@ -26,11 +27,13 @@ import (
 )
 
 // RunRequest is the /v1/run body. Exactly one of Kernel (a built-in
-// evaluation kernel name, see /v1/kernels) or IR (a loop in the
-// ir.MarshalLoop wire encoding) selects what to compile.
+// evaluation kernel name, see /v1/kernels), IR (a loop in the
+// ir.MarshalLoop wire encoding), or Source (an fgp source program, see
+// internal/frontend) selects what to compile.
 type RunRequest struct {
 	Kernel string          `json:"kernel,omitempty"`
 	IR     json.RawMessage `json:"ir,omitempty"`
+	Source string          `json:"source,omitempty"`
 
 	// Pipeline and machine configuration (zero = paper defaults).
 	Cores           int   `json:"cores,omitempty"`
@@ -108,6 +111,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// sourceLimits bounds what a source program in a request may cost the
+// parser. The body-size cap already bounds raw bytes; these bound the
+// amplification past it — recursion depth (goroutine stacks) and node
+// count (array splats expand far beyond their source text). Rejections are
+// 400s with positioned diagnostics, never an OOM or a stack overflow.
+var sourceLimits = frontend.Limits{MaxDepth: 64, MaxNodes: 200_000, MaxDiags: 20}
+
 // apiError is a request failure with its HTTP rendering decided: execute
 // returns it instead of writing, so /v1/run can send it as the response
 // status while /v1/batch folds it into one NDJSON item line.
@@ -142,10 +152,17 @@ func (s *Server) execute(ctx context.Context, req *RunRequest) (resp *RunRespons
 	}
 
 	// Resolve the loop.
+	selected := 0
+	for _, set := range []bool{req.Kernel != "", len(req.IR) > 0, req.Source != ""} {
+		if set {
+			selected++
+		}
+	}
+	if selected != 1 {
+		return fail(http.StatusBadRequest, "request must select exactly one of kernel, ir or source")
+	}
 	var loop *ir.Loop
 	switch {
-	case req.Kernel != "" && len(req.IR) > 0:
-		return fail(http.StatusBadRequest, "request names a kernel and carries inline ir; send exactly one")
 	case req.Kernel != "":
 		k, err := kernels.ByName(req.Kernel)
 		if err != nil {
@@ -159,7 +176,19 @@ func (s *Server) execute(ctx context.Context, req *RunRequest) (resp *RunRespons
 			return fail(http.StatusBadRequest, "ir: "+err.Error())
 		}
 	default:
-		return fail(http.StatusBadRequest, "request must name a kernel or carry inline ir")
+		var err error
+		loop, err = frontend.ParseWithLimits([]byte(req.Source), sourceLimits)
+		if err != nil {
+			s.met.errors.Add(1)
+			var fe *frontend.Error
+			if errors.As(err, &fe) {
+				return nil, &apiError{status: http.StatusBadRequest, body: errorBody{
+					Error:             boundMsg("source: " + err.Error()),
+					SourceDiagnostics: fe.Diags,
+				}}
+			}
+			return nil, apiErrorf(http.StatusBadRequest, "%s", boundMsg("source: "+err.Error()))
+		}
 	}
 
 	// Bound the machine parameters.

@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"fgp/internal/experiments"
+	"fgp/internal/frontend"
 	"fgp/internal/service/store"
 	"fgp/internal/verify"
 )
@@ -348,10 +349,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // errorBody is the JSON error envelope every non-2xx response carries.
 // Diagnostics is populated on 422s produced by the static pipeline
 // verifier: one structured entry per violated invariant (check name, core,
-// instruction index, queue, edge).
+// instruction index, queue, edge). SourceDiagnostics is populated on 400s
+// rejecting an fgp source program: one positioned entry (line, column,
+// message, snippet) per frontend error.
 type errorBody struct {
-	Error       string              `json:"error"`
-	Diagnostics []verify.Diagnostic `json:"diagnostics,omitempty"`
+	Error             string                `json:"error"`
+	Diagnostics       []verify.Diagnostic   `json:"diagnostics,omitempty"`
+	SourceDiagnostics []frontend.Diagnostic `json:"source_diagnostics,omitempty"`
 }
 
 func httpError(w http.ResponseWriter, status int, msg string) {

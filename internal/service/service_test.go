@@ -186,7 +186,7 @@ func TestRunValidation(t *testing.T) {
 		code int
 		want string
 	}{
-		{"neither", `{}`, 400, "name a kernel"},
+		{"neither", `{}`, 400, "exactly one of kernel, ir or source"},
 		{"both", `{"kernel":"irs-1","ir":{"name":"x"}}`, 400, "exactly one"},
 		{"unknown kernel", `{"kernel":"lulesh-1"}`, 404, "lulesh-1"},
 		{"bad ir", `{"ir":{"name":"x"}}`, 400, "ir:"},

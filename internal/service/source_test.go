@@ -1,0 +1,188 @@
+// Tests for the fgp source front door on /v1/run and /v1/batch: cache
+// convergence with inline IR, positioned diagnostics on 400s, and the
+// adversarial-input bounds (depth, node budget, body size).
+
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"fgp/internal/frontend"
+	"fgp/internal/ir"
+	"fgp/internal/kernels"
+)
+
+// mustBody renders a request as the raw JSON string postRaw wants.
+func mustBody(t *testing.T, req RunRequest) string {
+	t.Helper()
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestRunSourceSharesCacheWithIR is the service acceptance criterion: a
+// source program equivalent to an inline-IR request must return
+// bit-identical results and hit the artifact cache entry the IR request
+// filled (same content address).
+func TestRunSourceSharesCacheWithIR(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	k, err := kernels.ByName("irs-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := ir.MarshalLoop(k.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, inline, _ := postRun(t, ts, RunRequest{IR: wire, Cores: 2})
+	if code != 200 {
+		t.Fatalf("inline run: %d", code)
+	}
+
+	src := frontend.Format(k.Build())
+	code, fromSrc, _ := postRun(t, ts, RunRequest{Source: src, Cores: 2})
+	if code != 200 {
+		t.Fatalf("source run: %d", code)
+	}
+	if !fromSrc.CachedArtifact {
+		t.Error("source form of the kernel missed the cache the inline-IR request filled")
+	}
+	if fromSrc.Cycles != inline.Cycles || fromSrc.SeqCycles != inline.SeqCycles {
+		t.Errorf("source vs inline drifted: %d/%d vs %d/%d cycles",
+			fromSrc.Cycles, fromSrc.SeqCycles, inline.Cycles, inline.SeqCycles)
+	}
+	if fromSrc.Kernel != inline.Kernel {
+		t.Errorf("kernel name drifted: %q vs %q", fromSrc.Kernel, inline.Kernel)
+	}
+}
+
+// TestRunSourceDiagnostics: a malformed program is a 400 whose envelope
+// carries positioned frontend diagnostics, not just a flat message.
+func TestRunSourceDiagnostics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, eb := postRaw(t, ts,
+		`{"cores":2,"source":"array f64 a[] = {1.0};\nfor i = 0; i < 1; i += 1 {\n a[i] = missing;\n}"}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", code)
+	}
+	if !strings.HasPrefix(eb.Error, "source: ") {
+		t.Errorf("error = %q, want a source: prefix", eb.Error)
+	}
+	if len(eb.SourceDiagnostics) == 0 {
+		t.Fatal("400 carries no source diagnostics")
+	}
+	for _, d := range eb.SourceDiagnostics {
+		if d.Line < 1 || d.Col < 1 {
+			t.Errorf("diagnostic without position: %+v", d)
+		}
+	}
+	if d := eb.SourceDiagnostics[0]; d.Line != 3 || !strings.Contains(d.Msg, "missing") {
+		t.Errorf("diagnostic = %+v, want line 3 about %q", d, "missing")
+	}
+}
+
+func TestRunSourceMutualExclusion(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, body := range []string{
+		`{"kernel":"irs-1","source":"x"}`,
+		`{"ir":{"name":"x"},"source":"x"}`,
+		`{}`,
+	} {
+		code, eb := postRaw(t, ts, body)
+		if code != http.StatusBadRequest || !strings.Contains(eb.Error, "exactly one") {
+			t.Errorf("%s: got %d %q, want 400 mentioning \"exactly one\"", body, code, eb.Error)
+		}
+	}
+}
+
+// TestRunSourceDepthBound: pathological nesting inside a request-sized
+// body must come back as a positioned 400, not a stack overflow.
+func TestRunSourceDepthBound(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	depth := 5000
+	src := "array f64 a[] = {1.0};\nfor i = 0; i < 1; i += 1 {\n a[i] = " +
+		strings.Repeat("(", depth) + "1.0" + strings.Repeat(")", depth) + ";\n}"
+	code, eb := postRaw(t, ts, mustBody(t, RunRequest{Source: src, Cores: 2}))
+	if code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", code)
+	}
+	if len(eb.SourceDiagnostics) == 0 || !strings.Contains(eb.Error, "depth") {
+		t.Errorf("depth blowup not diagnosed: %q %+v", eb.Error, eb.SourceDiagnostics)
+	}
+}
+
+// TestRunSourceNodeBudget: amplification past the body-size cap — a splat
+// expanding to tens of millions of elements, and a megabyte-scale token
+// run — must both die on the node budget with a 400.
+func TestRunSourceNodeBudget(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	splat := "array f64 a[] = {1.0; 50000000};\nfor i = 0; i < 1; i += 1 {\n a[i] = 1.0;\n}"
+	code, eb := postRaw(t, ts, mustBody(t, RunRequest{Source: splat, Cores: 2}))
+	if code != http.StatusBadRequest || !strings.Contains(eb.Error, "budget") {
+		t.Errorf("splat blowup: got %d %q, want 400 mentioning the budget", code, eb.Error)
+	}
+
+	var b strings.Builder
+	b.WriteString("array f64 a[] = {1.0};\nfor i = 0; i < 1; i += 1 {\n a[i] = 1.0")
+	for b.Len() < 2<<20 { // ~500k '+ 1.0' tokens, past the 200k node budget
+		b.WriteString(" + 1.0")
+	}
+	b.WriteString(";\n}")
+	code, eb = postRaw(t, ts, mustBody(t, RunRequest{Source: b.String(), Cores: 2}))
+	if code != http.StatusBadRequest || !strings.Contains(eb.Error, "budget") {
+		t.Errorf("token run: got %d %q, want 400 mentioning the budget", code, eb.Error)
+	}
+}
+
+// TestRunSourceBodyLimit: the byte cap fires before the parser ever sees
+// an oversized program.
+func TestRunSourceBodyLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 4096})
+	src := "array f64 a[] = {" + strings.Repeat("1.0, ", 4096) + "1.0};"
+	code, eb := postRaw(t, ts, mustBody(t, RunRequest{Source: src, Cores: 2}))
+	if code != http.StatusRequestEntityTooLarge {
+		t.Errorf("status = %d %q, want 413", code, eb.Error)
+	}
+}
+
+// TestBatchSourceItems: source works per batch item, and a malformed item
+// carries its diagnostics on its own NDJSON line without disturbing
+// siblings.
+func TestBatchSourceItems(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	k, err := kernels.ByName("sphot-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := frontend.Format(k.Build())
+	bad := "for i = 0; i < 1; i += 1 {\n t = 1.0 +;\n}"
+
+	code, items, trailer := postBatch(t, ts, BatchRequest{Items: []RunRequest{
+		{Source: good, Cores: 2},
+		{Source: bad, Cores: 2},
+	}})
+	if code != 200 || trailer == nil {
+		t.Fatalf("batch: %d, trailer %v", code, trailer)
+	}
+	if trailer.OK != 1 || trailer.Failed != 1 {
+		t.Fatalf("trailer = %+v, want 1 ok / 1 failed", trailer)
+	}
+	for _, it := range items {
+		switch it.Index {
+		case 0:
+			if it.Status != 200 || it.Result == nil || it.Result.Kernel != "sphot-2" {
+				t.Errorf("good item: %+v", it)
+			}
+		case 1:
+			if it.Status != http.StatusBadRequest || len(it.SourceDiagnostics) == 0 {
+				t.Errorf("bad item lost its diagnostics: %+v", it)
+			}
+		}
+	}
+}
