@@ -87,6 +87,11 @@ type Report struct {
 	// gate cleanly.
 	Tier2 *Tier2Sweep `json:"tier2,omitempty"`
 
+	// Search times the partitioning-as-search experiment (internal/search)
+	// and records its simulated payoff over the heuristic seed. Additive,
+	// like Tier2.
+	Search *SearchSweep `json:"search,omitempty"`
+
 	// Headline ratios, all versus the reference-serial cold sweep.
 	SpeedupBurstSerial      float64 `json:"speedup_burst_serial"`
 	SpeedupBurstParallel    float64 `json:"speedup_burst_parallel"`
@@ -114,6 +119,24 @@ type Tier2Row struct {
 	Speedup   float64 `json:"speedup"`
 }
 
+// SearchSweep records one partition-search run over the full catalog
+// (tier-1 and tier-2) at one core count: what the search costs in host time
+// and what it buys in simulated cycles versus the paper heuristic.
+type SearchSweep struct {
+	Cores  int   `json:"cores"`
+	Budget int   `json:"budget"`
+	Seed   int64 `json:"seed"`
+	HostNs int64 `json:"host_ns"`
+
+	// Totals across all kernels; SearchedCycles <= HeuristicCycles by
+	// construction (the searcher is seeded with the heuristic partition).
+	HeuristicCycles int64   `json:"heuristic_cycles_total"`
+	SearchedCycles  int64   `json:"searched_cycles_total"`
+	GainPct         float64 `json:"gain_pct"`
+	Improved        int     `json:"improved_kernels"`
+	Kernels         int     `json:"kernels"`
+}
+
 // Baseline is a cross-version comparison point.
 type Baseline struct {
 	Name   string `json:"name"`
@@ -134,6 +157,8 @@ func main() {
 	baseName := flag.String("baseline", "", "name of a baseline checkout to record in the report")
 	baseNs := flag.Int64("baseline-ns", 0, "externally measured cold-sweep nanoseconds of the -baseline checkout")
 	baseCmd := flag.String("baseline-cmd", "", "command printing one cold-sweep nanosecond count (e.g. an older checkout's 'fgpbench -once burst-parallel' binary); run interleaved with the modes each repeat, overriding -baseline-ns")
+	searchBudget := flag.Int("search-budget", 48, "candidate budget for the partition-search sweep section (0 disables)")
+	searchSeed := flag.Int64("search-seed", 1, "seed for the partition-search sweep section")
 	gate := flag.Float64("gate", 0, "fail (exit 1) when any mode's ns_per_simulated_cycle regresses by more than this fraction vs the -against report (0 disables)")
 	against := flag.String("against", "BENCH_sim.json", "committed report the -gate check compares against")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the timed sweeps to this file")
@@ -235,6 +260,14 @@ func main() {
 	}
 	rep.Tier2 = t2
 
+	if *searchBudget > 0 {
+		ss, err := searchSweep(4, *searchBudget, *searchSeed)
+		if err != nil {
+			fatal(fmt.Errorf("search sweep: %w", err))
+		}
+		rep.Search = ss
+	}
+
 	rep.SpeedupBurstSerial = modes[1].SpeedupCold
 	rep.SpeedupThreadedSerial = modes[2].SpeedupCold
 	rep.SpeedupBurstParallel = modes[3].SpeedupCold
@@ -295,6 +328,38 @@ func printTable(rep *Report) {
 		}
 		tw.Flush()
 	}
+	if rep.Search != nil {
+		s := rep.Search
+		fmt.Fprintf(os.Stderr,
+			"\npartition search (%d-core, budget %d, seed %d): %d of %d kernels improved, %.2f%% total cycle gain, %v host time\n",
+			s.Cores, s.Budget, s.Seed, s.Improved, s.Kernels, s.GainPct, time.Duration(s.HostNs))
+	}
+}
+
+// searchSweep times one partition-search run over the full catalog (tier-1
+// plus the tier-2 source corpus) at one core count and totals its simulated
+// payoff against the heuristic seed.
+func searchSweep(cores, budget int, seed int64) (*SearchSweep, error) {
+	start := time.Now()
+	rows, err := experiments.Search(experiments.NewRunner(), experiments.SearchConfig{
+		Budget: budget, Seed: seed, Cores: []int{cores}, Tier2: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ss := &SearchSweep{Cores: cores, Budget: budget, Seed: seed,
+		HostNs: time.Since(start).Nanoseconds(), Kernels: len(rows)}
+	for _, r := range rows {
+		ss.HeuristicCycles += r.HeuristicCycles
+		ss.SearchedCycles += r.SearchedCycles
+		if r.SearchedCycles < r.HeuristicCycles {
+			ss.Improved++
+		}
+	}
+	if ss.HeuristicCycles > 0 {
+		ss.GainPct = 100 * float64(ss.HeuristicCycles-ss.SearchedCycles) / float64(ss.HeuristicCycles)
+	}
+	return ss, nil
 }
 
 // checkGate compares the fresh report against a committed one and errors

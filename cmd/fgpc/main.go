@@ -45,6 +45,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	spec := fs.Bool("speculate", false, "enable control-flow speculation")
 	throughput := fs.Bool("throughput", false, "enable the DAG merge heuristic")
 	schedule := fs.Bool("schedule", false, "enable within-region scheduling")
+	partitioner := fs.String("partitioner", "heuristic", "partition selector: heuristic (paper greedy merge) or search (simulator-guided refinement)")
+	searchBudget := fs.Int("search-budget", 0, "candidate budget for -partitioner=search (0 = default)")
+	searchSeed := fs.Int64("search-seed", 0, "random seed for -partitioner=search")
 	list := fs.Bool("list", false, "list available kernels")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -83,6 +86,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opt.Speculate = *spec
 	opt.Throughput = *throughput
 	opt.Schedule = *schedule
+	opt.Partitioner = *partitioner
+	opt.SearchBudget = *searchBudget
+	opt.SearchSeed = *searchSeed
 	a, err := core.Compile(loop, opt)
 	if err != nil {
 		return fail(err)
@@ -116,6 +122,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "merge steps    %d\n", r.MergeSteps)
 		if r.SpeculatedIfs > 0 {
 			fmt.Fprintf(stdout, "speculated ifs %d\n", r.SpeculatedIfs)
+		}
+		if r.Partitioner == core.PartitionerSearch {
+			fmt.Fprintf(stdout, "partitioner    search (explored %d candidates: %d -> %d cycles)\n",
+				r.SearchExplored, r.SearchBaselineCycles, r.SearchCycles)
 		}
 		fmt.Fprintln(stdout)
 	}

@@ -9,7 +9,10 @@
 //	fgpexp -exp fig13 -lat 5,20,50,100
 //
 // Experiments: table1, fig12, table2, table3, fig13, fig14, throughput,
-// multipair, schedule, queuelen, attribution, all.
+// multipair, schedule, queuelen, search, attribution, all. The search
+// experiment compiles every tier-1 and tier-2 kernel with the
+// simulator-guided partition search (-search-budget candidates per kernel,
+// seeded by -search-seed) and reports heuristic vs searched cycles.
 //
 // The attribution experiment records the full observability event stream
 // of one kernel (-trace-kernel) across core counts (-trace-cores) and
@@ -40,13 +43,15 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1, fig12, table2, table3, fig13, fig14, throughput, multipair, schedule, normalize, simd, queuelen, attribution, all)")
+	exp := flag.String("exp", "all", "experiment to run (table1, fig12, table2, table3, fig13, fig14, throughput, multipair, schedule, normalize, simd, queuelen, search, attribution, all)")
 	lats := flag.String("lat", "5,20,50,100", "comma-separated transfer latencies for fig13")
 	qlens := flag.String("qlen", "2,4,8,20,64", "comma-separated queue lengths for queuelen")
 	traceKernel := flag.String("trace-kernel", "sphot-1", "kernel for the attribution experiment")
 	traceCores := flag.String("trace-cores", "1,2,4", "comma-separated core counts for the attribution experiment")
 	traceOut := flag.String("trace-out", "", "write the attribution recording (highest core count) to this file")
 	traceFormat := flag.String("trace-format", "perfetto", "format for -trace-out: "+obs.TraceFormats)
+	searchBudget := flag.Int("search-budget", 48, "per-kernel candidate budget for the search experiment")
+	searchSeed := flag.Int64("search-seed", 1, "random seed for the search experiment")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
 	workers := flag.Int("workers", 0, "worker pool size for experiment sweeps (0 = one per CPU, 1 = serial)")
 	reference := flag.Bool("reference", false, "simulate on the reference per-instruction engine instead of the burst engine")
@@ -207,6 +212,18 @@ func main() {
 		}
 		collect("queuelen", rows)
 		return experiments.FormatQueueLen(rows, lengths), nil
+	})
+	run("search", func() (string, error) {
+		rows, err := experiments.Search(r, experiments.SearchConfig{
+			Budget: *searchBudget,
+			Seed:   *searchSeed,
+			Tier2:  true,
+		})
+		if err != nil {
+			return "", err
+		}
+		collect("search", rows)
+		return experiments.FormatSearch(rows), nil
 	})
 	run("attribution", func() (string, error) {
 		cc, err := parseInts(*traceCores)

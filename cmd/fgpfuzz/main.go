@@ -46,12 +46,13 @@ func main() {
 		maxCheck = flag.Int("maxchecks", 2000, "oracle-invocation budget for the shrinker")
 		out      = flag.String("out", "crashers", "directory for minimized crasher files")
 		selftest = flag.Bool("selftest", false, "inject a miscompile and verify the oracle catches it and the shrinker minimizes it")
+		searchB  = flag.Int("search-budget", 0, "add the search-partitioner leg to the matrix with this candidate budget (0 = off)")
 		verbose  = flag.Bool("v", false, "print every kernel name as it is checked")
 	)
 	flag.Parse()
 
 	gc := fuzz.GenConfig{Trips: *trips, MaxStmts: *stmts}
-	oc := fuzz.OracleConfig{MaxCores: *cores}
+	oc := fuzz.OracleConfig{MaxCores: *cores, SearchBudget: *searchB}
 
 	switch {
 	case *selftest:

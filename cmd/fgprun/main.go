@@ -46,6 +46,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	latency := fs.Int64("latency", 5, "queue transfer latency in cycles")
 	queueLen := fs.Int("queue", 20, "queue length in slots")
 	spec := fs.Bool("speculate", false, "enable control-flow speculation")
+	partitioner := fs.String("partitioner", "heuristic", "partition selector: heuristic (paper greedy merge) or search (simulator-guided refinement)")
+	searchBudget := fs.Int("search-budget", 0, "candidate budget for -partitioner=search (0 = default)")
+	searchSeed := fs.Int64("search-seed", 0, "random seed for -partitioner=search")
 	verify := fs.Bool("verify", true, "check results against the reference interpreter")
 	engine := fs.String("engine", "", "simulation engine: burst (default), reference, or threaded")
 	trace := fs.Int("trace", 0, "print the first N simulated instructions as a timeline")
@@ -98,6 +101,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	opt := core.DefaultOptions(*cores)
 	opt.Speculate = *spec
+	opt.Partitioner = *partitioner
+	opt.SearchBudget = *searchBudget
+	opt.SearchSeed = *searchSeed
 	mc := seq.MachineConfig()
 	mc.Cores = *cores
 	mc.TransferLatency = *latency
@@ -178,6 +184,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "queue transfers   %d\n", pres.transfers)
 	fmt.Fprintf(stdout, "comm ops in loop  %d (%d transfers/iteration)\n", par.Report.CommOps, par.Report.Transfers)
 	fmt.Fprintf(stdout, "load balance      %.2f\n", par.Report.LoadBalance)
+	if par.Report.Partitioner == core.PartitionerSearch {
+		fmt.Fprintf(stdout, "partitioner       search (explored %d candidates: %d -> %d cycles)\n",
+			par.Report.SearchExplored, par.Report.SearchBaselineCycles, par.Report.SearchCycles)
+	}
 	fmt.Fprintln(stdout, "per-core timeline:")
 	for c := range pres.perCore {
 		stalls := pres.enqStalls[c] + pres.deqStalls[c]

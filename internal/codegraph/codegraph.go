@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"fgp/internal/deps"
 	"fgp/internal/tac"
@@ -293,6 +294,43 @@ func (m *merger) affinity(a, b *node, totalCost int64) float64 {
 		}
 	}
 	return score
+}
+
+// Clone returns a deep copy of the result; mutating the copy's slices
+// leaves the original untouched. The partition searcher (internal/search)
+// derives every candidate from a clone of the heuristic seed.
+func (r *Result) Clone() *Result {
+	c := &Result{
+		Parts:      make([][]int32, len(r.Parts)),
+		PartOf:     append([]int32(nil), r.PartOf...),
+		Cost:       append([]int64(nil), r.Cost...),
+		MergeSteps: r.MergeSteps,
+	}
+	for i, p := range r.Parts {
+		c.Parts[i] = append([]int32(nil), p...)
+	}
+	return c
+}
+
+// CanonicalKey renders the partition in its canonical text form: partitions
+// ordered by their smallest fiber id (the Merge output convention — the
+// partition holding fiber 0 is the primary core's), fibers ascending within
+// each. Two Results describe the same partitioning of fibers onto cores if
+// and only if their keys are equal, so the key serves both as a dedup
+// identity and as the deterministic tie-breaker when two candidates score
+// the same simulated cycle count.
+func (r *Result) CanonicalKey() string {
+	var sb strings.Builder
+	for _, part := range r.Parts {
+		for i, f := range part {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%d", f)
+		}
+		sb.WriteByte('|')
+	}
+	return sb.String()
 }
 
 type scoredPair struct {

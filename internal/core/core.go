@@ -26,9 +26,11 @@ import (
 	"fgp/internal/fiber"
 	"fgp/internal/interp"
 	"fgp/internal/ir"
+	"fgp/internal/mem"
 	"fgp/internal/normalize"
 	"fgp/internal/outline"
 	"fgp/internal/profile"
+	"fgp/internal/search"
 	"fgp/internal/sim"
 	"fgp/internal/speculate"
 	"fgp/internal/tac"
@@ -69,7 +71,35 @@ type Options struct {
 	// runs (and recorded as default for Run). Cores is forced to Options
 	// values as needed.
 	Machine *sim.Config
+	// Partitioner selects how fibers are placed onto cores:
+	// PartitionerHeuristic (the default — the paper's greedy code-graph
+	// merge) or PartitionerSearch, which refines the heuristic partition
+	// with internal/search: beam search plus simulated annealing over merge
+	// orders, scored by the threaded simulator, with every candidate gated
+	// through program validation and internal/verify before scoring. The
+	// search is seeded by the heuristic partition, so its result is never
+	// worse. Ignored when Cores == 1 (there is nothing to place).
+	Partitioner string
+	// SearchSeed seeds the randomized refinement phase of
+	// PartitionerSearch; the same seed and budget reproduce the same
+	// partition byte for byte.
+	SearchSeed int64
+	// SearchBudget bounds the number of candidate partitions the search
+	// may score (0 = search.DefaultBudget).
+	SearchBudget int
+	// SearchWorkers bounds concurrent candidate scoring (0/1 = serial). It
+	// affects compile time only, never the chosen partition.
+	SearchWorkers int
 }
+
+// Partitioner names accepted by Options.Partitioner ("" means heuristic).
+const (
+	PartitionerHeuristic = "heuristic"
+	PartitionerSearch    = "search"
+)
+
+// Partitioners lists the selectable partitioners, default first.
+func Partitioners() []string { return []string{PartitionerHeuristic, PartitionerSearch} }
 
 // DefaultOptions returns the configuration used for the paper's main
 // results: profile feedback on; speculation and the throughput heuristic
@@ -107,6 +137,17 @@ type Report struct {
 	MergeSteps   int
 	// SpeculatedIfs counts conditionals rewritten by the speculation pass.
 	SpeculatedIfs int
+	// Partitioner records which selector produced Parts ("heuristic" or
+	// "search"). The Search* fields below are populated only for "search".
+	Partitioner string
+	// SearchExplored counts candidate partitions the search scored
+	// (including the heuristic seed).
+	SearchExplored int
+	// SearchBaselineCycles is the simulated cycle count of the heuristic
+	// seed partition on the threaded engine; SearchCycles is the winner's.
+	// SearchCycles <= SearchBaselineCycles by construction.
+	SearchBaselineCycles int64
+	SearchCycles         int64
 }
 
 // Artifact is a compiled kernel.
@@ -133,6 +174,11 @@ func Compile(l *ir.Loop, opt Options) (*Artifact, error) {
 func CompileContext(ctx context.Context, l *ir.Loop, opt Options) (*Artifact, error) {
 	if opt.Cores < 1 {
 		return nil, fmt.Errorf("core: cores must be >= 1")
+	}
+	switch opt.Partitioner {
+	case "", PartitionerHeuristic, PartitionerSearch:
+	default:
+		return nil, fmt.Errorf("core: unknown partitioner %q (have %v)", opt.Partitioner, Partitioners())
 	}
 	if (opt.Weights == codegraph.Weights{}) {
 		opt.Weights = codegraph.DefaultWeights()
@@ -202,6 +248,14 @@ func CompileContext(ctx context.Context, l *ir.Loop, opt Options) (*Artifact, er
 	if err != nil {
 		return nil, err
 	}
+	var stats searchStats
+	if opt.Partitioner == PartitionerSearch && opt.Cores > 1 && len(parts.Parts) > 1 {
+		parts, stats, err = searchPartition(ctx, l, fn, info, parts, instrCost, mc, opt)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	depthCap := 8
 	if mc.QueueLen < depthCap {
 		depthCap = mc.QueueLen
@@ -245,7 +299,172 @@ func CompileContext(ctx context.Context, l *ir.Loop, opt Options) (*Artifact, er
 		Parts: parts, Compiled: compiled, machine: mc,
 	}
 	a.Report = buildReport(l.Name, opt.Cores, set, info, parts, compiled, specRes)
+	a.Report.Partitioner = PartitionerHeuristic
+	if opt.Partitioner == PartitionerSearch {
+		a.Report.Partitioner = PartitionerSearch
+		a.Report.SearchExplored = stats.explored
+		a.Report.SearchBaselineCycles = stats.baseline
+		a.Report.SearchCycles = stats.cycles
+	}
 	return a, nil
+}
+
+type searchStats struct {
+	explored int
+	baseline int64
+	cycles   int64
+}
+
+// searchPartition refines the heuristic seed partition with internal/search.
+// The objective compiles every candidate through the normal pipeline tail —
+// outlining, program validation, and internal/verify's translation
+// validation — so illegal partitions are rejected before they are ever
+// scored, then simulates the survivor on the threaded engine and returns
+// its cycle count. When the winner differs from the seed, its final memory
+// image and live-outs are cross-checked bit-identical against the seed's
+// before it is accepted. If the seed itself cannot be scored (the kernel
+// traps on its inputs), the heuristic partition is kept unchanged.
+func searchPartition(ctx context.Context, l *ir.Loop, fn *tac.Fn, info *deps.Info, seed *codegraph.Result, instrCost func(*tac.Instr) int64, mc sim.Config, opt Options) (*codegraph.Result, searchStats, error) {
+	depthCap := 8
+	if mc.QueueLen < depthCap {
+		depthCap = mc.QueueLen
+	}
+	build := func(cand *codegraph.Result) (*outline.Compiled, error) {
+		compiled, err := outline.Generate(fn, info, cand, outline.Options{
+			MachineCores:  mc.Cores,
+			Schedule:      opt.Schedule,
+			InstrCost:     instrCost,
+			TokenDepthCap: depthCap,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, prog := range compiled.Programs {
+			if err := prog.Validate(mc.Cores); err != nil {
+				return nil, err
+			}
+		}
+		if err := verify.Check(verify.Input{
+			Programs: compiled.Programs,
+			Cores:    mc.Cores,
+			QueueLen: mc.QueueLen,
+			Fn:       fn,
+			Deps:     info,
+			Parts:    cand,
+		}); err != nil {
+			return nil, err
+		}
+		return compiled, nil
+	}
+	objCfg := mc
+	objCfg.Engine = sim.EngineThreaded
+	simulate := func(ctx context.Context, compiled *outline.Compiled, image *mem.Memory) (*sim.Result, error) {
+		m, err := sim.New(compiled.Programs, image, objCfg)
+		if err != nil {
+			return nil, err
+		}
+		return m.RunContext(ctx)
+	}
+	obj := func(ctx context.Context, cand *codegraph.Result) (int64, error) {
+		compiled, err := build(cand)
+		if err != nil {
+			return 0, err
+		}
+		res, err := simulate(ctx, compiled, outline.BuildMemory(l))
+		if err != nil {
+			return 0, err
+		}
+		return res.Cycles, nil
+	}
+
+	fiberCost := make([]int64, len(seed.PartOf))
+	for i := range fn.Instrs {
+		in := fn.Instrs[i]
+		if int(in.Fiber) < len(fiberCost) {
+			fiberCost[in.Fiber] += instrCost(in)
+		}
+	}
+
+	sr, err := search.Refine(ctx, info, seed, fiberCost, obj, search.Options{
+		Seed:    opt.SearchSeed,
+		Budget:  opt.SearchBudget,
+		Workers: opt.SearchWorkers,
+	})
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, searchStats{}, ctxErr
+		}
+		if sr != nil {
+			// The heuristic seed itself cannot be simulated (the kernel
+			// traps on its committed inputs): keep the heuristic partition
+			// and report no search gain.
+			return seed, searchStats{explored: sr.Explored}, nil
+		}
+		return nil, searchStats{}, fmt.Errorf("core: partition search failed: %w", err)
+	}
+
+	if sr.Improved {
+		if err := crossCheckPartitions(ctx, l, seed, sr.Best, build, simulate); err != nil {
+			return nil, searchStats{}, fmt.Errorf("core: searched partition diverges from heuristic baseline: %w", err)
+		}
+	}
+	// The searched Result describes a placement, not a merge trace; keep the
+	// heuristic's step count so Table III statistics stay meaningful.
+	sr.Best.MergeSteps = seed.MergeSteps
+	return sr.Best, searchStats{explored: sr.Explored, baseline: sr.SeedCycles, cycles: sr.BestCycles}, nil
+}
+
+// crossCheckPartitions simulates the heuristic and searched partitions on
+// fresh memory images and requires bit-identical final memory and live-out
+// values. The compiler's correctness story does not rest on this check —
+// internal/verify already validated the searched program — but the search
+// promises it anyway: an accepted speedup must be the same computation.
+func crossCheckPartitions(ctx context.Context, l *ir.Loop, seed, best *codegraph.Result, build func(*codegraph.Result) (*outline.Compiled, error), simulate func(context.Context, *outline.Compiled, *mem.Memory) (*sim.Result, error)) error {
+	runSide := func(cand *codegraph.Result) (*mem.Memory, *sim.Result, error) {
+		compiled, err := build(cand)
+		if err != nil {
+			return nil, nil, err
+		}
+		image := outline.BuildMemory(l)
+		res, err := simulate(ctx, compiled, image)
+		return image, res, err
+	}
+	seedMem, seedRes, err := runSide(seed)
+	if err != nil {
+		return fmt.Errorf("baseline run: %w", err)
+	}
+	bestMem, bestRes, err := runSide(best)
+	if err != nil {
+		return fmt.Errorf("searched run: %w", err)
+	}
+	for _, arr := range l.Arrays {
+		if arr.K == ir.F64 {
+			a, b := seedMem.SnapshotF(arr.Name), bestMem.SnapshotF(arr.Name)
+			for i := range a {
+				if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+					return fmt.Errorf("%s[%d] = %v (heuristic) vs %v (search)", arr.Name, i, a[i], b[i])
+				}
+			}
+		} else {
+			a, b := seedMem.SnapshotI(arr.Name), bestMem.SnapshotI(arr.Name)
+			for i := range a {
+				if a[i] != b[i] {
+					return fmt.Errorf("%s[%d] = %v (heuristic) vs %v (search)", arr.Name, i, a[i], b[i])
+				}
+			}
+		}
+	}
+	for _, name := range l.LiveOut {
+		a, aok := seedRes.LiveOut[name]
+		b, bok := bestRes.LiveOut[name]
+		if aok != bok {
+			return fmt.Errorf("live-out %q present=%v (heuristic) vs present=%v (search)", name, aok, bok)
+		}
+		if a.K != b.K || a.I != b.I || math.Float64bits(a.F) != math.Float64bits(b.F) {
+			return fmt.Errorf("live-out %q = %+v (heuristic) vs %+v (search)", name, a, b)
+		}
+	}
+	return nil
 }
 
 // ComputeProfile runs the front of the pipeline (normalization,

@@ -83,14 +83,17 @@ type profEntry struct {
 }
 
 type artKey struct {
-	kernel     string
-	cores      int
-	speculate  bool
-	throughput bool
-	multiPair  bool
-	schedule   bool
-	queueLen   int
-	normalize  int
+	kernel       string
+	cores        int
+	speculate    bool
+	throughput   bool
+	multiPair    bool
+	schedule     bool
+	queueLen     int
+	normalize    int
+	partitioner  string
+	searchBudget int
+	searchSeed   int64
 }
 
 func (k artKey) shard() int {
@@ -152,6 +155,13 @@ type Variant struct {
 	// NormalizeOps enables the Section III-A tree-splitting pre-pass with
 	// the given statement size bound (0 = off).
 	NormalizeOps int
+	// Partitioner selects the partition selector ("" or "heuristic" for
+	// the paper's greedy merge, "search" for the internal/search
+	// refinement); SearchBudget and SearchSeed configure the latter and
+	// are part of the artifact cache identity.
+	Partitioner  string
+	SearchBudget int
+	SearchSeed   int64
 }
 
 func (v Variant) options() core.Options {
@@ -161,6 +171,9 @@ func (v Variant) options() core.Options {
 	opt.MultiPair = v.MultiPair
 	opt.Schedule = v.Schedule
 	opt.NormalizeOps = v.NormalizeOps
+	opt.Partitioner = v.Partitioner
+	opt.SearchBudget = v.SearchBudget
+	opt.SearchSeed = v.SearchSeed
 	if v.QueueLen > 0 {
 		cfg := sim.DefaultConfig(v.Cores)
 		cfg.QueueLen = v.QueueLen
@@ -173,7 +186,7 @@ func (v Variant) options() core.Options {
 // variant. Concurrent calls for the same variant compile it once and share
 // the result.
 func (r *Runner) Artifact(k *kernels.Kernel, v Variant) (*core.Artifact, error) {
-	key := artKey{k.Name, v.Cores, v.Speculate, v.Throughput, v.MultiPair, v.Schedule, v.QueueLen, v.NormalizeOps}
+	key := artKey{k.Name, v.Cores, v.Speculate, v.Throughput, v.MultiPair, v.Schedule, v.QueueLen, v.NormalizeOps, v.Partitioner, v.SearchBudget, v.SearchSeed}
 	sh := &r.shards[key.shard()]
 	sh.mu.Lock()
 	e, ok := sh.m[key]

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+const goldenSearchPath = "testdata/golden_search.txt"
+
+// goldenSearchConfig mirrors the fgpexp defaults, so the committed report is
+// exactly what `fgpexp -exp search` prints.
+func goldenSearchConfig() SearchConfig {
+	return SearchConfig{Budget: 48, Seed: 1, Tier2: true}
+}
+
+// TestGoldenSearchReport pins the partitioning-as-search experiment: the
+// per-kernel heuristic-vs-searched cycle table over the tier-1 catalog and
+// the tier-2 source corpus at 2 and 4 cores. Two gates hold independently of
+// the committed bytes — the searched partition is never worse than the
+// heuristic on any kernel/core cell, and at least one cell strictly improves
+// (otherwise the searcher has silently degenerated into an expensive no-op).
+// Regenerate after an intentional compiler/simulator/search change with:
+//
+//	go test ./internal/experiments -run TestGoldenSearchReport -update
+func TestGoldenSearchReport(t *testing.T) {
+	rows, err := Search(NewRunner(), goldenSearchConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	improved := 0
+	for _, r := range rows {
+		if r.SearchedCycles > r.HeuristicCycles {
+			t.Errorf("%s (%d cores): searched partition worse than heuristic: %d > %d cycles",
+				r.Name, r.Cores, r.SearchedCycles, r.HeuristicCycles)
+		}
+		if r.SearchedCycles < r.HeuristicCycles {
+			improved++
+		}
+		if r.Explored <= 0 {
+			t.Errorf("%s (%d cores): search explored %d candidates", r.Name, r.Cores, r.Explored)
+		}
+	}
+	if improved == 0 {
+		t.Error("search improved no kernel/core cell at the golden budget; the explorer is a no-op")
+	}
+
+	text := FormatSearch(rows)
+	if *update {
+		if err := os.WriteFile(goldenSearchPath, []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d rows, %d improved)", goldenSearchPath, len(rows), improved)
+		return
+	}
+	want, err := os.ReadFile(goldenSearchPath)
+	if err != nil {
+		t.Fatalf("reading golden search report (run with -update to create it): %v", err)
+	}
+	if text != string(want) {
+		t.Errorf("search report drifted from %s (regenerate with -update if intended):\n got:\n%s\nwant:\n%s",
+			goldenSearchPath, text, want)
+	}
+}
+
+// TestSearchReportDeterministic re-runs a slice of the experiment and
+// requires byte-identical rows: the report is a pure function of
+// (seed, budget), regardless of runner parallelism.
+func TestSearchReportDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("second full search sweep is slow; skipped in -short mode")
+	}
+	cfg := SearchConfig{Budget: 24, Seed: 3, Cores: []int{4}}
+	a, err := Search(NewRunner(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Search(NewRunner(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatSearch(a) != FormatSearch(b) {
+		t.Errorf("search report not deterministic:\nfirst:\n%s\nsecond:\n%s", FormatSearch(a), FormatSearch(b))
+	}
+}

@@ -93,6 +93,35 @@ func TestVerifierAcceptImpliesOracleMatch(t *testing.T) {
 	}
 }
 
+// TestOracleSearchLever extends the cross-product with the partitioner
+// lever: for generated seeds, compiling with Options.Partitioner = "search"
+// must stay bit-identical to the interpreter ground truth on every engine
+// (memory and live-outs), the engines must agree with each other, and the
+// searched partition must never be worse than the heuristic seed — i.e.
+// "verifier accepts ⇒ oracle matches" holds for searched partitions too.
+func TestOracleSearchLever(t *testing.T) {
+	n := 12
+	if testing.Short() {
+		n = 4
+	}
+	oc := OracleConfig{MaxCores: 3, SkipRepeat: true, Specs: []bool{false}, Norms: []int{0},
+		SearchBudget: 10, SearchSeed: 7}
+	for i := 0; i < n; i++ {
+		seed := uint64(2000 + i) // disjoint from the other sweeps
+		l := Generate(seed, GenConfig{})
+		err := Check(l, oc)
+		if err == nil {
+			continue
+		}
+		m := err.(*Mismatch)
+		if m.Stage == "verify" {
+			t.Fatalf("seed %d: verifier rejected a searched compile: %v\n%s", seed, err, ir.Print(l))
+		}
+		t.Fatalf("seed %d: search-partitioned run diverged (%s stage): %v\n%s",
+			seed, m.Stage, err, ir.Print(l))
+	}
+}
+
 // TestInjectedMiscompileCaught is the mutation self-test demanded by the
 // acceptance criteria: a deliberately miscompiled kernel must be flagged by
 // the oracle and minimized by the shrinker to a strictly smaller kernel

@@ -30,6 +30,15 @@ type OracleConfig struct {
 	Norms []int
 	// SkipRepeat disables the run-twice determinism invariant.
 	SkipRepeat bool
+	// SearchBudget, when > 0, adds the partitioner lever to the matrix: at
+	// one configuration per kernel (cores = MaxCores, no speculation, no
+	// normalization) the loop is recompiled with Options.Partitioner =
+	// "search" under this candidate budget, and the searched artifact must
+	// match the interpreter ground truth bit-exactly on every engine —
+	// "verifier accepts ⇒ oracle matches" extended to searched partitions.
+	SearchBudget int
+	// SearchSeed seeds the search leg's annealing phase.
+	SearchSeed int64
 	// MutateCompiled, when set, transforms the loop fed to the compiler
 	// while the interpreter keeps running the original — a deliberate
 	// miscompile injection used to prove the oracle catches real
@@ -212,6 +221,18 @@ func Check(l *ir.Loop, oc OracleConfig) error {
 						Stage:  "invariant",
 						Detail: fmt.Sprintf("queue traffic on 1 core: transfers=%d queues=%d", burstRes.Transfers, burstRes.QueuesUsed)}
 				}
+				// Partitioner lever: recompile with the simulator-guided
+				// partition search and hold the searched artifact to the same
+				// oracle — bit-identical memory and live-outs vs the
+				// interpreter on every engine, engines bit-identical to each
+				// other, and the searched partition never worse than the
+				// heuristic seed it started from.
+				if oc.SearchBudget > 0 && cores == oc.MaxCores && cores > 1 && !spec && norm == 0 {
+					if m := checkSearch(l, compiled, ref, rerr, opt, oc); m != nil {
+						m.Cores, m.Spec, m.Norm = cores, spec, norm
+						return m
+					}
+				}
 				// Invariant: repeat runs are cycle-deterministic, on the
 				// default engine and on the threaded engine (whose artifact
 				// cache makes the second run take the warm path). One
@@ -238,6 +259,55 @@ func Check(l *ir.Loop, oc OracleConfig) error {
 					}
 				}
 			}
+		}
+	}
+	return nil
+}
+
+// checkSearch runs the search-partitioner oracle leg: compile with
+// Options.Partitioner = "search", then require the searched artifact to
+// reproduce the interpreter ground truth on every engine, all engines to
+// agree with the reference bit for bit, and the search's own never-worse
+// contract to hold. The returned Mismatch (nil = pass) has Cores/Spec/Norm
+// filled in by the caller.
+func checkSearch(l *ir.Loop, compiled *ir.Loop, ref *interp.Result, rerr error, opt core.Options, oc OracleConfig) *Mismatch {
+	opt.Partitioner = core.PartitionerSearch
+	opt.SearchBudget = oc.SearchBudget
+	opt.SearchSeed = oc.SearchSeed
+	art, cerr := core.Compile(compiled, opt)
+	if cerr != nil {
+		stage := "compile"
+		var ve *verify.Error
+		if errors.As(cerr, &ve) {
+			stage = "verify"
+		}
+		return &Mismatch{Kernel: l.Name, Stage: stage,
+			Detail: "search partitioner: " + cerr.Error()}
+	}
+	if art.Report.SearchCycles > art.Report.SearchBaselineCycles {
+		return &Mismatch{Kernel: l.Name, Stage: "invariant",
+			Detail: fmt.Sprintf("search partitioner worse than heuristic: %d > %d cycles",
+				art.Report.SearchCycles, art.Report.SearchBaselineCycles)}
+	}
+	results := map[string]*sim.Result{}
+	for _, eng := range sim.Engines() {
+		res, _, err := checkRun(l, art, ref, rerr, eng)
+		if err != nil {
+			m := err.(*Mismatch)
+			m.Engine = eng
+			m.Detail = "search partitioner: " + m.Detail
+			return m
+		}
+		results[eng] = res
+	}
+	refRes := results[sim.EngineReference]
+	for _, eng := range sim.Engines() {
+		if eng == sim.EngineReference || results[eng] == nil || refRes == nil {
+			continue
+		}
+		if d := diffResults(results[eng], refRes); d != "" {
+			return &Mismatch{Kernel: l.Name, Engine: eng, Stage: "invariant",
+				Detail: "search partitioner diverges from reference: " + d}
 		}
 	}
 	return nil

@@ -32,7 +32,20 @@ type pipelineKey struct {
 	NormalizeOps    int   `json:"normalize_ops"`
 	Schedule        bool  `json:"schedule"`
 	Sequential      bool  `json:"sequential"`
+	// Partitioner is "" for the default heuristic ("heuristic" is
+	// normalized away by the handler) or "search". The search seed and
+	// budget are server constants, not client levers, so they are not part
+	// of the address.
+	Partitioner string `json:"partitioner"`
 }
+
+// Server-side partition-search parameters. Fixed so a searched artifact is
+// a pure function of its content address: every replica (and the on-disk
+// store) computes byte-identical partitions for the same request.
+const (
+	serverSearchSeed   = 1
+	serverSearchBudget = 48
+)
 
 // contentAddress hashes the canonical loop bytes together with the pipeline
 // configuration. Loops that print differently but encode identically are

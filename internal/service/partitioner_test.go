@@ -1,0 +1,120 @@
+// Conformance for the partitioner lever over HTTP: /v1/run and /v1/batch
+// accept partitioner "heuristic" (the default, both spellings one content
+// address) and "search" (server-side fixed seed/budget), searched artifacts
+// content-address separately from heuristic ones, a searched run is never
+// slower than the heuristic run of the same request, and a bad lever value
+// is a 400 naming the valid set.
+
+package service
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestRunPartitionerLever(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	base := RunRequest{Kernel: "umt2k-3", Cores: 4}
+
+	code, heur, _ := postRun(t, ts, base)
+	if code != 200 {
+		t.Fatalf("heuristic run: %d", code)
+	}
+	if heur.CachedArtifact {
+		t.Error("first heuristic request claims a cache hit")
+	}
+
+	searchReq := base
+	searchReq.Partitioner = "search"
+	code, searched, _ := postRun(t, ts, searchReq)
+	if code != 200 {
+		t.Fatalf("search run: %d", code)
+	}
+	if searched.CachedArtifact {
+		t.Error("search request hit the heuristic artifact: the lever must be part of the content address")
+	}
+	if searched.Cycles > heur.Cycles {
+		t.Errorf("searched partition slower than heuristic over HTTP: %d > %d cycles",
+			searched.Cycles, heur.Cycles)
+	}
+	if searched.SeqCycles != heur.SeqCycles {
+		t.Errorf("sequential baseline drifted with the partitioner lever: %d vs %d",
+			searched.SeqCycles, heur.SeqCycles)
+	}
+
+	// Replay: the searched artifact is cached under its own address and the
+	// warm run is cycle-identical (fixed server seed/budget make the search
+	// a pure function of the address).
+	code, warm, _ := postRun(t, ts, searchReq)
+	if code != 200 {
+		t.Fatalf("warm search run: %d", code)
+	}
+	if !warm.CachedArtifact {
+		t.Error("identical search request missed the cache")
+	}
+	if warm.Cycles != searched.Cycles {
+		t.Errorf("cached searched artifact diverged: %d vs %d cycles", warm.Cycles, searched.Cycles)
+	}
+
+	// The explicit "heuristic" spelling shares the default's address.
+	explicit := base
+	explicit.Partitioner = "heuristic"
+	code, eh, _ := postRun(t, ts, explicit)
+	if code != 200 {
+		t.Fatalf("explicit heuristic run: %d", code)
+	}
+	if !eh.CachedArtifact {
+		t.Error(`partitioner "heuristic" did not share the default's content address`)
+	}
+	if eh.Cycles != heur.Cycles {
+		t.Errorf("explicit heuristic diverged from default: %d vs %d cycles", eh.Cycles, heur.Cycles)
+	}
+}
+
+func TestRunPartitionerValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, _, msg := postRun(t, ts, RunRequest{Kernel: "irs-1", Cores: 2, Partitioner: "annealed"})
+	if code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", code)
+	}
+	for _, want := range []string{"partitioner", "heuristic", "search"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not mention %q", msg, want)
+		}
+	}
+}
+
+// TestBatchPartitionerLever: the lever rides through /v1/batch items
+// unchanged — a heuristic and a search item for the same kernel both
+// succeed, and the searched item is never slower.
+func TestBatchPartitionerLever(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := BatchRequest{Items: []RunRequest{
+		{Kernel: "lammps-2", Cores: 4},
+		{Kernel: "lammps-2", Cores: 4, Partitioner: "search"},
+		{Kernel: "lammps-2", Cores: 4, Partitioner: "bogus"},
+	}}
+	code, items, trailer := postBatch(t, ts, req)
+	if code != 200 {
+		t.Fatalf("batch: %d", code)
+	}
+	if trailer == nil || trailer.Items != 3 || trailer.OK != 2 || trailer.Failed != 1 {
+		t.Fatalf("trailer %+v, want 3 items / 2 ok / 1 failed", trailer)
+	}
+	byIndex := map[int]BatchItemResult{}
+	for _, it := range items {
+		byIndex[it.Index] = it
+	}
+	heur, searched, bad := byIndex[0], byIndex[1], byIndex[2]
+	if heur.Status != 200 || searched.Status != 200 {
+		t.Fatalf("healthy items failed: heuristic %d, search %d", heur.Status, searched.Status)
+	}
+	if searched.Result.Cycles > heur.Result.Cycles {
+		t.Errorf("batch searched item slower than heuristic: %d > %d cycles",
+			searched.Result.Cycles, heur.Result.Cycles)
+	}
+	if bad.Status != http.StatusBadRequest || !strings.Contains(bad.Error, "partitioner") {
+		t.Errorf("bad lever item: status %d error %q, want 400 naming the lever", bad.Status, bad.Error)
+	}
+}

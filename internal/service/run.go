@@ -42,6 +42,11 @@ type RunRequest struct {
 	Speculate       bool  `json:"speculate,omitempty"`
 	NormalizeOps    int   `json:"normalize_ops,omitempty"`
 	Schedule        bool  `json:"schedule,omitempty"`
+	// Partitioner selects the partition selector: "" or "heuristic" (the
+	// paper's greedy merge) or "search" (the internal/search refinement,
+	// run server-side with a fixed seed and budget so the artifact is
+	// content-addressable and byte-identical across replicas).
+	Partitioner string `json:"partitioner,omitempty"`
 
 	// Reference routes the simulation through the retained per-instruction
 	// engine instead of the burst engine (bit-identical results).
@@ -208,6 +213,13 @@ func (s *Server) execute(ctx context.Context, req *RunRequest) (resp *RunRespons
 	if req.NormalizeOps < 0 || req.NormalizeOps > 64 {
 		return fail(http.StatusBadRequest, "normalize_ops must be in [0, 64]")
 	}
+	partitioner := req.Partitioner
+	if partitioner == core.PartitionerHeuristic {
+		partitioner = "" // one content address for both spellings of the default
+	}
+	if partitioner != "" && partitioner != core.PartitionerSearch {
+		return fail(http.StatusBadRequest, fmt.Sprintf("partitioner must be one of %v", core.Partitioners()))
+	}
 
 	loopBytes, err := ir.MarshalLoop(loop)
 	if err != nil {
@@ -221,6 +233,7 @@ func (s *Server) execute(ctx context.Context, req *RunRequest) (resp *RunRespons
 		Speculate:       req.Speculate,
 		NormalizeOps:    req.NormalizeOps,
 		Schedule:        req.Schedule,
+		Partitioner:     partitioner,
 	}
 
 	// Cache fills run on a detached context bounded by the server budget:
@@ -269,6 +282,14 @@ func (s *Server) execute(ctx context.Context, req *RunRequest) (resp *RunRespons
 			opt.Speculate = req.Speculate
 			opt.NormalizeOps = req.NormalizeOps
 			opt.Schedule = req.Schedule
+			if partitioner == core.PartitionerSearch {
+				// Fixed server-side search parameters: the artifact must be a
+				// pure function of its content address, so the seed and budget
+				// are not client levers.
+				opt.Partitioner = core.PartitionerSearch
+				opt.SearchSeed = serverSearchSeed
+				opt.SearchBudget = serverSearchBudget
+			}
 			if req.QueueLen > 0 || req.TransferLatency > 0 {
 				mc := sim.DefaultConfig(cores)
 				if req.QueueLen > 0 {
