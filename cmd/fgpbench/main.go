@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -38,6 +39,7 @@ import (
 	"fgp/internal/experiments"
 	"fgp/internal/kernels"
 	"fgp/internal/kernels/tier2"
+	"fgp/internal/machspace"
 )
 
 // Mode is one engine/worker configuration of the sweep.
@@ -92,6 +94,12 @@ type Report struct {
 	// like Tier2.
 	Search *SearchSweep `json:"search,omitempty"`
 
+	// Machspace times one budgeted machine-space sweep (internal/machspace)
+	// over the default grid and records each kernel's frontier summary —
+	// the host cost of answering "what hardware does this loop need?".
+	// Additive, like Tier2.
+	Machspace *MachspaceSweep `json:"machspace,omitempty"`
+
 	// Headline ratios, all versus the reference-serial cold sweep.
 	SpeedupBurstSerial      float64 `json:"speedup_burst_serial"`
 	SpeedupBurstParallel    float64 `json:"speedup_burst_parallel"`
@@ -137,6 +145,24 @@ type SearchSweep struct {
 	Kernels         int     `json:"kernels"`
 }
 
+// MachspaceSweep records one machine-space sweep over the default grid.
+type MachspaceSweep struct {
+	PointsPerKernel int            `json:"points_per_kernel"`
+	HostNs          int64          `json:"host_ns"`
+	Kernels         []MachspaceRow `json:"kernels"`
+}
+
+// MachspaceRow is one kernel's frontier summary.
+type MachspaceRow struct {
+	Name         string  `json:"name"`
+	Rejected     int     `json:"rejected"`
+	FrontierSize int     `json:"frontier_size"`
+	BestSpeedup  float64 `json:"best_speedup"`
+	// Target2HWCost is the /v1/frontier inverse query: the cheapest
+	// hardware cost reaching 2.0x on this kernel (0 = unreachable).
+	Target2HWCost int64 `json:"target2_hw_cost"`
+}
+
 // Baseline is a cross-version comparison point.
 type Baseline struct {
 	Name   string `json:"name"`
@@ -157,6 +183,7 @@ func main() {
 	baseName := flag.String("baseline", "", "name of a baseline checkout to record in the report")
 	baseNs := flag.Int64("baseline-ns", 0, "externally measured cold-sweep nanoseconds of the -baseline checkout")
 	baseCmd := flag.String("baseline-cmd", "", "command printing one cold-sweep nanosecond count (e.g. an older checkout's 'fgpbench -once burst-parallel' binary); run interleaved with the modes each repeat, overriding -baseline-ns")
+	msKernels := flag.String("machspace-kernels", "umt2k-4,umt2k-2,lammps-2", "comma-separated kernels for the machine-space sweep section (empty disables)")
 	searchBudget := flag.Int("search-budget", 48, "candidate budget for the partition-search sweep section (0 disables)")
 	searchSeed := flag.Int64("search-seed", 1, "seed for the partition-search sweep section")
 	gate := flag.Float64("gate", 0, "fail (exit 1) when any mode's ns_per_simulated_cycle regresses by more than this fraction vs the -against report (0 disables)")
@@ -266,6 +293,14 @@ func main() {
 			fatal(fmt.Errorf("search sweep: %w", err))
 		}
 		rep.Search = ss
+	}
+
+	if *msKernels != "" {
+		ms, err := machspaceSweep(strings.Split(*msKernels, ","))
+		if err != nil {
+			fatal(fmt.Errorf("machspace sweep: %w", err))
+		}
+		rep.Machspace = ms
 	}
 
 	rep.SpeedupBurstSerial = modes[1].SpeedupCold
@@ -438,6 +473,42 @@ func tier2Sweep(cores int) (*Tier2Sweep, error) {
 		})
 	}
 	return sw, nil
+}
+
+// machspaceSweep runs the machine-space sweep over the default grid for
+// the named kernels, timing the whole thing cold (fresh runner, so the
+// host cost includes the per-(cores, queue) compiles).
+func machspaceSweep(names []string) (*MachspaceSweep, error) {
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	r := experiments.NewRunner()
+	start := time.Now()
+	reps, err := machspace.Report(context.Background(), r, names, machspace.DefaultGrid(), nil, machspace.Options{})
+	if err != nil {
+		return nil, err
+	}
+	ms := &MachspaceSweep{HostNs: time.Since(start).Nanoseconds()}
+	for _, kr := range reps {
+		ms.PointsPerKernel = kr.Points
+		row := MachspaceRow{
+			Name:         kr.Kernel,
+			Rejected:     kr.Rejected,
+			FrontierSize: len(kr.Frontier),
+		}
+		for _, q := range kr.Queries {
+			if q.Target == 2.0 && q.Found {
+				row.Target2HWCost = q.Minimal.HWCost
+			}
+		}
+		// The frontier is cost-ascending and speedup-ascending, so its last
+		// entry is the surface's ceiling.
+		if n := len(kr.Frontier); n > 0 {
+			row.BestSpeedup = kr.Frontier[n-1].Speedup
+		}
+		ms.Kernels = append(ms.Kernels, row)
+	}
+	return ms, nil
 }
 
 // timeSweep runs the Figure 12 sweep twice on a fresh runner: cold (compile

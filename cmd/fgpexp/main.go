@@ -9,10 +9,16 @@
 //	fgpexp -exp fig13 -lat 5,20,50,100
 //
 // Experiments: table1, fig12, table2, table3, fig13, fig14, throughput,
-// multipair, schedule, queuelen, search, attribution, all. The search
-// experiment compiles every tier-1 and tier-2 kernel with the
+// multipair, schedule, queuelen, search, attribution, machspace, all. The
+// search experiment compiles every tier-1 and tier-2 kernel with the
 // simulator-guided partition search (-search-budget candidates per kernel,
 // seeded by -search-seed) and reports heuristic vs searched cycles.
+//
+// The machspace experiment sweeps each -ms-kernels kernel over the default
+// machine-space grid (queue capacity × transfer latency × enqueue cost at
+// 4 cores) and prints the latency-degradation row, the queue-saturation
+// row, the Pareto frontier of speedup vs hardware cost, and the
+// -ms-targets inverse queries ("cheapest machine reaching 2x").
 //
 // The attribution experiment records the full observability event stream
 // of one kernel (-trace-kernel) across core counts (-trace-cores) and
@@ -29,6 +35,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -39,17 +46,20 @@ import (
 	"strings"
 
 	"fgp/internal/experiments"
+	"fgp/internal/machspace"
 	"fgp/internal/obs"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1, fig12, table2, table3, fig13, fig14, throughput, multipair, schedule, normalize, simd, queuelen, search, attribution, all)")
+	exp := flag.String("exp", "all", "experiment to run (table1, fig12, table2, table3, fig13, fig14, throughput, multipair, schedule, normalize, simd, queuelen, search, attribution, machspace, all)")
 	lats := flag.String("lat", "5,20,50,100", "comma-separated transfer latencies for fig13")
 	qlens := flag.String("qlen", "2,4,8,20,64", "comma-separated queue lengths for queuelen")
 	traceKernel := flag.String("trace-kernel", "sphot-1", "kernel for the attribution experiment")
 	traceCores := flag.String("trace-cores", "1,2,4", "comma-separated core counts for the attribution experiment")
 	traceOut := flag.String("trace-out", "", "write the attribution recording (highest core count) to this file")
 	traceFormat := flag.String("trace-format", "perfetto", "format for -trace-out: "+obs.TraceFormats)
+	msKernels := flag.String("ms-kernels", "umt2k-4,umt2k-2,lammps-2", "comma-separated kernels for the machspace sweep")
+	msTargets := flag.String("ms-targets", "1.5,2,3", "comma-separated inverse-query speedup targets for machspace")
 	searchBudget := flag.Int("search-budget", 48, "per-kernel candidate budget for the search experiment")
 	searchSeed := flag.Int64("search-seed", 1, "random seed for the search experiment")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
@@ -225,6 +235,28 @@ func main() {
 		collect("search", rows)
 		return experiments.FormatSearch(rows), nil
 	})
+	run("machspace", func() (string, error) {
+		names := strings.Split(*msKernels, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+		targets, err := parseFloats(*msTargets)
+		if err != nil {
+			return "", err
+		}
+		reps, err := machspace.Report(context.Background(), r, names, machspace.DefaultGrid(), targets, machspace.Options{
+			Workers:      *workers,
+			Partitioner:  "",
+			SearchSeed:   *searchSeed,
+			SearchBudget: *searchBudget,
+			Engine:       *engine,
+		})
+		if err != nil {
+			return "", err
+		}
+		collect("machspace", reps)
+		return machspace.FormatReport(reps), nil
+	})
 	run("attribution", func() (string, error) {
 		cc, err := parseInts(*traceCores)
 		if err != nil {
@@ -266,6 +298,18 @@ func parseInt64s(s string) ([]int64, error) {
 		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("bad integer list %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float list %q: %w", s, err)
 		}
 		out = append(out, v)
 	}

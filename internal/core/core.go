@@ -190,6 +190,13 @@ func CompileContext(ctx context.Context, l *ir.Loop, opt Options) (*Artifact, er
 			mc.Cores = opt.Cores
 		}
 	}
+	// Reject an unusable machine before any pipeline work: degenerate sweep
+	// points (see internal/machspace) must fail with the structured
+	// *sim.ConfigError here, never surface as a mid-compile panic or a
+	// simulated deadlock.
+	if err := mc.Validate(); err != nil {
+		return nil, err
+	}
 	if mc.GroupSize > 0 && opt.Cores > mc.GroupSize {
 		return nil, fmt.Errorf("core: %d cores requested but queues connect groups of %d (Section II: the hardware provides all-to-all queues only within a group)",
 			opt.Cores, mc.GroupSize)

@@ -29,11 +29,11 @@ func Fig12(r *Runner) ([]Fig12Row, error) {
 		k, cores := ks[i/2], 2+2*(i%2)
 		sp, _, _, err := r.Speedup(k, Variant{Cores: cores}, nil)
 		if err != nil {
-			return err
+			return fmt.Errorf("fig12: %s at %d cores: %w", k.Name, cores, err)
 		}
 		seq, err := r.SeqCycles(k)
 		if err != nil {
-			return err
+			return fmt.Errorf("fig12: %s: sequential baseline: %w", k.Name, err)
 		}
 		// The two items of one kernel write disjoint fields of the row.
 		row := &rows[i/2]
@@ -78,10 +78,18 @@ type Fig13Row struct {
 }
 
 // Fig13 regenerates Figure 13 for the given latencies (paper: 5, 20, 50,
-// 100). The full kernel×latency grid is one flat work list; all latency
-// points of a kernel share its compiled artifact through the runner cache.
+// 100) over the full Table I registry.
 func Fig13(r *Runner, latencies []int64) ([]Fig13Row, error) {
-	ks := kernels.All()
+	return Fig13Kernels(r, kernels.All(), latencies)
+}
+
+// Fig13Kernels runs the latency sweep over an explicit kernel list. The
+// full kernel×latency grid is one flat work list; all latency points of a
+// kernel share its compiled artifact through the runner cache. A failing
+// point fails the sweep with the offending (kernel, latency) pair named —
+// the lowest-index point, deterministically, regardless of the worker
+// count (ParallelEach).
+func Fig13Kernels(r *Runner, ks []*kernels.Kernel, latencies []int64) ([]Fig13Row, error) {
 	rows := make([]Fig13Row, len(ks))
 	for i, k := range ks {
 		rows[i] = Fig13Row{Name: k.Name, Speedups: make([]float64, len(latencies))}
@@ -91,7 +99,7 @@ func Fig13(r *Runner, latencies []int64) ([]Fig13Row, error) {
 		lat := latencies[li]
 		sp, _, _, err := r.Speedup(ks[ki], Variant{Cores: 4}, func(c *sim.Config) { c.TransferLatency = lat })
 		if err != nil {
-			return err
+			return fmt.Errorf("fig13: %s at latency %d: %w", ks[ki].Name, lat, err)
 		}
 		rows[ki].Speedups[li] = sp
 		return nil
@@ -154,11 +162,11 @@ func Fig14(r *Runner) ([]Fig14Row, error) {
 		k := ks[i]
 		base, _, _, err := r.Speedup(k, Variant{Cores: 4}, nil)
 		if err != nil {
-			return err
+			return fmt.Errorf("fig14: %s: %w", k.Name, err)
 		}
 		spec, _, art, err := r.Speedup(k, Variant{Cores: 4, Speculate: true}, nil)
 		if err != nil {
-			return err
+			return fmt.Errorf("fig14: %s (speculated): %w", k.Name, err)
 		}
 		rows[i] = Fig14Row{Name: k.Name, Base: base, Speculated: spec, SpeculatedIfs: art.Report.SpeculatedIfs}
 		return nil

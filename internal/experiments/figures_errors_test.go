@@ -1,0 +1,55 @@
+// Error attribution in the figure sweeps: a failing (kernel, latency)
+// point must fail the sweep with the offending point named, and the
+// attribution must be deterministic for any worker count (ParallelEach
+// returns the lowest-index error).
+
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"fgp/internal/ir"
+	"fgp/internal/kernels"
+)
+
+// boomKernel is an injected kernel whose simulation traps (division by a
+// zero scalar), so every sweep point over it fails.
+func boomKernel() *kernels.Kernel {
+	b := ir.NewBuilder("boom", "i", 0, 8, 1)
+	b.ArrayI("n", []int64{1, 2, 3, 4, 5, 6, 7, 8})
+	z := b.ScalarI("z", 0)
+	b.StoreI("n", b.Idx(), b.Def("x", ir.DivE(ir.LDI("n", b.Idx()), z)))
+	loop := b.MustBuild()
+	return kernels.Wrap("boom", func() *ir.Loop { return loop })
+}
+
+func TestFig13NamesFailingPoint(t *testing.T) {
+	good, err := kernels.ByName("sphot-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := []*kernels.Kernel{good, boomKernel()}
+	lats := []int64{5, 20}
+
+	for _, workers := range []int{1, 4} {
+		r := NewRunner()
+		r.SetWorkers(workers)
+		_, serr := Fig13Kernels(r, ks, lats)
+		if serr == nil {
+			t.Fatalf("workers=%d: sweep over a trapping kernel succeeded", workers)
+		}
+		msg := serr.Error()
+		if !strings.Contains(msg, "boom") {
+			t.Errorf("workers=%d: error %q does not name the failing kernel", workers, msg)
+		}
+		// The lowest-index failing point is boom's first latency, for any
+		// worker interleaving.
+		if !strings.Contains(msg, "latency 5") {
+			t.Errorf("workers=%d: error %q does not name the failing latency point", workers, msg)
+		}
+		if !strings.Contains(msg, "division by zero") {
+			t.Errorf("workers=%d: error %q lost the underlying cause", workers, msg)
+		}
+	}
+}

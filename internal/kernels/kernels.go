@@ -42,6 +42,15 @@ type Kernel struct {
 // Build constructs a fresh loop (new data arrays each call).
 func (k *Kernel) Build() *ir.Loop { return k.build() }
 
+// Wrap builds an unregistered Kernel around a caller-supplied loop
+// builder, so engines written against the registry type — the experiment
+// runner, the machine-space sweeper — can run loops that arrive from
+// outside it (e.g. IR posted to fgpd). The kernel carries no paper
+// columns; only Name and Build are meaningful.
+func Wrap(name string, build func() *ir.Loop) *Kernel {
+	return &Kernel{Name: name, build: build}
+}
+
 var registry []*Kernel
 
 func register(k *Kernel) {

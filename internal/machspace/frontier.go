@@ -1,0 +1,93 @@
+// Frontier reduction: collapse a swept surface to the configurations worth
+// talking about (the Pareto set of speedup vs hardware cost) and answer
+// the inverse query — the cheapest machine that reaches a target speedup.
+
+package machspace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Pareto returns the non-dominated points of the surface: maximize
+// speedup, minimize hardware cost. A point is dominated when some other
+// point is at least as fast and strictly cheaper, or as cheap and strictly
+// faster. Rejected points never appear. The result is sorted by hardware
+// cost ascending (speedup strictly ascending along it, by construction);
+// among equal (cost, speedup) pairs the earliest grid point wins, so the
+// frontier is deterministic for one surface.
+func (s *Surface) Pareto() []PointResult {
+	idx := make([]int, 0, len(s.Points))
+	for i := range s.Points {
+		if s.Points[i].OK() {
+			idx = append(idx, i)
+		}
+	}
+	// Cheapest first; at equal cost the fastest first; ties broken by grid
+	// order so duplicates collapse deterministically.
+	sort.SliceStable(idx, func(a, b int) bool {
+		pa, pb := &s.Points[idx[a]], &s.Points[idx[b]]
+		if pa.HWCost != pb.HWCost {
+			return pa.HWCost < pb.HWCost
+		}
+		return pa.Speedup > pb.Speedup
+	})
+	var out []PointResult
+	best := -1.0
+	for _, i := range idx {
+		p := &s.Points[i]
+		if p.Speedup > best {
+			out = append(out, *p)
+			best = p.Speedup
+		}
+	}
+	return out
+}
+
+// Minimal answers the inverse query: the cheapest configuration whose
+// speedup meets target (ties broken by higher speedup, then grid order).
+// ok is false when no swept point reaches the target.
+func (s *Surface) Minimal(target float64) (PointResult, bool) {
+	found := false
+	var bestPt PointResult
+	for i := range s.Points {
+		p := &s.Points[i]
+		if !p.OK() || p.Speedup < target {
+			continue
+		}
+		if !found || p.HWCost < bestPt.HWCost ||
+			(p.HWCost == bestPt.HWCost && p.Speedup > bestPt.Speedup) {
+			bestPt = *p
+			found = true
+		}
+	}
+	return bestPt, found
+}
+
+// Best returns the highest-speedup point of the surface (cheapest among
+// ties, then grid order); ok is false when every point was rejected.
+func (s *Surface) Best() (PointResult, bool) {
+	found := false
+	var bestPt PointResult
+	for i := range s.Points {
+		p := &s.Points[i]
+		if !p.OK() {
+			continue
+		}
+		if !found || p.Speedup > bestPt.Speedup ||
+			(p.Speedup == bestPt.Speedup && p.HWCost < bestPt.HWCost) {
+			bestPt = *p
+			found = true
+		}
+	}
+	return bestPt, found
+}
+
+// FormatFrontier renders a Pareto set as a text table.
+func FormatFrontier(frontier []PointResult) string {
+	out := fmt.Sprintf("%8s %8s  %s\n", "hw cost", "speedup", "config")
+	for _, p := range frontier {
+		out += fmt.Sprintf("%8d %8.2f  %s\n", p.HWCost, p.Speedup, p.Point)
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+// The machspace report: the sweep rendered the way the paper renders its
+// sensitivity story. One sweep per kernel feeds three views — the Fig 13
+// latency-degradation row, the queue-saturation row (the queue-length
+// extension sweep), and the Pareto frontier of speedup vs hardware cost —
+// plus the inverse queries ("what is the cheapest machine that hits 2x?")
+// that the /v1/frontier endpoint answers one at a time.
+
+package machspace
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"strings"
+
+	"fgp/internal/experiments"
+	"fgp/internal/kernels"
+)
+
+// DefaultTargets are the inverse-query targets the report answers when the
+// caller passes none: the paper's average 4-core speedup is 2.05, so 1.5
+// is usually cheap, 2.0 is the interesting ask, and 3.0 is often
+// unreachable — exercising the miss path.
+var DefaultTargets = []float64{1.5, 2.0, 3.0}
+
+// InverseQuery is one answered "cheapest machine reaching target" query.
+// When no swept point reaches the target, Found is false and Best carries
+// the surface's ceiling instead of Minimal.
+type InverseQuery struct {
+	Target  float64     `json:"target"`
+	Found   bool        `json:"found"`
+	Minimal PointResult `json:"minimal"`
+	Best    PointResult `json:"best"`
+}
+
+// KernelReport is one kernel's view of the swept machine space. The rows
+// hold full point results (in the grid's axis order) so shape checks and
+// renderers read the same data.
+type KernelReport struct {
+	Kernel     string         `json:"kernel"`
+	Points     int            `json:"points"`
+	Rejected   int            `json:"rejected"`
+	Anchor     Point          `json:"anchor"`
+	LatencyRow []PointResult  `json:"latency_row"`
+	QueueRow   []PointResult  `json:"queue_row"`
+	Frontier   []PointResult  `json:"frontier"`
+	Queries    []InverseQuery `json:"queries"`
+}
+
+// anchor picks the coordinate each single-axis row is read at: the paper
+// default where the grid sweeps through it, otherwise the axis's first
+// value — so the rows always exist, whatever the grid.
+func anchor(g Grid) Point {
+	pickI := func(axis []int, def int) int {
+		if slices.Contains(axis, def) {
+			return def
+		}
+		return axis[0]
+	}
+	pick64 := func(axis []int64, def int64) int64 {
+		if slices.Contains(axis, def) {
+			return def
+		}
+		return axis[0]
+	}
+	return Point{
+		Cores:           pickI(g.Cores, paperDefault.Cores),
+		QueueLen:        pickI(g.QueueLen, paperDefault.QueueLen),
+		TransferLatency: pick64(g.TransferLatency, paperDefault.TransferLatency),
+		EnqCost:         pick64(g.EnqCost, paperDefault.EnqCost),
+		DeqCost:         pick64(g.DeqCost, paperDefault.DeqCost),
+		L1Lines:         pickI(g.L1Lines, paperDefault.L1Lines),
+		L1Hit:           pick64(g.L1Hit, paperDefault.L1Hit),
+		L1Miss:          pick64(g.L1Miss, paperDefault.L1Miss),
+	}
+}
+
+// row selects the surface points that sit on the anchor coordinate of
+// every axis except the one `vary` frees, in grid order.
+func row(s *Surface, a Point, vary func(p, a Point) bool) []PointResult {
+	var out []PointResult
+	for i := range s.Points {
+		if vary(s.Points[i].Point, a) {
+			out = append(out, s.Points[i])
+		}
+	}
+	return out
+}
+
+func latencyRow(s *Surface, a Point) []PointResult {
+	return row(s, a, func(p, a Point) bool {
+		p.TransferLatency = a.TransferLatency
+		return p == a
+	})
+}
+
+func queueRow(s *Surface, a Point) []PointResult {
+	return row(s, a, func(p, a Point) bool {
+		p.QueueLen = a.QueueLen
+		return p == a
+	})
+}
+
+// Report sweeps every named kernel over the grid and reduces each surface
+// to its report. Kernels are swept in the given order; the per-kernel
+// sweep parallelizes across opt.Workers, and the output is byte-identical
+// for any worker count. nil targets means DefaultTargets.
+func Report(ctx context.Context, r *experiments.Runner, names []string, g Grid, targets []float64, opt Options) ([]KernelReport, error) {
+	if len(targets) == 0 {
+		targets = DefaultTargets
+	}
+	out := make([]KernelReport, 0, len(names))
+	for _, name := range names {
+		k, err := kernels.ByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("machspace report: %w", err)
+		}
+		surf, err := Sweep(ctx, r, k, g, opt)
+		if err != nil {
+			return nil, fmt.Errorf("machspace report: %s: %w", name, err)
+		}
+		a := anchor(surf.Grid)
+		kr := KernelReport{
+			Kernel:     name,
+			Points:     len(surf.Points),
+			Rejected:   surf.Rejected(),
+			Anchor:     a,
+			LatencyRow: latencyRow(surf, a),
+			QueueRow:   queueRow(surf, a),
+			Frontier:   surf.Pareto(),
+		}
+		for _, t := range targets {
+			q := InverseQuery{Target: t}
+			if p, ok := surf.Minimal(t); ok {
+				q.Found, q.Minimal = true, p
+			} else if b, ok := surf.Best(); ok {
+				q.Best = b
+			}
+			kr.Queries = append(kr.Queries, q)
+		}
+		out = append(out, kr)
+	}
+	return out, nil
+}
+
+// FormatReport renders the machspace report as text tables, one block per
+// kernel: the Fig 13-shaped latency row, the queue-saturation row, the
+// Pareto frontier, and the inverse queries.
+func FormatReport(reps []KernelReport) string {
+	var sb strings.Builder
+	sb.WriteString("machspace: speedup surface over the machine design space\n")
+	for i := range reps {
+		kr := &reps[i]
+		a := kr.Anchor
+		sb.WriteString(fmt.Sprintf("\n%s: %d points, %d rejected\n", kr.Kernel, kr.Points, kr.Rejected))
+
+		sb.WriteString(fmt.Sprintf("  latency degradation at q=%d enq=%d (Fig 13 axis)\n", a.QueueLen, a.EnqCost))
+		sb.WriteString("    latency")
+		for _, p := range kr.LatencyRow {
+			sb.WriteString(fmt.Sprintf(" %7d", p.Point.TransferLatency))
+		}
+		sb.WriteString("\n    speedup")
+		for _, p := range kr.LatencyRow {
+			sb.WriteString(fmt.Sprintf(" %7.2f", p.Speedup))
+		}
+		sb.WriteString("\n")
+
+		sb.WriteString(fmt.Sprintf("  queue saturation at lat=%d enq=%d\n", a.TransferLatency, a.EnqCost))
+		sb.WriteString("    qlen   ")
+		for _, p := range kr.QueueRow {
+			sb.WriteString(fmt.Sprintf(" %7d", p.Point.QueueLen))
+		}
+		sb.WriteString("\n    speedup")
+		for _, p := range kr.QueueRow {
+			sb.WriteString(fmt.Sprintf(" %7.2f", p.Speedup))
+		}
+		sb.WriteString("\n")
+
+		sb.WriteString("  pareto frontier (speedup vs hw cost)\n")
+		for _, line := range strings.Split(strings.TrimRight(FormatFrontier(kr.Frontier), "\n"), "\n") {
+			sb.WriteString("  " + line + "\n")
+		}
+
+		for _, q := range kr.Queries {
+			if q.Found {
+				sb.WriteString(fmt.Sprintf("  target %.2fx -> hw cost %d  %s  (%.2fx)\n",
+					q.Target, q.Minimal.HWCost, q.Minimal.Point, q.Minimal.Speedup))
+			} else {
+				sb.WriteString(fmt.Sprintf("  target %.2fx -> unreachable; best %.2fx at hw cost %d  %s\n",
+					q.Target, q.Best.Speedup, q.Best.HWCost, q.Best.Point))
+			}
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,130 @@
+// The committed machspace report is the regression gate for the sweep:
+// its bytes pin every simulated speedup, and its shape pins the paper's
+// Fig 13/14 qualitative story — speedup degrades monotonically as the
+// transfer latency grows, and grows toward saturation as the queue
+// capacity does. Regenerate with
+//
+//	go test ./internal/machspace -run TestGoldenReport -update
+//
+// after an intentional simulator or cost-model change.
+
+package machspace
+
+import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fgp/internal/experiments"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden machspace report")
+
+// goldenGrid is the CI-budgeted sweep: the Fig 13 latency axis (plus the
+// zero-latency corner) crossed with the queue-capacity axis at 4 cores.
+// 30 points per kernel.
+func goldenGrid() Grid {
+	return Grid{
+		Cores:           []int{4},
+		QueueLen:        []int{1, 4, 8, 20, 64},
+		TransferLatency: []int64{0, 1, 5, 20, 50, 100},
+	}
+}
+
+// umt2k-4 is the inverse-query acceptance kernel (latency-tolerant: deep
+// queues hide the transfer latency completely, so its degradation lives on
+// the queue axis); umt2k-2 and lammps-2 carry the Fig 13 story — their
+// speedup collapses monotonically as the latency grows.
+var goldenKernels = []string{"umt2k-4", "umt2k-2", "lammps-2"}
+
+func goldenReport(t *testing.T) []KernelReport {
+	t.Helper()
+	r := experiments.NewRunner()
+	reps, err := Report(context.Background(), r, goldenKernels, goldenGrid(), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reps
+}
+
+func TestGoldenReport(t *testing.T) {
+	reps := goldenReport(t)
+	got := FormatReport(reps)
+
+	path := filepath.Join("testdata", "golden_machspace.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden report rewritten: %s", path)
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden report (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("machspace report drifted from the committed golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// Shape, independently of the exact bytes: the paper's sensitivity
+	// story must hold for every kernel in the report.
+	degraded := false
+	for _, kr := range reps {
+		if len(kr.LatencyRow) < 3 || len(kr.QueueRow) < 3 {
+			t.Fatalf("%s: report rows missing (latency %d, queue %d)", kr.Kernel, len(kr.LatencyRow), len(kr.QueueRow))
+		}
+		// Fig 13: more latency never helps. Monotone non-increasing.
+		for i := 1; i < len(kr.LatencyRow); i++ {
+			prev, cur := kr.LatencyRow[i-1], kr.LatencyRow[i]
+			if cur.Speedup > prev.Speedup*1.001 {
+				t.Errorf("%s: speedup rose with latency: %.4f at lat=%d -> %.4f at lat=%d",
+					kr.Kernel, prev.Speedup, prev.Point.TransferLatency, cur.Speedup, cur.Point.TransferLatency)
+			}
+		}
+		first, lastLat := kr.LatencyRow[0], kr.LatencyRow[len(kr.LatencyRow)-1]
+		if lastLat.Speedup < first.Speedup*0.8 {
+			degraded = true
+		}
+		// Queue capacity saturates: more slots never hurt, and the last
+		// doubling (20 -> 64) buys almost nothing.
+		for i := 1; i < len(kr.QueueRow); i++ {
+			prev, cur := kr.QueueRow[i-1], kr.QueueRow[i]
+			if cur.Speedup < prev.Speedup*0.999 {
+				t.Errorf("%s: speedup fell with queue capacity: %.4f at q=%d -> %.4f at q=%d",
+					kr.Kernel, prev.Speedup, prev.Point.QueueLen, cur.Speedup, cur.Point.QueueLen)
+			}
+		}
+		last, prev := kr.QueueRow[len(kr.QueueRow)-1], kr.QueueRow[len(kr.QueueRow)-2]
+		if last.Speedup > prev.Speedup*1.05 {
+			t.Errorf("%s: queue axis not saturating: %.4f at q=%d -> %.4f at q=%d (>5%% gain on the last step)",
+				kr.Kernel, prev.Speedup, prev.Point.QueueLen, last.Speedup, last.Point.QueueLen)
+		}
+		// The frontier is strictly improving along cost.
+		for i := 1; i < len(kr.Frontier); i++ {
+			a, b := kr.Frontier[i-1], kr.Frontier[i]
+			if b.HWCost <= a.HWCost || b.Speedup <= a.Speedup {
+				t.Errorf("%s: frontier not strictly improving: (%d, %.4f) -> (%d, %.4f)",
+					kr.Kernel, a.HWCost, a.Speedup, b.HWCost, b.Speedup)
+			}
+		}
+		// The inverse-query set exercises both the hit and the structured
+		// miss path against this surface.
+		for _, q := range kr.Queries {
+			if q.Found {
+				if q.Minimal.Speedup < q.Target {
+					t.Errorf("%s: target %.2f answered with %.4f", kr.Kernel, q.Target, q.Minimal.Speedup)
+				}
+			} else if q.Best.Speedup >= q.Target {
+				t.Errorf("%s: target %.2f reported unreachable but best is %.4f", kr.Kernel, q.Target, q.Best.Speedup)
+			}
+		}
+	}
+	if !degraded {
+		t.Error("no kernel in the golden set shows the Fig 13 latency collapse (>20% drop across the latency axis)")
+	}
+}

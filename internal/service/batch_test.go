@@ -86,12 +86,13 @@ func TestBatchMixedItemIsolation(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	shortQueue := 2
 	req := BatchRequest{Items: []RunRequest{
-		{Kernel: "sphot-1", Cores: 2},                    // 0: healthy hit
-		{IR: json.RawMessage(`{"name":"x"}`), Cores: 2},  // 1: malformed → 400
-		{Kernel: "lammps-3", Cores: 4, QueueLen: 2},      // 2: verifier-rejected → 422
-		{IR: trapWire, Cores: 2},                         // 3: semantic trap → 422
-		{IR: missWire, Cores: 2},                         // 4: healthy cold compile
+		{Kernel: "sphot-1", Cores: 2},                         // 0: healthy hit
+		{IR: json.RawMessage(`{"name":"x"}`), Cores: 2},       // 1: malformed → 400
+		{Kernel: "lammps-3", Cores: 4, QueueLen: &shortQueue}, // 2: verifier-rejected → 422
+		{IR: trapWire, Cores: 2},                              // 3: semantic trap → 422
+		{IR: missWire, Cores: 2},                              // 4: healthy cold compile
 	}}
 	code, items, trailer := postBatch(t, ts, req)
 	if code != http.StatusOK {

@@ -35,13 +35,20 @@ type RunRequest struct {
 	IR     json.RawMessage `json:"ir,omitempty"`
 	Source string          `json:"source,omitempty"`
 
-	// Pipeline and machine configuration (zero = paper defaults).
-	Cores           int   `json:"cores,omitempty"`
-	QueueLen        int   `json:"queue_len,omitempty"`
-	TransferLatency int64 `json:"transfer_latency,omitempty"`
-	Speculate       bool  `json:"speculate,omitempty"`
-	NormalizeOps    int   `json:"normalize_ops,omitempty"`
-	Schedule        bool  `json:"schedule,omitempty"`
+	// Pipeline and machine configuration (zero/absent = paper defaults).
+	Cores int `json:"cores,omitempty"`
+	// QueueLen and TransferLatency are pointers so presence survives
+	// decoding: transfer latency 0 is a real machine (instant transfers)
+	// and must be distinguishable from "not sent". An absent field means
+	// the paper default; so does `queue_len: 0` (0 is not a legal literal
+	// capacity, and the legacy encoding used it as "default"), and so does
+	// sending the default value explicitly — all three spellings share one
+	// canonical content address.
+	QueueLen        *int   `json:"queue_len,omitempty"`
+	TransferLatency *int64 `json:"transfer_latency,omitempty"`
+	Speculate       bool   `json:"speculate,omitempty"`
+	NormalizeOps    int    `json:"normalize_ops,omitempty"`
+	Schedule        bool   `json:"schedule,omitempty"`
 	// Partitioner selects the partition selector: "" or "heuristic" (the
 	// paper's greedy merge) or "search" (the internal/search refinement,
 	// run server-side with a fixed seed and budget so the artifact is
@@ -82,9 +89,16 @@ type RunResponse struct {
 
 	// CachedArtifact reports whether the compiled artifact was served from
 	// the content-addressed cache (the simulation always runs fresh).
-	CachedArtifact bool    `json:"cached_artifact"`
-	CompileMs      float64 `json:"compile_ms"`
-	SimMs          float64 `json:"sim_ms"`
+	CachedArtifact bool `json:"cached_artifact"`
+	// ArtifactAddress is the artifact's canonical content address (sha256
+	// over the pipeline configuration and the canonical loop bytes).
+	// Requests that spell the same machine differently — e.g. omitting
+	// transfer_latency versus sending the paper-default 5 — share one
+	// address; a genuinely different machine (transfer_latency 0) gets its
+	// own.
+	ArtifactAddress string  `json:"artifact_address"`
+	CompileMs       float64 `json:"compile_ms"`
+	SimMs           float64 `json:"sim_ms"`
 
 	Attribution string          `json:"attribution,omitempty"`
 	Trace       json.RawMessage `json:"trace,omitempty"`
@@ -135,6 +149,54 @@ func apiErrorf(status int, format string, args ...any) *apiError {
 	return &apiError{status: status, body: errorBody{Error: fmt.Sprintf(format, args...)}}
 }
 
+// resolveLoop resolves a request's loop selector — exactly one of a
+// built-in kernel name, wire-encoded IR, or fgp source — shared by
+// /v1/run, /v1/batch and /v1/frontier. Failures count toward the error
+// metric and carry their HTTP rendering.
+func (s *Server) resolveLoop(kernel string, irRaw json.RawMessage, source string) (*ir.Loop, *apiError) {
+	fail := func(status int, msg string) (*ir.Loop, *apiError) {
+		s.met.errors.Add(1)
+		return nil, apiErrorf(status, "%s", msg)
+	}
+	selected := 0
+	for _, set := range []bool{kernel != "", len(irRaw) > 0, source != ""} {
+		if set {
+			selected++
+		}
+	}
+	if selected != 1 {
+		return fail(http.StatusBadRequest, "request must select exactly one of kernel, ir or source")
+	}
+	switch {
+	case kernel != "":
+		k, err := kernels.ByName(kernel)
+		if err != nil {
+			return fail(http.StatusNotFound, err.Error())
+		}
+		return k.Build(), nil
+	case len(irRaw) > 0:
+		loop, err := ir.UnmarshalLoop(irRaw)
+		if err != nil {
+			return fail(http.StatusBadRequest, "ir: "+err.Error())
+		}
+		return loop, nil
+	default:
+		loop, err := frontend.ParseWithLimits([]byte(source), sourceLimits)
+		if err != nil {
+			s.met.errors.Add(1)
+			var fe *frontend.Error
+			if errors.As(err, &fe) {
+				return nil, &apiError{status: http.StatusBadRequest, body: errorBody{
+					Error:             boundMsg("source: " + err.Error()),
+					SourceDiagnostics: fe.Diags,
+				}}
+			}
+			return nil, apiErrorf(http.StatusBadRequest, "%s", boundMsg("source: "+err.Error()))
+		}
+		return loop, nil
+	}
+}
+
 // execute runs one admitted request: resolve the kernel, fetch or fill the
 // cached sequential baseline and artifact (memory tier, then disk store,
 // then a real compile), simulate under the request context, and build the
@@ -156,44 +218,9 @@ func (s *Server) execute(ctx context.Context, req *RunRequest) (resp *RunRespons
 		return nil, apiErrorf(status, "%s", msg)
 	}
 
-	// Resolve the loop.
-	selected := 0
-	for _, set := range []bool{req.Kernel != "", len(req.IR) > 0, req.Source != ""} {
-		if set {
-			selected++
-		}
-	}
-	if selected != 1 {
-		return fail(http.StatusBadRequest, "request must select exactly one of kernel, ir or source")
-	}
-	var loop *ir.Loop
-	switch {
-	case req.Kernel != "":
-		k, err := kernels.ByName(req.Kernel)
-		if err != nil {
-			return fail(http.StatusNotFound, err.Error())
-		}
-		loop = k.Build()
-	case len(req.IR) > 0:
-		var err error
-		loop, err = ir.UnmarshalLoop(req.IR)
-		if err != nil {
-			return fail(http.StatusBadRequest, "ir: "+err.Error())
-		}
-	default:
-		var err error
-		loop, err = frontend.ParseWithLimits([]byte(req.Source), sourceLimits)
-		if err != nil {
-			s.met.errors.Add(1)
-			var fe *frontend.Error
-			if errors.As(err, &fe) {
-				return nil, &apiError{status: http.StatusBadRequest, body: errorBody{
-					Error:             boundMsg("source: " + err.Error()),
-					SourceDiagnostics: fe.Diags,
-				}}
-			}
-			return nil, apiErrorf(http.StatusBadRequest, "%s", boundMsg("source: "+err.Error()))
-		}
+	loop, ae := s.resolveLoop(req.Kernel, req.IR, req.Source)
+	if ae != nil {
+		return nil, ae
 	}
 
 	// Bound the machine parameters.
@@ -204,11 +231,28 @@ func (s *Server) execute(ctx context.Context, req *RunRequest) (resp *RunRespons
 	if cores < 1 || cores > s.cfg.MaxCores {
 		return fail(http.StatusBadRequest, fmt.Sprintf("cores must be in [1, %d]", s.cfg.MaxCores))
 	}
-	if req.QueueLen < 0 || req.QueueLen > 1<<12 {
-		return fail(http.StatusBadRequest, "queue_len must be in [1, 4096] (0 = default)")
+	// Resolve the machine levers to their effective values. The pipeline
+	// key stores effective values, so unset, the legacy `queue_len: 0`
+	// spelling, and an explicit paper default all produce one canonical
+	// content address — while `transfer_latency: 0` is its own machine.
+	machineDefaults := sim.DefaultConfig(cores)
+	queueLen := machineDefaults.QueueLen
+	if req.QueueLen != nil {
+		q := *req.QueueLen
+		if q < 0 || q > 1<<12 {
+			return fail(http.StatusBadRequest, "queue_len must be in [1, 4096] (0 = default)")
+		}
+		if q != 0 {
+			queueLen = q
+		}
 	}
-	if req.TransferLatency < 0 || req.TransferLatency > 1<<20 {
-		return fail(http.StatusBadRequest, "transfer_latency must be in [0, 1048576]")
+	transferLatency := machineDefaults.TransferLatency
+	if req.TransferLatency != nil {
+		tl := *req.TransferLatency
+		if tl < 0 || tl > 1<<20 {
+			return fail(http.StatusBadRequest, "transfer_latency must be in [0, 1048576]")
+		}
+		transferLatency = tl
 	}
 	if req.NormalizeOps < 0 || req.NormalizeOps > 64 {
 		return fail(http.StatusBadRequest, "normalize_ops must be in [0, 64]")
@@ -228,8 +272,8 @@ func (s *Server) execute(ctx context.Context, req *RunRequest) (resp *RunRespons
 
 	pk := pipelineKey{
 		Cores:           cores,
-		QueueLen:        req.QueueLen,
-		TransferLatency: req.TransferLatency,
+		QueueLen:        queueLen,
+		TransferLatency: transferLatency,
 		Speculate:       req.Speculate,
 		NormalizeOps:    req.NormalizeOps,
 		Schedule:        req.Schedule,
@@ -290,16 +334,13 @@ func (s *Server) execute(ctx context.Context, req *RunRequest) (resp *RunRespons
 				opt.SearchSeed = serverSearchSeed
 				opt.SearchBudget = serverSearchBudget
 			}
-			if req.QueueLen > 0 || req.TransferLatency > 0 {
-				mc := sim.DefaultConfig(cores)
-				if req.QueueLen > 0 {
-					mc.QueueLen = req.QueueLen
-				}
-				if req.TransferLatency > 0 {
-					mc.TransferLatency = req.TransferLatency
-				}
-				opt.Machine = &mc
-			}
+			// Always pin the machine: the effective levers are already
+			// resolved, and a machine at the paper defaults compiles the
+			// identical artifact a nil Machine would.
+			mc := sim.DefaultConfig(cores)
+			mc.QueueLen = queueLen
+			mc.TransferLatency = transferLatency
+			opt.Machine = &mc
 			return core.CompileContext(fctx, loop, opt)
 		},
 		encodeArtifact, decodeArtifact))
@@ -344,6 +385,7 @@ func (s *Server) execute(ctx context.Context, req *RunRequest) (resp *RunRespons
 		LoadMisses:        res.LoadMisses,
 		MemPortBusyCycles: res.MemPortBusyCycles,
 		CachedArtifact:    hit,
+		ArtifactAddress:   artAddr,
 		CompileMs:         compileMs,
 		SimMs:             simMs,
 	}

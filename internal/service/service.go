@@ -27,8 +27,8 @@
 // horizontal replica sharing the directory — warm-starts instead of
 // recompiling.
 //
-// Endpoints: POST /v1/run, POST /v1/batch, GET /v1/kernels,
-// GET /v1/attribution, GET /healthz, GET /metrics.
+// Endpoints: POST /v1/run, POST /v1/batch, GET|POST /v1/frontier,
+// GET /v1/kernels, GET /v1/attribution, GET /healthz, GET /metrics.
 package service
 
 import (
@@ -153,6 +153,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/kernels", s.handleKernels)
 	s.mux.HandleFunc("GET /v1/attribution", s.handleAttribution)
+	s.mux.HandleFunc("GET /v1/frontier", s.handleFrontierGet)
+	s.mux.HandleFunc("POST /v1/frontier", s.handleFrontierPost)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil

@@ -229,14 +229,14 @@ type Machine struct {
 // New builds a machine for the given per-core programs. progs[i] runs on
 // core i; len(progs) must not exceed cfg.Cores (idle cores are legal).
 func New(progs []*isa.Program, memory *mem.Memory, cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if len(progs) == 0 {
 		return nil, fmt.Errorf("sim: no programs")
 	}
 	if cfg.Cores < len(progs) {
 		return nil, fmt.Errorf("sim: %d programs but only %d cores", len(progs), cfg.Cores)
-	}
-	if cfg.QueueLen < 1 {
-		return nil, fmt.Errorf("sim: queue length must be >= 1")
 	}
 	m := &Machine{cfg: cfg, mm: memory}
 	if cfg.CollectProfile {
